@@ -1,0 +1,97 @@
+// Command fiat-app runs FIAT's phone-side component: it simulates the user
+// touching an IoT companion app (or spyware driving it with -nonhuman),
+// builds a signed sensor attestation, and ships it to the proxy over
+// quicfast — 0-RTT after the first handshake.
+//
+// Pair against a running fiat-proxy with its printed code:
+//
+//	fiat-app -proxy 127.0.0.1:7844 -code <hex> -device plug -n 3
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"fiat/internal/core"
+	"fiat/internal/keystore"
+	"fiat/internal/quicfast"
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+)
+
+func main() {
+	proxyAddr := flag.String("proxy", "127.0.0.1:7844", "proxy attestation address")
+	codeHex := flag.String("code", "", "pairing code from fiat-proxy (hex, required)")
+	device := flag.String("device", "plug", "IoT device the interaction targets")
+	count := flag.Int("n", 1, "attestations to send")
+	interval := flag.Duration("interval", 2*time.Second, "gap between attestations")
+	nonhuman := flag.Bool("nonhuman", false, "simulate spyware driving the app (no touch)")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "sensor window seed")
+	flag.Parse()
+
+	code, err := hex.DecodeString(*codeHex)
+	if err != nil || len(code) != 32 {
+		fmt.Fprintln(os.Stderr, "fiat-app: -code must be the proxy's 64-hex-char pairing code")
+		os.Exit(2)
+	}
+	ks, err := keystore.New(rand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := keystore.DerivePairingKey(code)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ks.ImportKey(keystore.PairingAlias, key); err != nil {
+		fatal(err)
+	}
+	psk, err := ks.DeriveKey(keystore.PairingAlias, "quic-psk", 32)
+	if err != nil {
+		fatal(err)
+	}
+
+	raddr, err := net.ResolveUDPAddr("udp", *proxyAddr)
+	if err != nil {
+		fatal(err)
+	}
+	conn, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	cli := quicfast.NewClient(conn, raddr, psk, quicfast.WithTimeout(time.Second))
+
+	app := core.NewClientApp(simclock.RealClock{}, ks)
+	appPkg := "com." + *device + ".app"
+	app.BindApp(appPkg, *device)
+	gen := sensors.NewGenerator(simclock.NewRNG(*seed))
+
+	for i := 0; i < *count; i++ {
+		window := gen.Human()
+		kind := "human touch"
+		if *nonhuman {
+			window = gen.NonHuman()
+			kind = "NON-HUMAN (spyware)"
+		}
+		start := time.Now()
+		zeroRTT, err := app.SendOverQUIC(cli, appPkg, window)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fiat-app: sent %s attestation for %q in %v (0-RTT=%v)\n",
+			kind, *device, time.Since(start).Round(time.Millisecond), zeroRTT)
+		if i+1 < *count {
+			time.Sleep(*interval)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fiat-app:", err)
+	os.Exit(1)
+}

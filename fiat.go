@@ -1,0 +1,178 @@
+// Package fiat is the public facade of the FIAT reproduction (CoNEXT '22):
+// a third-party, passive authorization system for home-IoT traffic. A
+// System bundles the server-side proxy — rule learning over predictable
+// traffic, event grouping, manual-event classification, humanness gating —
+// with the enclave keystore and the trained humanness validator; PairPhone
+// enrolls a phone whose ClientApp produces signed sensor attestations.
+//
+// Quick start:
+//
+//	sys, _ := fiat.NewSystem(fiat.Options{Seed: 1})
+//	_ = sys.AddSimpleDevice("plug", 235)
+//	phone, _ := sys.PairPhone()
+//	phone.App.BindApp("com.plug.app", "plug")
+//	// ... feed traffic via sys.Proxy.Process, attest via phone.Attest.
+//
+// See examples/ for end-to-end scenarios and DESIGN.md for the system map.
+package fiat
+
+import (
+	cryptorand "crypto/rand"
+	"fmt"
+	"io"
+
+	"fiat/internal/core"
+	"fiat/internal/events"
+	"fiat/internal/flows"
+	"fiat/internal/keystore"
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+)
+
+// Re-exported decision vocabulary.
+const (
+	Allow = core.Allow
+	Drop  = core.Drop
+)
+
+// Decision is the proxy's per-packet output.
+type Decision = core.Decision
+
+// Record is one normalized packet observation.
+type Record = flows.Record
+
+// Event is one unpredictable event.
+type Event = events.Event
+
+// Options configures NewSystem.
+type Options struct {
+	// Clock defaults to a virtual clock (simulations). Pass
+	// simclock.RealClock{} for live deployments.
+	Clock simclock.Clock
+	// Rand seeds the enclaves and pairing codes (default crypto/rand).
+	Rand io.Reader
+	// Seed drives the humanness-validator training corpus.
+	Seed int64
+	// Proxy carries the pipeline configuration (bootstrap window, event
+	// gap, lockout policy).
+	Proxy core.Config
+	// Validator overrides the humanness validator (nil trains one).
+	Validator *sensors.Validator
+}
+
+// System is a deployed FIAT instance.
+type System struct {
+	// Proxy is the access-control pipeline.
+	Proxy *core.Proxy
+	// Clock is the time source shared by every component.
+	Clock simclock.Clock
+	// Keystore is the proxy-side enclave.
+	Keystore *keystore.Store
+	// Validator is the humanness model.
+	Validator *sensors.Validator
+
+	rand   io.Reader
+	phones int
+}
+
+// Phone is a paired client device.
+type Phone struct {
+	// App is FIAT's client-side component.
+	App *core.ClientApp
+	// Keystore is the phone-side enclave holding the pairing key.
+	Keystore *keystore.Store
+	// Sensors generates interaction windows in simulations.
+	Sensors *sensors.Generator
+}
+
+// NewSystem builds a proxy-side FIAT instance.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Clock == nil {
+		opts.Clock = simclock.NewVirtual()
+	}
+	if opts.Rand == nil {
+		opts.Rand = cryptorand.Reader
+	}
+	ks, err := keystore.New(opts.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("fiat: proxy keystore: %w", err)
+	}
+	validator := opts.Validator
+	if validator == nil {
+		v, _, err := sensors.DefaultValidator(opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fiat: humanness validator: %w", err)
+		}
+		validator = v
+	}
+	return &System{
+		Proxy:     core.NewProxy(opts.Clock, ks, validator, opts.Proxy),
+		Clock:     opts.Clock,
+		Keystore:  ks,
+		Validator: validator,
+		rand:      opts.Rand,
+	}, nil
+}
+
+// PairPhone runs the local pairing ceremony and returns the enrolled phone.
+// Each call enrolls an additional phone under its own pairing key.
+func (s *System) PairPhone() (*Phone, error) {
+	phoneKS, err := keystore.New(s.rand)
+	if err != nil {
+		return nil, fmt.Errorf("fiat: phone keystore: %w", err)
+	}
+	s.phones++
+	alias := keystore.PairingAlias
+	if s.phones > 1 {
+		alias = fmt.Sprintf("%s-%d", keystore.PairingAlias, s.phones)
+	}
+	offer, err := keystore.NewPairingOfferAlias(s.Keystore, s.rand, alias)
+	if err != nil {
+		return nil, fmt.Errorf("fiat: pairing offer: %w", err)
+	}
+	resp, err := keystore.AcceptPairing(phoneKS, offer)
+	if err != nil {
+		return nil, fmt.Errorf("fiat: accepting pairing: %w", err)
+	}
+	if _, err := keystore.ConfirmPairing(offer, resp); err != nil {
+		return nil, fmt.Errorf("fiat: confirming pairing: %w", err)
+	}
+	s.Proxy.RegisterPairingAlias(alias)
+	return &Phone{
+		App:      core.NewClientApp(s.Clock, phoneKS),
+		Keystore: phoneKS,
+		Sensors:  sensors.NewGenerator(simclock.NewRNG(1).Fork("phone")),
+	}, nil
+}
+
+// AddSimpleDevice registers a device whose manual traffic is identified by
+// its notification packet size (the SP10/WP3/Nest-E class).
+func (s *System) AddSimpleDevice(name string, notificationSize int) error {
+	return s.Proxy.AddDevice(core.DeviceConfig{
+		Name:       name,
+		Classifier: core.RuleClassifier{NotificationSize: notificationSize},
+		GraceN:     1,
+	})
+}
+
+// AddMLDevice registers a device with a BernoulliNB manual-event classifier
+// trained on the given labeled events (collected during an observation
+// period). graceN <= 0 selects the deployed N = 5.
+func (s *System) AddMLDevice(name string, training []*Event, graceN int) error {
+	clf, err := core.TrainMLClassifier(training, nil)
+	if err != nil {
+		return fmt.Errorf("fiat: training classifier for %s: %w", name, err)
+	}
+	return s.Proxy.AddDevice(core.DeviceConfig{Name: name, Classifier: clf, GraceN: graceN})
+}
+
+// Attest produces and immediately delivers an attestation for an
+// interaction with appPkg observed in window w — the in-process shortcut
+// simulations use instead of the QUIC channel.
+func (p *Phone) Attest(sys *System, appPkg string, w sensors.Window) (human bool, err error) {
+	payload, err := p.App.Attest(appPkg, w)
+	if err != nil {
+		return false, err
+	}
+	return sys.Proxy.HandleAttestation(payload)
+}

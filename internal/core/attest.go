@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"fiat/internal/keystore"
+	"fiat/internal/sensors"
+)
+
+// attestMagic and attestVersion frame the attestation wire format.
+const (
+	attestMagic   = 0x46417431 // "FAt1"
+	attestVersion = 1
+)
+
+// Attestation is the client app's proof of interaction: which IoT app was
+// in the foreground, when, and the 48 sensor features of the interaction
+// window. The proxy — not the phone — runs the humanness model over the
+// features (§5.3: the app "reports raw sensor data – or more precisely
+// features extracted as per the ML model – to the IoT proxy").
+type Attestation struct {
+	Device   string
+	At       time.Time
+	Features []float64
+}
+
+// codec errors.
+var (
+	ErrBadAttestation = errors.New("core: malformed attestation")
+	ErrBadMAC         = errors.New("core: attestation MAC invalid")
+)
+
+// EncodeAttestation serializes and authenticates an attestation with the
+// pairing key held in ks.
+func EncodeAttestation(a *Attestation, ks *keystore.Store) ([]byte, error) {
+	if len(a.Features) != sensors.FeatureDim {
+		return nil, fmt.Errorf("%w: %d features, want %d", ErrBadAttestation, len(a.Features), sensors.FeatureDim)
+	}
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(attestMagic))
+	buf.WriteByte(attestVersion)
+	name := []byte(a.Device)
+	if len(name) > 255 {
+		return nil, fmt.Errorf("%w: device name too long", ErrBadAttestation)
+	}
+	buf.WriteByte(byte(len(name)))
+	buf.Write(name)
+	binary.Write(&buf, binary.BigEndian, a.At.UnixNano())
+	for _, f := range a.Features {
+		binary.Write(&buf, binary.BigEndian, math.Float64bits(f))
+	}
+	mac, err := ks.MAC(keystore.PairingAlias, buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(mac)
+	return buf.Bytes(), nil
+}
+
+// DecodeAttestation parses and verifies an attestation against the default
+// pairing key in ks.
+func DecodeAttestation(payload []byte, ks *keystore.Store) (*Attestation, error) {
+	return DecodeAttestationAliases(payload, ks, keystore.PairingAlias)
+}
+
+// DecodeAttestationAliases verifies against any of the given pairing
+// aliases — a proxy with several enrolled phones holds one key per phone.
+func DecodeAttestationAliases(payload []byte, ks *keystore.Store, aliases ...string) (*Attestation, error) {
+	const macLen = 32
+	minLen := 4 + 1 + 1 + 8 + 8*sensors.FeatureDim + macLen
+	if len(payload) < minLen {
+		return nil, ErrBadAttestation
+	}
+	body, mac := payload[:len(payload)-macLen], payload[len(payload)-macLen:]
+	ok := false
+	for _, alias := range aliases {
+		if ks.VerifyMAC(alias, body, mac) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, ErrBadMAC
+	}
+	r := bytes.NewReader(body)
+	var magic uint32
+	binary.Read(r, binary.BigEndian, &magic)
+	if magic != attestMagic {
+		return nil, ErrBadAttestation
+	}
+	ver, _ := r.ReadByte()
+	if ver != attestVersion {
+		return nil, ErrBadAttestation
+	}
+	nameLen, _ := r.ReadByte()
+	name := make([]byte, nameLen)
+	if _, err := r.Read(name); err != nil {
+		return nil, ErrBadAttestation
+	}
+	var nanos int64
+	binary.Read(r, binary.BigEndian, &nanos)
+	feats := make([]float64, sensors.FeatureDim)
+	for i := range feats {
+		var b uint64
+		if err := binary.Read(r, binary.BigEndian, &b); err != nil {
+			return nil, ErrBadAttestation
+		}
+		feats[i] = math.Float64frombits(b)
+	}
+	return &Attestation{Device: string(name), At: time.Unix(0, nanos).UTC(), Features: feats}, nil
+}
+
+// ValidationTTL is how long a verified human interaction authorizes manual
+// traffic for its device. Manual IoT commands land within a couple of
+// seconds of the touch (Table 7); a short TTL narrows the piggybacking
+// window the Discussion describes.
+const ValidationTTL = 10 * time.Second
+
+// validationStore remembers the proxy's recent humanness verdicts.
+type validationStore struct {
+	byDevice map[string][]validation
+}
+
+type validation struct {
+	at    time.Time
+	human bool
+}
+
+func newValidationStore() *validationStore {
+	return &validationStore{byDevice: make(map[string][]validation)}
+}
+
+// add records a verdict and prunes expired entries.
+func (s *validationStore) add(device string, at time.Time, human bool) {
+	list := s.byDevice[device]
+	keep := list[:0]
+	for _, v := range list {
+		if at.Sub(v.at) < ValidationTTL {
+			keep = append(keep, v)
+		}
+	}
+	s.byDevice[device] = append(keep, validation{at: at, human: human})
+}
+
+// humanRecently reports whether a verified-human interaction for device is
+// live at now.
+func (s *validationStore) humanRecently(device string, now time.Time) bool {
+	for _, v := range s.byDevice[device] {
+		if v.human && now.Sub(v.at) < ValidationTTL && !v.at.After(now.Add(time.Second)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/flows"
+	"fiat/internal/keystore"
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+)
+
+var cloudIP = netip.MustParseAddr("52.1.1.1")
+
+func mkRec(at time.Time, size int, cat flows.Category) flows.Record {
+	return flows.Record{
+		Time: at, Size: size, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: cloudIP, RemoteDomain: "cloud.example",
+		LocalPort: 40000, RemotePort: 443, TCPFlags: 0x18, TLSVersion: 0x0303,
+		Category: cat,
+	}
+}
+
+func mkEvent(sizes ...int) *events.Event {
+	var recs []flows.Record
+	base := simclock.Epoch
+	for i, s := range sizes {
+		recs = append(recs, mkRec(base.Add(time.Duration(i)*300*time.Millisecond), s, flows.CategoryUnknown))
+	}
+	return events.Group(recs, 0)[0]
+}
+
+func TestRuleClassifier(t *testing.T) {
+	rc := RuleClassifier{NotificationSize: 235}
+	if !rc.IsManual(mkEvent(235, 134)) {
+		t.Fatal("notification-size event not manual")
+	}
+	if rc.IsManual(mkEvent(221, 127)) {
+		t.Fatal("other event classified manual")
+	}
+	// Only the head packets count.
+	if rc.IsManual(mkEvent(1, 2, 3, 4, 5, 235)) {
+		t.Fatal("size match beyond the head counted")
+	}
+}
+
+func TestMLClassifierTrainsAndClassifies(t *testing.T) {
+	// Manual events: inbound TCP/TLS; control: outbound UDP.
+	var training []*events.Event
+	base := simclock.Epoch
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		at := base.Add(time.Duration(i) * time.Minute)
+		m := []flows.Record{{
+			Time: at, Size: 400 + rng.Intn(300), Proto: "tcp", Dir: flows.DirInbound,
+			RemoteIP: cloudIP, RemotePort: 443, TCPFlags: 0x18, TLSVersion: 0x0303,
+			Category: flows.CategoryManual,
+		}}
+		c := []flows.Record{{
+			Time: at.Add(20 * time.Second), Size: 80 + rng.Intn(100), Proto: "udp", Dir: flows.DirOutbound,
+			RemoteIP: cloudIP, RemotePort: 8801, Category: flows.CategoryControl,
+		}}
+		training = append(training, events.Group(m, 0)[0], events.Group(c, 0)[0])
+	}
+	clf, err := TrainMLClassifier(training, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := events.Group([]flows.Record{{
+		Time: base, Size: 500, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: cloudIP, RemotePort: 443, TCPFlags: 0x18, TLSVersion: 0x0303,
+	}}, 0)[0]
+	ctrl := events.Group([]flows.Record{{
+		Time: base, Size: 120, Proto: "udp", Dir: flows.DirOutbound,
+		RemoteIP: cloudIP, RemotePort: 8801,
+	}}, 0)[0]
+	if !clf.IsManual(manual) {
+		t.Fatal("manual-shaped event not classified manual")
+	}
+	if clf.IsManual(ctrl) {
+		t.Fatal("control-shaped event classified manual")
+	}
+}
+
+func TestTrainMLClassifierEmpty(t *testing.T) {
+	if _, err := TrainMLClassifier(nil, nil); err == nil {
+		t.Fatal("empty training accepted")
+	}
+}
+
+func TestClassifierFor(t *testing.T) {
+	if _, ok := ClassifierFor(true, 235, nil).(RuleClassifier); !ok {
+		t.Fatal("simple device did not get the rule classifier")
+	}
+	trained := &MLClassifier{}
+	if got := ClassifierFor(false, 0, trained); got != EventClassifier(trained) {
+		t.Fatal("complex device did not get the ML classifier")
+	}
+}
+
+func TestAppendixAFormulas(t *testing.T) {
+	// Table 6 headline numbers: recalls manual 0.98, non-manual 0.985,
+	// human 0.934, non-human 0.982 give FP/FN within a few percent.
+	if got := PFPNonManual(0.985, 0.934); math.Abs(got-0.0140) > 0.001 {
+		t.Fatalf("PFPNonManual = %v", got)
+	}
+	if got := PFPManual(0.98, 0.934); math.Abs(got-0.0647) > 0.001 {
+		t.Fatalf("PFPManual = %v", got)
+	}
+	if got := PFN(0.98, 0.982); math.Abs(got-(1-0.98+0.98*0.018)) > 1e-9 {
+		t.Fatalf("PFN = %v", got)
+	}
+}
+
+func TestAppendixABoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		for _, v := range []float64{PFPNonManual(a, b), PFPManual(a, b), PFN(a, b)} {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v out of [0,1] for recalls %v, %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestAppendixAMatchesMonteCarlo(t *testing.T) {
+	// Simulate the two-stage gate and compare with the closed forms.
+	rng := rand.New(rand.NewSource(3))
+	rManual, rNonManual := 0.95, 0.98
+	rHuman, rNonHuman := 0.93, 0.97
+	const n = 200000
+	var fpn, fpm, fn int
+	for i := 0; i < n; i++ {
+		// Legit non-manual event, no human present.
+		classifiedManual := rng.Float64() > rNonManual
+		humanDetected := rng.Float64() > rNonHuman
+		if classifiedManual && !humanDetected {
+			fpn++
+		}
+		// Legit manual event with a real human.
+		classifiedManual = rng.Float64() < rManual
+		humanValidated := rng.Float64() < rHuman
+		if classifiedManual && !humanValidated {
+			fpm++
+		}
+		// Attack: manual event without a human.
+		classifiedManual = rng.Float64() < rManual
+		humanFooled := rng.Float64() > rNonHuman
+		if !classifiedManual || humanFooled {
+			fn++
+		}
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.004 {
+			t.Fatalf("%s: monte carlo %v vs formula %v", name, got, want)
+		}
+	}
+	check("FP-N", float64(fpn)/n, PFPNonManual(rNonManual, rNonHuman))
+	check("FP-M", float64(fpm)/n, PFPManual(rManual, rHuman))
+	check("FN", float64(fn)/n, PFN(rManual, rNonHuman))
+}
+
+func TestAttestationRoundTrip(t *testing.T) {
+	proxyKS, _ := keystore.New(rand.New(rand.NewSource(10)))
+	phoneKS, _ := keystore.New(rand.New(rand.NewSource(11)))
+	offer, err := keystore.NewPairingOffer(proxyKS, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := keystore.AcceptPairing(phoneKS, offer); err != nil {
+		t.Fatal(err)
+	}
+	gen := sensors.NewGenerator(simclock.NewRNG(1))
+	a := &Attestation{Device: "WyzeCam", At: simclock.Epoch, Features: sensors.Features(gen.Human())}
+	payload, err := EncodeAttestation(a, phoneKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAttestation(payload, proxyKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device != "WyzeCam" || !got.At.Equal(a.At) || len(got.Features) != sensors.FeatureDim {
+		t.Fatalf("decoded = %+v", got)
+	}
+	for i := range got.Features {
+		if got.Features[i] != a.Features[i] {
+			t.Fatal("features corrupted")
+		}
+	}
+}
+
+func TestAttestationRejectsTamperAndForgery(t *testing.T) {
+	proxyKS, _ := keystore.New(rand.New(rand.NewSource(20)))
+	phoneKS, _ := keystore.New(rand.New(rand.NewSource(21)))
+	intruderKS, _ := keystore.New(rand.New(rand.NewSource(22)))
+	offer, _ := keystore.NewPairingOffer(proxyKS, rand.New(rand.NewSource(23)))
+	if _, err := keystore.AcceptPairing(phoneKS, offer); err != nil {
+		t.Fatal(err)
+	}
+	// Intruder pairs with itself so it holds *a* pairing key, just not ours.
+	offer2, _ := keystore.NewPairingOffer(intruderKS, rand.New(rand.NewSource(24)))
+	_ = offer2
+
+	gen := sensors.NewGenerator(simclock.NewRNG(2))
+	a := &Attestation{Device: "Nest-E", At: simclock.Epoch, Features: sensors.Features(gen.Human())}
+	payload, _ := EncodeAttestation(a, phoneKS)
+	// Bit flip.
+	payload[10] ^= 1
+	if _, err := DecodeAttestation(payload, proxyKS); err == nil {
+		t.Fatal("tampered attestation accepted")
+	}
+	// Forged by an unpaired device.
+	forged, err := EncodeAttestation(a, intruderKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAttestation(forged, proxyKS); err == nil {
+		t.Fatal("forged attestation accepted")
+	}
+}
+
+func TestAttestationFeatureCountEnforced(t *testing.T) {
+	ks, _ := keystore.New(rand.New(rand.NewSource(30)))
+	_ = ks.ImportKey(keystore.PairingAlias, []byte("k"))
+	a := &Attestation{Device: "X", Features: []float64{1, 2}}
+	if _, err := EncodeAttestation(a, ks); err == nil {
+		t.Fatal("short feature vector accepted")
+	}
+}
+
+func TestValidationStoreTTL(t *testing.T) {
+	s := newValidationStore()
+	t0 := simclock.Epoch
+	s.add("plug", t0, true)
+	if !s.humanRecently("plug", t0.Add(5*time.Second)) {
+		t.Fatal("validation not live inside the TTL")
+	}
+	if s.humanRecently("plug", t0.Add(ValidationTTL)) {
+		t.Fatal("validation live past the TTL")
+	}
+	if s.humanRecently("other", t0) {
+		t.Fatal("validation leaked across devices")
+	}
+	s.add("plug", t0, false)
+	if s.humanRecently("plug", t0.Add(20*time.Second)) {
+		t.Fatal("non-human validation authorized traffic")
+	}
+}
+
+func TestDeviceDAG(t *testing.T) {
+	d := NewDeviceDAG()
+	if err := d.Allow("Alexa", "Light"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed("Alexa", "Light") {
+		t.Fatal("edge not recorded")
+	}
+	if d.Allowed("Light", "Alexa") {
+		t.Fatal("edge is unidirectional")
+	}
+	if err := d.Allow("Light", "Alexa"); err == nil {
+		t.Fatal("2-cycle accepted")
+	}
+	if err := d.Allow("Light", "Plug"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Allow("Plug", "Alexa"); err == nil {
+		t.Fatal("3-cycle accepted")
+	}
+	if err := d.Allow("Alexa", "Alexa"); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	edges := d.Edges()
+	if len(edges) != 2 || edges[0] != "Alexa -> Light" {
+		t.Fatalf("Edges = %v", edges)
+	}
+	d.Revoke("Alexa", "Light")
+	if d.Allowed("Alexa", "Light") {
+		t.Fatal("edge survives revoke")
+	}
+}

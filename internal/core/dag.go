@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DeviceDAG is the device-to-device allow graph from the Discussion
+// ("Complex Scenarios"): an edge A -> B permits unidirectional traffic from
+// device A to device B at the proxy (e.g. Alexa -> smart light), and the
+// rule set must stay acyclic.
+type DeviceDAG struct {
+	mu    sync.RWMutex
+	edges map[string]map[string]bool
+}
+
+// NewDeviceDAG returns an empty graph.
+func NewDeviceDAG() *DeviceDAG {
+	return &DeviceDAG{edges: make(map[string]map[string]bool)}
+}
+
+// Allow adds the edge from -> to. It fails if the edge would create a
+// cycle.
+func (d *DeviceDAG) Allow(from, to string) error {
+	if from == to {
+		return fmt.Errorf("core: self edge %q", from)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.reachableLocked(to, from) {
+		return fmt.Errorf("core: edge %s -> %s would create a cycle", from, to)
+	}
+	if d.edges[from] == nil {
+		d.edges[from] = make(map[string]bool)
+	}
+	d.edges[from][to] = true
+	return nil
+}
+
+// Revoke removes an edge.
+func (d *DeviceDAG) Revoke(from, to string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.edges[from], to)
+}
+
+// Allowed reports whether traffic from -> to is permitted (direct edge
+// only; transitive permissions must be granted explicitly, keeping the
+// user's rule list auditable).
+func (d *DeviceDAG) Allowed(from, to string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.edges[from][to]
+}
+
+// Edges lists the rules, sorted, for display.
+func (d *DeviceDAG) Edges() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []string
+	for from, tos := range d.edges {
+		for to, ok := range tos {
+			if ok {
+				out = append(out, from+" -> "+to)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reachableLocked reports whether dst is reachable from src.
+func (d *DeviceDAG) reachableLocked(src, dst string) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[string]bool{src: true}
+	stack := []string{src}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next, ok := range d.edges[cur] {
+			if !ok || seen[next] {
+				continue
+			}
+			if next == dst {
+				return true
+			}
+			seen[next] = true
+			stack = append(stack, next)
+		}
+	}
+	return false
+}

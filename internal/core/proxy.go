@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/flows"
+	"fiat/internal/intercept"
+	"fiat/internal/keystore"
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+)
+
+// Verdict aliases the interceptor's decision type.
+type Verdict = intercept.Verdict
+
+// Re-exported verdicts.
+const (
+	Allow = intercept.Accept
+	Drop  = intercept.Drop
+)
+
+// Reason explains a proxy decision, recorded in the audit log.
+type Reason string
+
+// Decision reasons.
+const (
+	ReasonBootstrap   Reason = "bootstrap-learning"
+	ReasonRuleHit     Reason = "predictable-rule-hit"
+	ReasonGraceN      Reason = "event-head-grace"
+	ReasonNonManual   Reason = "classified-non-manual"
+	ReasonHumanOK     Reason = "manual-with-human"
+	ReasonNoHuman     Reason = "manual-without-human"
+	ReasonLocked      Reason = "device-locked"
+	ReasonDAGAllowed  Reason = "device-dag-rule"
+	ReasonEventFollow Reason = "follows-event-verdict"
+)
+
+// Decision is the proxy's per-packet output.
+type Decision struct {
+	Verdict Verdict
+	Reason  Reason
+}
+
+// LogEntry is one audit-log record. The Discussion argues these
+// tamper-resistant logs (sealed in the proxy's enclave) let users notice
+// silent false negatives.
+type LogEntry struct {
+	Time    time.Time
+	Device  string
+	Reason  Reason
+	Verdict Verdict
+	Packets int // event size when the entry closes an event decision
+}
+
+// DeviceConfig registers one protected IoT device with the proxy.
+type DeviceConfig struct {
+	// Name identifies the device in decisions and logs.
+	Name string
+	// Classifier decides manual vs non-manual for its events.
+	Classifier EventClassifier
+	// GraceN is the number of head packets allowed while the event is
+	// being classified (§5.4: "The first N packets ... are allowed"). The
+	// deployed configuration uses N = 5.
+	GraceN int
+}
+
+// Config parameterizes the proxy.
+type Config struct {
+	// Bootstrap is the learning window (default 20 minutes, §5.4).
+	Bootstrap time.Duration
+	// Mode selects flow bucketing (default PortLess).
+	Mode flows.KeyMode
+	// EventGap is the §3.2 grouping threshold (default 5 s).
+	EventGap time.Duration
+	// LockoutThreshold is how many dropped manual events within
+	// LockoutWindow disconnect the device pending manual review (§5.4
+	// brute-force protection). Defaults: 3 within 1 minute.
+	LockoutThreshold int
+	LockoutWindow    time.Duration
+	// ExtraVerdictDelay artificially delays every verdict — the §6 "how
+	// slow can FIAT afford to be" experiment.
+	ExtraVerdictDelay time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Bootstrap <= 0 {
+		c.Bootstrap = flows.DefaultBootstrap
+	}
+	if c.EventGap <= 0 {
+		c.EventGap = events.DefaultGap
+	}
+	if c.LockoutThreshold <= 0 {
+		c.LockoutThreshold = 3
+	}
+	if c.LockoutWindow <= 0 {
+		c.LockoutWindow = time.Minute
+	}
+}
+
+// Proxy is FIAT's server-side component.
+type Proxy struct {
+	clock simclock.Clock
+	cfg   Config
+	ks    *keystore.Store
+	human *sensors.Validator
+
+	mu          sync.Mutex
+	started     time.Time
+	aliases     []string
+	devices     map[string]*deviceState
+	validations *validationStore
+	dag         *DeviceDAG
+	log         []LogEntry
+
+	// Stats counts pipeline outcomes.
+	Stats struct {
+		Packets, Allowed, Dropped int
+		RuleHits, EventsManual    int
+		EventsNonManual           int
+		AttestationsOK            int
+		AttestationsBad           int
+	}
+}
+
+type deviceState struct {
+	cfg     DeviceConfig
+	rules   *flows.RuleTable
+	grouper *events.Grouper
+	// current event decision state
+	evPackets  int
+	evDecision *Decision
+	drops      []time.Time
+	locked     bool
+}
+
+// NewProxy builds a proxy. ks must hold the pairing key (see
+// keystore.NewPairingOffer); human is the trained humanness validator.
+func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator, cfg Config) *Proxy {
+	cfg.defaults()
+	return &Proxy{
+		clock:       clock,
+		cfg:         cfg,
+		ks:          ks,
+		human:       human,
+		started:     clock.Now(),
+		aliases:     []string{keystore.PairingAlias},
+		devices:     make(map[string]*deviceState),
+		validations: newValidationStore(),
+		dag:         NewDeviceDAG(),
+	}
+}
+
+// AddDevice registers a device. GraceN defaults to 5.
+func (p *Proxy) AddDevice(cfg DeviceConfig) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("core: device needs a name")
+	}
+	if cfg.GraceN <= 0 {
+		cfg.GraceN = 5
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.devices[cfg.Name]; ok {
+		return fmt.Errorf("core: device %q already registered", cfg.Name)
+	}
+	p.devices[cfg.Name] = &deviceState{
+		cfg:     cfg,
+		rules:   flows.NewRuleTable(p.cfg.Mode),
+		grouper: events.NewGrouper(p.cfg.EventGap),
+	}
+	return nil
+}
+
+// DAG exposes the device-to-device allow graph (Discussion, "Complex
+// Scenarios": e.g. allow Alexa -> smart light).
+func (p *Proxy) DAG() *DeviceDAG { return p.dag }
+
+// RegisterPairingAlias adds a proxy-side pairing-key alias to the set an
+// attestation may verify under (one per enrolled phone).
+func (p *Proxy) RegisterPairingAlias(alias string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, a := range p.aliases {
+		if a == alias {
+			return
+		}
+	}
+	p.aliases = append(p.aliases, alias)
+}
+
+// HandleAttestation ingests a client attestation payload (already
+// transported, e.g. over quicfast): verify the MAC against the enrolled
+// pairing keys, run the humanness model, record the verdict.
+func (p *Proxy) HandleAttestation(payload []byte) (human bool, err error) {
+	p.mu.Lock()
+	aliases := append([]string(nil), p.aliases...)
+	p.mu.Unlock()
+	a, err := DecodeAttestationAliases(payload, p.ks, aliases...)
+	if err != nil {
+		p.mu.Lock()
+		p.Stats.AttestationsBad++
+		p.mu.Unlock()
+		return false, err
+	}
+	human = p.human.Validate(a.Features)
+	p.mu.Lock()
+	p.Stats.AttestationsOK++
+	p.validations.add(a.Device, p.clock.Now(), human)
+	p.mu.Unlock()
+	return human, nil
+}
+
+// Bootstrapped reports whether the learning window has ended.
+func (p *Proxy) Bootstrapped() bool {
+	return p.clock.Now().Sub(p.started) >= p.cfg.Bootstrap
+}
+
+// Process runs one packet of the named device's traffic through the Fig 4
+// pipeline and returns the verdict. peer names the LAN peer for
+// device-to-device DAG checks ("" when the peer is the WAN).
+func (p *Proxy) Process(device string, rec flows.Record, peer string) Decision {
+	if p.cfg.ExtraVerdictDelay > 0 {
+		if s, ok := p.clock.(simclock.Sleeper); ok {
+			s.Sleep(p.cfg.ExtraVerdictDelay)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Stats.Packets++
+	ds, ok := p.devices[device]
+	if !ok {
+		// Unknown devices are not FIAT-protected; fail open like the
+		// NFQUEUE bypass policy.
+		p.Stats.Allowed++
+		return Decision{Verdict: Allow, Reason: ReasonBootstrap}
+	}
+	now := p.clock.Now()
+
+	// Bootstrap: allow everything, learn rules.
+	if now.Sub(p.started) < p.cfg.Bootstrap {
+		ds.rules.Learn(rec)
+		p.Stats.Allowed++
+		return Decision{Verdict: Allow, Reason: ReasonBootstrap}
+	}
+	if !ds.rules.Frozen() {
+		ds.rules.Freeze()
+	}
+
+	// Device-to-device DAG rules bypass the pipeline.
+	if peer != "" && p.dag.Allowed(peer, device) {
+		p.Stats.Allowed++
+		return Decision{Verdict: Allow, Reason: ReasonDAGAllowed}
+	}
+
+	// Stage 1: predictable?
+	if ds.rules.Match(rec) {
+		p.Stats.RuleHits++
+		p.Stats.Allowed++
+		return Decision{Verdict: Allow, Reason: ReasonRuleHit}
+	}
+
+	// Stage 2: event grouping.
+	if done := ds.grouper.Add(rec); done != nil || ds.grouper.Current().Len() == 1 {
+		// A new event started: reset the per-event decision state.
+		ds.evPackets = 0
+		ds.evDecision = nil
+	}
+	ds.evPackets++
+
+	// Stage 3/4 happen once, at the decision point (the N-th packet, or
+	// the first when the event is already classifiable).
+	if ds.evDecision == nil {
+		if ds.evPackets < ds.cfg.GraceN {
+			p.Stats.Allowed++
+			return Decision{Verdict: Allow, Reason: ReasonGraceN}
+		}
+		d := p.decideEventLocked(ds, now)
+		ds.evDecision = &d
+		return d
+	}
+
+	// Later packets follow the event's verdict.
+	d := *ds.evDecision
+	d.Reason = ReasonEventFollow
+	p.count(d.Verdict)
+	return d
+}
+
+// FlushEvent finalizes a device's in-progress event early (e.g. at the end
+// of a trace or when the gap elapses without traffic); events shorter than
+// GraceN still need a verdict for accounting.
+func (p *Proxy) FlushEvent(device string) *Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ds, ok := p.devices[device]
+	if !ok || ds.grouper.Current() == nil {
+		return nil
+	}
+	if ds.evDecision == nil {
+		d := p.decideEventLocked(ds, p.clock.Now())
+		ds.evDecision = &d
+	}
+	d := *ds.evDecision
+	ds.grouper.Flush()
+	ds.evPackets = 0
+	ds.evDecision = nil
+	return &d
+}
+
+// decideEventLocked classifies the current event and applies the humanness
+// gate. Callers hold p.mu.
+func (p *Proxy) decideEventLocked(ds *deviceState, now time.Time) Decision {
+	ev := ds.grouper.Current()
+	if ev == nil {
+		return Decision{Verdict: Allow, Reason: ReasonNonManual}
+	}
+	if ds.locked {
+		d := Decision{Verdict: Drop, Reason: ReasonLocked}
+		p.note(ds, now, d, ev.Len())
+		p.count(d.Verdict)
+		return d
+	}
+	manual := ds.cfg.Classifier != nil && ds.cfg.Classifier.IsManual(ev)
+	var d Decision
+	if !manual {
+		p.Stats.EventsNonManual++
+		d = Decision{Verdict: Allow, Reason: ReasonNonManual}
+	} else {
+		p.Stats.EventsManual++
+		if p.validations.humanRecently(ds.cfg.Name, now) {
+			d = Decision{Verdict: Allow, Reason: ReasonHumanOK}
+		} else {
+			d = Decision{Verdict: Drop, Reason: ReasonNoHuman}
+			p.registerDropLocked(ds, now)
+		}
+	}
+	p.note(ds, now, d, ev.Len())
+	p.count(d.Verdict)
+	return d
+}
+
+func (p *Proxy) registerDropLocked(ds *deviceState, now time.Time) {
+	keep := ds.drops[:0]
+	for _, t := range ds.drops {
+		if now.Sub(t) < p.cfg.LockoutWindow {
+			keep = append(keep, t)
+		}
+	}
+	ds.drops = append(keep, now)
+	if len(ds.drops) >= p.cfg.LockoutThreshold {
+		ds.locked = true
+	}
+}
+
+// Rules exposes a device's learned rule table (for inspection and RFC 8520
+// export).
+func (p *Proxy) Rules(device string) (*flows.RuleTable, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ds, ok := p.devices[device]
+	if !ok {
+		return nil, false
+	}
+	return ds.rules, true
+}
+
+// Locked reports whether the device is disconnected pending review.
+func (p *Proxy) Locked(device string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ds, ok := p.devices[device]
+	return ok && ds.locked
+}
+
+// Unlock clears a lockout after the user manually verifies activity.
+func (p *Proxy) Unlock(device string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ds, ok := p.devices[device]; ok {
+		ds.locked = false
+		ds.drops = nil
+	}
+}
+
+// Log returns a copy of the audit log.
+func (p *Proxy) Log() []LogEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]LogEntry(nil), p.log...)
+}
+
+// SealedLog exports the audit log sealed under the proxy's enclave key, the
+// tamper-resistance property the Discussion relies on.
+func (p *Proxy) SealedLog() ([]byte, error) {
+	p.mu.Lock()
+	entries := make([]byte, 0, len(p.log)*32)
+	for _, e := range p.log {
+		entries = append(entries, []byte(fmt.Sprintf("%d|%s|%s|%s|%d\n",
+			e.Time.UnixNano(), e.Device, e.Reason, e.Verdict, e.Packets))...)
+	}
+	p.mu.Unlock()
+	return p.ks.Seal(entries, []byte("fiat-audit-log"))
+}
+
+func (p *Proxy) note(ds *deviceState, now time.Time, d Decision, packets int) {
+	p.log = append(p.log, LogEntry{
+		Time: now, Device: ds.cfg.Name, Reason: d.Reason, Verdict: d.Verdict, Packets: packets,
+	})
+}
+
+func (p *Proxy) count(v Verdict) {
+	if v == Allow {
+		p.Stats.Allowed++
+	} else {
+		p.Stats.Dropped++
+	}
+}

@@ -1,0 +1,50 @@
+// Package cryptoutil holds the small cryptographic helpers shared by the
+// keystore and the QUIC-like transport: HKDF (RFC 5869) over HMAC-SHA-256
+// and constant-time token comparison. Stdlib-only; primitives come from
+// crypto/hmac and crypto/sha256.
+package cryptoutil
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+)
+
+// HKDFExtract derives a pseudorandom key from input keying material.
+func HKDFExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+// HKDFExpand derives length bytes of output keying material from a PRK.
+func HKDFExpand(prk, info []byte, length int) ([]byte, error) {
+	if length <= 0 || length > 255*sha256.Size {
+		return nil, fmt.Errorf("cryptoutil: invalid HKDF length %d", length)
+	}
+	var out, prev []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		m := hmac.New(sha256.New, prk)
+		m.Write(prev)
+		m.Write(info)
+		m.Write([]byte{counter})
+		prev = m.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}
+
+// HKDF combines extract and expand.
+func HKDF(secret, salt, info []byte, length int) ([]byte, error) {
+	return HKDFExpand(HKDFExtract(salt, secret), info, length)
+}
+
+// ConstantTimeEqual reports whether two byte strings are equal without
+// leaking the mismatch position.
+func ConstantTimeEqual(a, b []byte) bool {
+	return len(a) == len(b) && subtle.ConstantTimeCompare(a, b) == 1
+}

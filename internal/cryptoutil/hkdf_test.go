@@ -1,0 +1,74 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// RFC 5869 Appendix A, test case 1 (SHA-256).
+func TestHKDFRFC5869Vector1(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt, _ := hex.DecodeString("000102030405060708090a0b0c")
+	info, _ := hex.DecodeString("f0f1f2f3f4f5f6f7f8f9")
+	wantPRK, _ := hex.DecodeString("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+	wantOKM, _ := hex.DecodeString("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+
+	prk := HKDFExtract(salt, ikm)
+	if !bytes.Equal(prk, wantPRK) {
+		t.Fatalf("PRK = %x", prk)
+	}
+	okm, err := HKDFExpand(prk, info, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(okm, wantOKM) {
+		t.Fatalf("OKM = %x", okm)
+	}
+}
+
+// RFC 5869 Appendix A, test case 3 (zero-length salt and info).
+func TestHKDFRFC5869Vector3(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	wantOKM, _ := hex.DecodeString("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+	okm, err := HKDF(ikm, nil, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(okm, wantOKM) {
+		t.Fatalf("OKM = %x", okm)
+	}
+}
+
+func TestHKDFLengths(t *testing.T) {
+	if _, err := HKDFExpand([]byte("prk"), nil, 0); err == nil {
+		t.Fatal("length 0 accepted")
+	}
+	if _, err := HKDFExpand([]byte("prk"), nil, 255*32+1); err == nil {
+		t.Fatal("oversize accepted")
+	}
+	out, err := HKDFExpand(HKDFExtract(nil, []byte("x")), nil, 100)
+	if err != nil || len(out) != 100 {
+		t.Fatalf("len = %d, err = %v", len(out), err)
+	}
+}
+
+func TestHKDFInfoSeparation(t *testing.T) {
+	a, _ := HKDF([]byte("secret"), nil, []byte("client"), 32)
+	b, _ := HKDF([]byte("secret"), nil, []byte("server"), 32)
+	if bytes.Equal(a, b) {
+		t.Fatal("different info produced identical keys")
+	}
+}
+
+func TestConstantTimeEqual(t *testing.T) {
+	if !ConstantTimeEqual([]byte("abc"), []byte("abc")) {
+		t.Fatal("equal strings compared unequal")
+	}
+	if ConstantTimeEqual([]byte("abc"), []byte("abd")) {
+		t.Fatal("unequal strings compared equal")
+	}
+	if ConstantTimeEqual([]byte("abc"), []byte("ab")) {
+		t.Fatal("different lengths compared equal")
+	}
+}

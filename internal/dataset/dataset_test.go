@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"fiat/internal/features"
+	"fiat/internal/flows"
+	"fiat/internal/ml"
+	"fiat/internal/netsim"
+	"fiat/internal/stats"
+)
+
+func TestTestbedLayout(t *testing.T) {
+	traces := Testbed(TestbedOptions{Days: 1, Seed: 1})
+	// 4 NJ devices x 3 locations + 6 IL devices x 1 location = 18 traces.
+	if len(traces) != 18 {
+		t.Fatalf("traces = %d, want 18", len(traces))
+	}
+	names := map[string]bool{}
+	for _, tr := range traces {
+		if names[tr.Name] {
+			t.Fatalf("duplicate trace %q", tr.Name)
+		}
+		names[tr.Name] = true
+		if len(tr.Records) == 0 {
+			t.Fatalf("%s: empty trace", tr.Name)
+		}
+	}
+	for _, want := range []string{"EchoDot4-US", "EchoDot4-JP", "EchoDot4-DE", "Home-US", "WyzeCam-JP"} {
+		if !names[want] {
+			t.Fatalf("missing trace %q", want)
+		}
+	}
+	if names["Home-JP"] {
+		t.Fatal("IL devices must not have VPN locations")
+	}
+}
+
+func TestTestbedDeterministic(t *testing.T) {
+	a := Testbed(TestbedOptions{Days: 1, Seed: 5})
+	b := Testbed(TestbedOptions{Days: 1, Seed: 5})
+	if len(a) != len(b) {
+		t.Fatal("trace counts differ")
+	}
+	for i := range a {
+		if len(a[i].Records) != len(b[i].Records) {
+			t.Fatalf("%s: lengths differ", a[i].Name)
+		}
+	}
+}
+
+func TestFindTrace(t *testing.T) {
+	traces := Testbed(TestbedOptions{Days: 1, Seed: 1})
+	tr, ok := FindTrace(traces, "Blink-US")
+	if !ok || tr.Device.Name != "Blink" {
+		t.Fatalf("FindTrace = %v, %v", tr, ok)
+	}
+	if _, ok := FindTrace(traces, "nope"); ok {
+		t.Fatal("found nonexistent trace")
+	}
+}
+
+func TestYourThingsPredictabilityCDF(t *testing.T) {
+	yt := YourThings(1, 30, 12*time.Hour)
+	if len(yt) != 30 {
+		t.Fatalf("devices = %d", len(yt))
+	}
+	var pl, cl []float64
+	for _, tr := range yt {
+		pl = append(pl, tr.Analyze(flows.ModePortLess).Fraction())
+		cl = append(cl, tr.Analyze(flows.ModeClassic).Fraction())
+	}
+	// Fig 1(b): "more than 80% of the traffic for 80% of the devices is
+	// predictable, assuming the PortLess approach".
+	p20 := stats.Percentile(pl, 20)
+	if p20 < 0.72 || p20 > 0.92 {
+		t.Fatalf("PortLess 20th percentile = %.3f, want ~0.80", p20)
+	}
+	// PortLess dominates Classic in the population.
+	if stats.Mean(pl) <= stats.Mean(cl) {
+		t.Fatalf("PortLess mean %.3f <= Classic mean %.3f", stats.Mean(pl), stats.Mean(cl))
+	}
+}
+
+func TestYourThingsUnlabeled(t *testing.T) {
+	yt := YourThings(2, 3, time.Hour)
+	for _, tr := range yt {
+		for _, r := range tr.Records {
+			if r.Category != flows.CategoryUnknown {
+				t.Fatal("YourThings records must be unlabeled")
+			}
+		}
+	}
+}
+
+func TestMonIoTrIdleMorePredictableThanActive(t *testing.T) {
+	idle, active := MonIoTr(3, 15, 6*time.Hour)
+	if len(idle) != 15 || len(active) != 15 {
+		t.Fatalf("counts = %d, %d", len(idle), len(active))
+	}
+	var iSum, aSum float64
+	for i := range idle {
+		iSum += idle[i].Analyze(flows.ModePortLess).Fraction()
+		aSum += active[i].Analyze(flows.ModePortLess).Fraction()
+	}
+	if iSum <= aSum {
+		t.Fatalf("idle mean %.3f <= active mean %.3f; interactions must reduce predictability", iSum/15, aSum/15)
+	}
+}
+
+func TestInspectorAggregateShape(t *testing.T) {
+	yt := YourThings(4, 1, time.Hour)
+	recs := yt[0].Records
+	agg := InspectorAggregate(recs, 0)
+	if len(agg) == 0 || len(agg) > len(recs) {
+		t.Fatalf("aggregate count %d vs %d packets", len(agg), len(recs))
+	}
+	var rawBytes, aggBytes int
+	for _, r := range recs {
+		rawBytes += r.Size
+	}
+	for _, r := range agg {
+		aggBytes += r.Size
+		if r.LocalPort != 0 || r.RemotePort != 0 {
+			t.Fatal("aggregates must not carry ports")
+		}
+		if r.Time.UnixNano()%int64(5*time.Second) != 0 {
+			t.Fatalf("aggregate timestamp %v not on the 5s grid", r.Time)
+		}
+	}
+	if rawBytes != aggBytes {
+		t.Fatalf("bytes not conserved: %d vs %d", rawBytes, aggBytes)
+	}
+	for i := 1; i < len(agg); i++ {
+		if agg[i].Time.Before(agg[i-1].Time) {
+			t.Fatal("aggregates not sorted")
+		}
+	}
+}
+
+func TestInspectorMedianAbove85(t *testing.T) {
+	yt := YourThings(5, 16, 8*time.Hour)
+	var fr []float64
+	for _, tr := range yt {
+		agg := InspectorAggregate(tr.Records, 0)
+		a := flows.NewAnalyzer(flows.ModePortLess)
+		a.ObserveAll(agg)
+		fr = append(fr, a.Fraction())
+	}
+	// §2.2: "half of the devices have a predictability greater than 85%
+	// given PortLess definition".
+	if med := stats.Percentile(fr, 50); med < 0.85 {
+		t.Fatalf("Inspector median predictability = %.3f, want > 0.85", med)
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	cases := map[string]string{
+		"f3.dev001.vendor.example": "dev001.vendor.example",
+		"dev001.vendor.example":    "dev001.vendor.example",
+		"a.b":                      "a.b",
+	}
+	for in, want := range cases {
+		if got := registeredDomain(in); got != want {
+			t.Fatalf("registeredDomain(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTestbedEventsClassifiable(t *testing.T) {
+	// End-to-end sanity for the §4 pipeline: a low-confusion device's
+	// events must be classifiable with BernoulliNB at Table 3 levels.
+	traces := Testbed(TestbedOptions{Days: 7, ManualPerDay: 5, Seed: 7})
+	tr, _ := FindTrace(traces, "HomeMini-US")
+	evs := tr.Events(flows.ModePortLess)
+	if len(evs) < 100 {
+		t.Fatalf("only %d events", len(evs))
+	}
+	X := features.ExtractAll(evs)
+	y := features.MulticlassLabels(evs)
+	res, err := ml.CrossValidate(func() ml.Classifier { return &ml.BernoulliNB{} }, X, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prf := ml.PooledPRF(res, 2)
+	if prf.F1 < 0.8 {
+		t.Fatalf("HomeMini manual F1 = %.3f, want >= 0.8 (paper: 0.91)", prf.F1)
+	}
+	// And the messy device must be worse (the Table 3 spread).
+	trHome, _ := FindTrace(traces, "Home-US")
+	evsHome := trHome.Events(flows.ModePortLess)
+	resHome, err := ml.CrossValidate(func() ml.Classifier { return &ml.BernoulliNB{} },
+		features.ExtractAll(evsHome), features.MulticlassLabels(evsHome), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if home := ml.PooledPRF(resHome, 2); home.F1 >= prf.F1 {
+		t.Fatalf("Home F1 %.3f >= HomeMini F1 %.3f; Home must be the hard device", home.F1, prf.F1)
+	}
+}
+
+func TestNJLocationsCoverVPNs(t *testing.T) {
+	if len(NJLocations) != 3 {
+		t.Fatalf("NJ locations = %v", NJLocations)
+	}
+	seen := map[netsim.Location]bool{}
+	for _, l := range NJLocations {
+		seen[l] = true
+	}
+	if !seen[netsim.LocCloudUS] || !seen[netsim.LocCloudDE] || !seen[netsim.LocCloudJP] {
+		t.Fatalf("NJ locations = %v", NJLocations)
+	}
+}

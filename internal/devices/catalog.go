@@ -1,0 +1,220 @@
+package devices
+
+import (
+	"time"
+
+	"fiat/internal/flows"
+	"fiat/internal/packet"
+)
+
+// Standard shapes reused across profiles. Manual commands arrive from the
+// cloud (inbound first packet, TLS application data over TCP); unpredictable
+// control events originate at the device (outbound, often UDP telemetry or
+// handshake records) — the separation Table 4 attributes to proto,
+// direction, and TLS version.
+func manualShape(suffix string, lo, hi int) EventShape {
+	return EventShape{
+		FirstDir: flows.DirInbound, Proto: "tcp", TLS: packet.VersionTLS12,
+		TCPFlags: packet.TCPFlagPSH | packet.TCPFlagACK,
+		SizeMin:  lo, SizeMax: hi, PacketsMin: 4, PacketsMax: 12,
+		Spacing: 350 * time.Millisecond, DomainSuffix: "gw.",
+	}
+}
+
+// cameraManualShape models a camera viewing session: a long interactive
+// exchange (unpredictable) that precedes and accompanies the media stream.
+func cameraManualShape(suffix string, lo, hi int) EventShape {
+	sh := manualShape(suffix, lo, hi)
+	sh.DomainSuffix = "gw."
+	sh.PacketsMin, sh.PacketsMax = 25, 60
+	return sh
+}
+
+// autoShape models routine execution: the device acts on its stored
+// schedule and initiates the status sync itself, so automated events are
+// outbound-first — unlike cloud-notified manual commands.
+func autoShape(lo, hi int) EventShape {
+	return EventShape{
+		FirstDir: flows.DirOutbound, Proto: "tcp", TLS: packet.VersionTLS13,
+		TCPFlags: packet.TCPFlagACK,
+		SizeMin:  lo, SizeMax: hi, PacketsMin: 2, PacketsMax: 6,
+		Spacing: 500 * time.Millisecond, DomainSuffix: "gw.", RemotePort: 8883,
+	}
+}
+
+func ctrlShape(lo, hi int) EventShape {
+	return EventShape{
+		FirstDir: flows.DirOutbound, Proto: "udp", TLS: 0,
+		SizeMin: lo, SizeMax: hi, PacketsMin: 2, PacketsMax: 5,
+		Spacing: 700 * time.Millisecond, DomainSuffix: "gw.",
+	}
+}
+
+// speakerControl builds the control-flow set of a smart speaker: many
+// persistent connections with second-to-minutes heartbeats.
+func speakerControl() []PeriodicFlow {
+	return []PeriodicFlow{
+		{DomainSuffix: "heartbeat.", Period: 30 * time.Second, Size: 123, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+		{DomainSuffix: "heartbeat.", Period: 30 * time.Second, Size: 66, Proto: "tcp", Dir: flows.DirInbound, TLS: 0},
+		{DomainSuffix: "metrics.", Period: 5 * time.Minute, Size: 540, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+		{DomainSuffix: "time.", Period: 64 * time.Second, Size: 90, Proto: "udp", Dir: flows.DirOutbound, FreshPort: true},
+		{DomainSuffix: "time.", Period: 64 * time.Second, Size: 90, Proto: "udp", Dir: flows.DirInbound, FreshPort: true},
+		{DomainSuffix: "push.", Period: 3 * time.Minute, Size: 211, Proto: "tcp", Dir: flows.DirInbound, TLS: packet.VersionTLS13},
+	}
+}
+
+func cameraControl() []PeriodicFlow {
+	return []PeriodicFlow{
+		{DomainSuffix: "keepalive.", Period: 20 * time.Second, Size: 97, Proto: "udp", Dir: flows.DirOutbound, FreshPort: true},
+		{DomainSuffix: "keepalive.", Period: 20 * time.Second, Size: 97, Proto: "udp", Dir: flows.DirInbound, FreshPort: true},
+		{DomainSuffix: "status.", Period: 2 * time.Minute, Size: 310, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+		{DomainSuffix: "thumb.", Period: 10 * time.Minute, Size: 1280, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+	}
+}
+
+func plugControl() []PeriodicFlow {
+	return []PeriodicFlow{
+		{DomainSuffix: "mqtt.", Period: 60 * time.Second, Size: 102, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+		{DomainSuffix: "mqtt.", Period: 60 * time.Second, Size: 66, Proto: "tcp", Dir: flows.DirInbound},
+	}
+}
+
+// StandardTestbed returns the 10 calibrated device profiles of Table 1.
+func StandardTestbed() []*Profile {
+	return []*Profile{
+		{
+			Name: "EchoDot4", Brand: "Amazon", Kind: "smart speaker", Site: "NJ", Quantity: 1,
+			CompletionN: 12, Control: speakerControl(),
+			UnpredControlPerDay: 30, RoutinesPerDay: 6,
+			ManualShape: manualShape("cmd.", 180, 900), AutoShape: autoShape(150, 700), CtrlShape: ctrlShape(80, 400),
+			ManualConfusion: 0.13, OtherConfusion: 0.015,
+			CloudDomain: domains("avs.amazon.example"),
+		},
+		{
+			Name: "HomeMini", Brand: "Google", Kind: "smart speaker", Site: "NJ", Quantity: 1,
+			CompletionN: 15, Control: speakerControl(),
+			UnpredControlPerDay: 24, RoutinesPerDay: 6,
+			ManualShape: manualShape("cmd.", 220, 1100), AutoShape: autoShape(140, 650), CtrlShape: ctrlShape(70, 350),
+			ManualConfusion: 0.04, OtherConfusion: 0.008,
+			CloudDomain: domains("clients.google.example"),
+		},
+		{
+			Name: "WyzeCam", Brand: "Wyze", Kind: "camera", Site: "NJ", Quantity: 3,
+			CompletionN: 41, Control: cameraControl(),
+			UnpredControlPerDay: 18, RoutinesPerDay: 4,
+			ManualShape: cameraManualShape("rtsp.", 400, 1400), AutoShape: autoShape(200, 900), CtrlShape: ctrlShape(90, 500),
+			ManualConfusion: 0.03, OtherConfusion: 0.006,
+			StreamOnManual: true, StreamRate: 33 * time.Millisecond, StreamSize: 1378, StreamPackets: 90,
+			CloudDomain: domains("api.wyze.example"),
+		},
+		{
+			Name: "SP10", Brand: "Teckin", Kind: "smart plug", Site: "NJ", Quantity: 3,
+			CompletionN: 1, SimpleRule: true, NotificationSize: 235,
+			Control:             plugControl(),
+			UnpredControlPerDay: 4, RoutinesPerDay: 8,
+			ManualShape: EventShape{FirstDir: flows.DirInbound, Proto: "tcp", TLS: packet.VersionTLS12,
+				TCPFlags: packet.TCPFlagPSH | packet.TCPFlagACK, SizeMin: 235, SizeMax: 235,
+				PacketsMin: 2, PacketsMax: 2, Spacing: 200 * time.Millisecond, DomainSuffix: "gw."},
+			AutoShape: EventShape{FirstDir: flows.DirInbound, Proto: "tcp", TLS: packet.VersionTLS12,
+				TCPFlags: packet.TCPFlagPSH | packet.TCPFlagACK, SizeMin: 221, SizeMax: 221,
+				PacketsMin: 2, PacketsMax: 2, Spacing: 200 * time.Millisecond, DomainSuffix: "gw."},
+			CtrlShape:       ctrlShape(60, 200),
+			ManualConfusion: 0, OtherConfusion: 0,
+			CloudDomain: domains("iot.teckin.example"),
+		},
+		{
+			Name: "Home", Brand: "Google", Kind: "smart speaker", Site: "IL", Quantity: 1,
+			CompletionN: 20, Control: speakerControl(),
+			UnpredControlPerDay: 36, RoutinesPerDay: 4,
+			ManualShape: manualShape("cmd.", 160, 800), AutoShape: autoShape(150, 750), CtrlShape: ctrlShape(90, 450),
+			ManualConfusion: 0.2, OtherConfusion: 0.02,
+			CloudDomain: domains("home.google.example"),
+		},
+		{
+			Name: "Nest-E", Brand: "Google", Kind: "thermostat", Site: "IL", Quantity: 2,
+			CompletionN: 3, SimpleRule: true, NotificationSize: 267,
+			Control: []PeriodicFlow{
+				{DomainSuffix: "report.", Period: 90 * time.Second, Size: 340, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+				{DomainSuffix: "report.", Period: 90 * time.Second, Size: 66, Proto: "tcp", Dir: flows.DirInbound},
+				{DomainSuffix: "weather.", Period: 5 * time.Minute, Size: 720, Proto: "tcp", Dir: flows.DirInbound, TLS: packet.VersionTLS12},
+			},
+			// The paper's outlier: motion/presence sensing emits hourly-ish
+			// bursts at slightly different intervals -> ~91% predictable.
+			UnpredControlPerDay: 110, RoutinesPerDay: 6,
+			ManualShape: EventShape{FirstDir: flows.DirInbound, Proto: "tcp", TLS: packet.VersionTLS12,
+				TCPFlags: packet.TCPFlagPSH | packet.TCPFlagACK, SizeMin: 267, SizeMax: 267,
+				PacketsMin: 3, PacketsMax: 5, Spacing: 250 * time.Millisecond, DomainSuffix: "gw."},
+			AutoShape:       autoShape(180, 600),
+			CtrlShape:       ctrlShape(100, 500),
+			ManualConfusion: 0, OtherConfusion: 0,
+			CloudDomain: domains("nest.google.example"),
+		},
+		{
+			Name: "EchoDot3", Brand: "Amazon", Kind: "smart speaker", Site: "IL", Quantity: 1,
+			CompletionN: 10, Control: speakerControl(),
+			UnpredControlPerDay: 26, RoutinesPerDay: 5,
+			ManualShape: manualShape("cmd.", 200, 950), AutoShape: autoShape(150, 700), CtrlShape: ctrlShape(80, 380),
+			ManualConfusion: 0.055, OtherConfusion: 0.01,
+			CloudDomain: domains("avs3.amazon.example"),
+		},
+		{
+			Name: "E4", Brand: "Roborock", Kind: "robot vacuum", Site: "IL", Quantity: 1,
+			CompletionN: 8,
+			Control: []PeriodicFlow{
+				{DomainSuffix: "mqtt.", Period: 45 * time.Second, Size: 150, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+				{DomainSuffix: "mqtt.", Period: 45 * time.Second, Size: 66, Proto: "tcp", Dir: flows.DirInbound},
+				{DomainSuffix: "map.", Period: 8 * time.Minute, Size: 2048, Proto: "tcp", Dir: flows.DirOutbound, TLS: packet.VersionTLS12},
+			},
+			UnpredControlPerDay: 20, RoutinesPerDay: 2,
+			ManualShape: manualShape("cmd.", 250, 1200), AutoShape: autoShape(200, 1000), CtrlShape: ctrlShape(100, 600),
+			ManualConfusion: 0.11, OtherConfusion: 0.025,
+			CloudDomain: domains("iot.roborock.example"),
+		},
+		{
+			Name: "Blink", Brand: "Amazon", Kind: "camera", Site: "IL", Quantity: 1,
+			CompletionN: 30, Control: cameraControl(),
+			UnpredControlPerDay: 14, RoutinesPerDay: 4,
+			ManualShape: cameraManualShape("stream.", 380, 1300), AutoShape: autoShape(180, 800), CtrlShape: ctrlShape(80, 420),
+			ManualConfusion: 0.02, OtherConfusion: 0.004,
+			StreamOnManual: true, StreamRate: 40 * time.Millisecond, StreamSize: 1229, StreamPackets: 80,
+			CloudDomain: domains("blink.amazon.example"),
+		},
+		{
+			Name: "WP3", Brand: "Gosund", Kind: "smart plug", Site: "IL", Quantity: 2,
+			CompletionN: 1, SimpleRule: true, NotificationSize: 235,
+			Control:             plugControl(),
+			UnpredControlPerDay: 4, RoutinesPerDay: 8,
+			ManualShape: EventShape{FirstDir: flows.DirInbound, Proto: "tcp", TLS: packet.VersionTLS12,
+				TCPFlags: packet.TCPFlagPSH | packet.TCPFlagACK, SizeMin: 235, SizeMax: 235,
+				PacketsMin: 2, PacketsMax: 2, Spacing: 180 * time.Millisecond, DomainSuffix: "gw."},
+			AutoShape: EventShape{FirstDir: flows.DirInbound, Proto: "tcp", TLS: packet.VersionTLS12,
+				TCPFlags: packet.TCPFlagPSH | packet.TCPFlagACK, SizeMin: 219, SizeMax: 219,
+				PacketsMin: 2, PacketsMax: 2, Spacing: 180 * time.Millisecond, DomainSuffix: "gw."},
+			CtrlShape:       ctrlShape(60, 180),
+			ManualConfusion: 0, OtherConfusion: 0,
+			CloudDomain: domains("iot.gosund.example"),
+		},
+	}
+}
+
+// ByName returns the profile with the given name from the standard testbed.
+func ByName(name string) *Profile {
+	for _, p := range StandardTestbed() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// ComplexDevices returns the testbed minus the simple-rule devices — the
+// set §4 trains ML classifiers for ("we exclude SP10, WP3, and Nest-E").
+func ComplexDevices() []*Profile {
+	var out []*Profile
+	for _, p := range StandardTestbed() {
+		if !p.SimpleRule {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package devices
+
+import (
+	"testing"
+	"time"
+
+	"fiat/internal/dnssim"
+	"fiat/internal/events"
+	"fiat/internal/flows"
+	"fiat/internal/netsim"
+	"fiat/internal/simclock"
+)
+
+var start = simclock.Epoch
+
+func gen(t *testing.T, name string, days int, manualPerDay float64) []flows.Record {
+	t.Helper()
+	p := ByName(name)
+	if p == nil {
+		t.Fatalf("no profile %q", name)
+	}
+	rng := simclock.NewRNG(42).Fork(name)
+	return p.Generate(rng, TraceOptions{
+		Start: start, Duration: time.Duration(days) * 24 * time.Hour,
+		Loc: netsim.LocCloudUS, ManualPerDay: manualPerDay, Routines: true,
+	})
+}
+
+func analyze(recs []flows.Record, mode flows.KeyMode) *flows.Analyzer {
+	a := flows.NewAnalyzer(mode)
+	a.ObserveAll(recs)
+	return a
+}
+
+func TestCatalogShape(t *testing.T) {
+	all := StandardTestbed()
+	if len(all) != 10 {
+		t.Fatalf("testbed has %d devices, want 10", len(all))
+	}
+	names := map[string]bool{}
+	for _, p := range all {
+		if names[p.Name] {
+			t.Fatalf("duplicate device %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.CompletionN < 1 || p.CompletionN > 41 {
+			t.Fatalf("%s: CompletionN = %d outside [1,41]", p.Name, p.CompletionN)
+		}
+		if len(p.Control) == 0 {
+			t.Fatalf("%s: no control flows", p.Name)
+		}
+		if p.DomainAt(netsim.LocCloudUS) == "" {
+			t.Fatalf("%s: no US domain", p.Name)
+		}
+	}
+	simple := 0
+	for _, p := range all {
+		if p.SimpleRule {
+			simple++
+		}
+	}
+	if simple != 3 { // SP10, WP3, Nest-E
+		t.Fatalf("simple-rule devices = %d, want 3", simple)
+	}
+	if len(ComplexDevices()) != 7 {
+		t.Fatalf("complex devices = %d, want 7", len(ComplexDevices()))
+	}
+}
+
+func TestCompletionNBounds(t *testing.T) {
+	if !ByName("SP10").CommandCompletes(1) {
+		t.Fatal("SP10 must complete with 1 packet")
+	}
+	if ByName("WyzeCam").CommandCompletes(40) {
+		t.Fatal("WyzeCam must not complete with 40 packets")
+	}
+	if !ByName("WyzeCam").CommandCompletes(41) {
+		t.Fatal("WyzeCam must complete with 41 packets")
+	}
+}
+
+func TestControlTrafficHighlyPredictable(t *testing.T) {
+	for _, name := range []string{"EchoDot4", "HomeMini", "WyzeCam", "SP10", "EchoDot3"} {
+		recs := gen(t, name, 3, 0)
+		a := analyze(recs, flows.ModePortLess)
+		by := a.FractionByCategory()
+		if by[flows.CategoryControl] < 0.95 {
+			t.Errorf("%s: control predictability = %.3f, want ~0.98", name, by[flows.CategoryControl])
+		}
+	}
+}
+
+func TestNestIsTheControlOutlier(t *testing.T) {
+	nest := analyze(gen(t, "Nest-E", 3, 0), flows.ModePortLess).FractionByCategory()[flows.CategoryControl]
+	mini := analyze(gen(t, "HomeMini", 3, 0), flows.ModePortLess).FractionByCategory()[flows.CategoryControl]
+	if nest >= mini {
+		t.Fatalf("Nest-E control predictability %.3f >= HomeMini %.3f; Nest must be the outlier", nest, mini)
+	}
+	if nest < 0.82 || nest > 0.96 {
+		t.Fatalf("Nest-E control predictability = %.3f, want ~0.91", nest)
+	}
+}
+
+func TestAutomatedPredictabilityMidRange(t *testing.T) {
+	for _, name := range []string{"EchoDot4", "HomeMini", "Home"} {
+		by := analyze(gen(t, name, 5, 0), flows.ModePortLess).FractionByCategory()
+		if by[flows.CategoryAutomated] < 0.75 || by[flows.CategoryAutomated] > 0.97 {
+			t.Errorf("%s: automated predictability = %.3f, want ~0.9", name, by[flows.CategoryAutomated])
+		}
+	}
+}
+
+func TestPlugAutomatedPredictabilityZeroish(t *testing.T) {
+	for _, name := range []string{"SP10", "WP3"} {
+		by := analyze(gen(t, name, 5, 0), flows.ModePortLess).FractionByCategory()
+		if by[flows.CategoryAutomated] > 0.15 {
+			t.Errorf("%s: automated predictability = %.3f, want ~0 (two-packet events)", name, by[flows.CategoryAutomated])
+		}
+	}
+}
+
+func TestManualPredictabilityLowExceptCameras(t *testing.T) {
+	for _, name := range []string{"EchoDot4", "HomeMini", "Home", "E4"} {
+		by := analyze(gen(t, name, 5, 8), flows.ModePortLess).FractionByCategory()
+		if by[flows.CategoryManual] > 0.45 {
+			t.Errorf("%s: manual predictability = %.3f, want low", name, by[flows.CategoryManual])
+		}
+	}
+	for _, name := range []string{"WyzeCam", "Blink"} {
+		by := analyze(gen(t, name, 5, 8), flows.ModePortLess).FractionByCategory()
+		if by[flows.CategoryManual] < 0.5 || by[flows.CategoryManual] > 0.85 {
+			t.Errorf("%s: manual predictability = %.3f, want 0.6-0.65 (streaming)", name, by[flows.CategoryManual])
+		}
+	}
+}
+
+func TestPortLessBeatsClassic(t *testing.T) {
+	for _, name := range []string{"EchoDot4", "WyzeCam"} {
+		recs := gen(t, name, 2, 0)
+		classic := analyze(recs, flows.ModeClassic).Fraction()
+		portless := analyze(recs, flows.ModePortLess).Fraction()
+		if portless <= classic {
+			t.Errorf("%s: PortLess %.3f <= Classic %.3f", name, portless, classic)
+		}
+		if portless-classic < 0.05 {
+			t.Errorf("%s: PortLess gap only %.3f; fresh-port flows should fragment Classic", name, portless-classic)
+		}
+	}
+}
+
+func TestMaxPredictableIntervalWithinTenMinutes(t *testing.T) {
+	// Fig 1(c): all recurring intervals of idle (control) traffic fall
+	// within 10 minutes, justifying the 20-minute bootstrap. Routines are
+	// off, matching the YourThings idle-capture context of the figure.
+	for _, p := range StandardTestbed() {
+		rng := simclock.NewRNG(42).Fork(p.Name)
+		recs := p.Generate(rng, TraceOptions{Start: start, Duration: 2 * 24 * time.Hour, Loc: netsim.LocCloudUS})
+		st := analyze(recs, flows.ModePortLess).MaxIntervals()
+		for _, d := range st.PerFlow {
+			if d > 10*time.Minute {
+				t.Errorf("%s: recurring interval %v exceeds 10 minutes", p.Name, d)
+			}
+		}
+	}
+}
+
+func TestManualEventsDistinguishable(t *testing.T) {
+	// The unpredictable events of a low-confusion device must separate by
+	// shape: manual events mostly have inbound TCP/TLS heads; control
+	// events outbound UDP heads.
+	recs := gen(t, "HomeMini", 7, 10)
+	a := analyze(recs, flows.ModePortLess)
+	evs := events.FromAnalyzer(a, 0)
+	manual, manualInTCP, other, otherOutUDP := 0, 0, 0, 0
+	for _, e := range evs {
+		head := e.Packets[0]
+		switch e.Category {
+		case flows.CategoryManual:
+			manual++
+			if head.Dir == flows.DirInbound && head.Proto == "tcp" {
+				manualInTCP++
+			}
+		default:
+			other++
+			if head.Dir == flows.DirOutbound && head.Proto == "udp" {
+				otherOutUDP++
+			}
+		}
+	}
+	if manual < 30 {
+		t.Fatalf("only %d manual events generated", manual)
+	}
+	if float64(manualInTCP)/float64(manual) < 0.85 {
+		t.Fatalf("manual events with inbound TCP head: %d/%d", manualInTCP, manual)
+	}
+	if float64(otherOutUDP)/float64(other) < 0.5 {
+		t.Fatalf("non-manual events with outbound UDP head: %d/%d", otherOutUDP, other)
+	}
+}
+
+func TestEventCountsRealistic(t *testing.T) {
+	// ~15 days with ~20 interactions per device (§3.1): unpredictable
+	// non-manual events must land in the 60-180 range per device that
+	// Table 6 reports for the FIAT experiment window.
+	recs := gen(t, "EchoDot4", 7, 3)
+	a := analyze(recs, flows.ModePortLess)
+	evs := events.FromAnalyzer(a, 0)
+	nonManual := 0
+	for _, e := range evs {
+		if e.Category != flows.CategoryManual {
+			nonManual++
+		}
+	}
+	if nonManual < 40 {
+		t.Fatalf("non-manual unpredictable events = %d over a week, too few", nonManual)
+	}
+}
+
+func TestLocationChangesDomains(t *testing.T) {
+	p := ByName("HomeMini")
+	us := p.DomainAt(netsim.LocCloudUS)
+	jp := p.DomainAt(netsim.LocCloudJP)
+	de := p.DomainAt(netsim.LocCloudDE)
+	if us == jp || us == de || jp == de {
+		t.Fatalf("domains not location-specific: %s %s %s", us, jp, de)
+	}
+	if AddrFor(us) == AddrFor(jp) {
+		t.Fatal("different domains share an address")
+	}
+	rngUS := simclock.NewRNG(1)
+	rngJP := simclock.NewRNG(1)
+	usRecs := p.Generate(rngUS, TraceOptions{Start: start, Duration: time.Hour, Loc: netsim.LocCloudUS})
+	jpRecs := p.Generate(rngJP, TraceOptions{Start: start, Duration: time.Hour, Loc: netsim.LocCloudJP})
+	if usRecs[0].RemoteDomain == jpRecs[0].RemoteDomain {
+		t.Fatal("trace domains identical across locations")
+	}
+}
+
+func TestRegisterDomainsResolvable(t *testing.T) {
+	zone := dnssim.NewZone()
+	for _, p := range StandardTestbed() {
+		p.RegisterDomains(zone)
+	}
+	for _, p := range StandardTestbed() {
+		recs := gen(t, p.Name, 1, 2)
+		for _, r := range recs[:min(200, len(recs))] {
+			name, err := zone.ReverseLookup(r.RemoteIP)
+			if err != nil {
+				t.Fatalf("%s: %s unresolvable: %v", p.Name, r.RemoteIP, err)
+			}
+			if name != r.RemoteDomain {
+				t.Fatalf("%s: reverse(%s) = %s, want %s", p.Name, r.RemoteIP, name, r.RemoteDomain)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := ByName("EchoDot4")
+	a := p.Generate(simclock.NewRNG(5), TraceOptions{Start: start, Duration: 6 * time.Hour, ManualPerDay: 4, Routines: true})
+	b := p.Generate(simclock.NewRNG(5), TraceOptions{Start: start, Duration: 6 * time.Hour, ManualPerDay: 4, Routines: true})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestTraceSorted(t *testing.T) {
+	recs := gen(t, "WyzeCam", 1, 5)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatal("trace not sorted by time")
+		}
+	}
+}
+
+func TestManualTimesPinned(t *testing.T) {
+	p := ByName("SP10")
+	times := []time.Time{start.Add(time.Hour), start.Add(2 * time.Hour)}
+	recs := p.Generate(simclock.NewRNG(3), TraceOptions{
+		Start: start, Duration: 3 * time.Hour, ManualTimes: times,
+	})
+	manualPkts := 0
+	for _, r := range recs {
+		if r.Category == flows.CategoryManual {
+			manualPkts++
+		}
+	}
+	if manualPkts != 4 { // 2 events x 2 packets
+		t.Fatalf("manual packets = %d, want 4", manualPkts)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package devices
+
+import (
+	"net/netip"
+
+	"fiat/internal/flows"
+	"fiat/internal/packet"
+)
+
+// Framer converts abstract trace records into wire-correct Ethernet frames
+// for pcap export and the frame-level examples. The device sits on the LAN
+// behind a gateway; remote endpoints keep the record's addressing.
+type Framer struct {
+	DeviceIP   netip.Addr
+	DeviceMAC  packet.MAC
+	GatewayMAC packet.MAC
+
+	builder packet.Builder
+	seq     map[flows.Key]uint32
+}
+
+// NewFramer builds a framer for one device.
+func NewFramer(deviceIP netip.Addr, deviceMAC, gatewayMAC packet.MAC) *Framer {
+	return &Framer{
+		DeviceIP: deviceIP, DeviceMAC: deviceMAC, GatewayMAC: gatewayMAC,
+		seq: make(map[flows.Key]uint32),
+	}
+}
+
+// Frame serializes one record. TCP payloads carry a TLS record when the
+// trace says so; sizes are honored by padding the payload so the on-wire
+// length matches rec.Size (minimum framing applies for tiny sizes).
+func (f *Framer) Frame(rec flows.Record) []byte {
+	srcIP, dstIP := f.DeviceIP, rec.RemoteIP
+	srcMAC, dstMAC := f.DeviceMAC, f.GatewayMAC
+	srcPort, dstPort := rec.LocalPort, rec.RemotePort
+	if rec.Dir == flows.DirInbound {
+		srcIP, dstIP = dstIP, srcIP
+		srcMAC, dstMAC = f.GatewayMAC, f.DeviceMAC
+		srcPort, dstPort = dstPort, srcPort
+	}
+	if rec.Proto == "udp" {
+		payloadLen := rec.Size - 14 - 20 - 8
+		if payloadLen < 0 {
+			payloadLen = 0
+		}
+		return f.builder.UDPPacket(packet.UDPSpec{
+			SrcMAC: srcMAC, DstMAC: dstMAC, SrcIP: srcIP, DstIP: dstIP,
+			SrcPort: srcPort, DstPort: dstPort,
+			Payload: make([]byte, payloadLen),
+		})
+	}
+	payloadLen := rec.Size - 14 - 20 - 20
+	if payloadLen < 0 {
+		payloadLen = 0
+	}
+	var payload []byte
+	if rec.TLSVersion != 0 && payloadLen >= 5 {
+		payload = packet.TLSAppData(rec.TLSVersion, payloadLen-5)
+	} else {
+		payload = make([]byte, payloadLen)
+	}
+	key := flows.KeyOf(flows.ModeClassic, rec)
+	f.seq[key] += uint32(len(payload))
+	flags := rec.TCPFlags
+	if flags == 0 {
+		flags = packet.TCPFlagACK
+	}
+	return f.builder.TCPPacket(packet.TCPSpec{
+		SrcMAC: srcMAC, DstMAC: dstMAC, SrcIP: srcIP, DstIP: dstIP,
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: f.seq[key], Flags: flags, Payload: payload,
+	})
+}
+
+// RecordFromFrame inverts Frame for proxy-side consumption: decode a frame
+// and normalize it to the device's viewpoint. resolve maps an address to
+// its domain ("" allowed). The boolean is false for frames not involving
+// the device.
+func RecordFromFrame(p *packet.Packet, deviceIP netip.Addr, resolve func(netip.Addr) string) (flows.Record, bool) {
+	ip := p.IPv4()
+	if ip == nil {
+		return flows.Record{}, false
+	}
+	var rec flows.Record
+	rec.Time = p.Info.Timestamp
+	rec.Size = p.Info.Length
+	if rec.Size == 0 {
+		rec.Size = len(p.Data)
+	}
+	rec.Proto = p.TransportProto()
+	if rec.Proto == "" {
+		return flows.Record{}, false
+	}
+	var localPort, remotePort uint16
+	switch {
+	case ip.SrcIP == deviceIP:
+		rec.Dir = flows.DirOutbound
+		rec.RemoteIP = ip.DstIP
+	case ip.DstIP == deviceIP:
+		rec.Dir = flows.DirInbound
+		rec.RemoteIP = ip.SrcIP
+	default:
+		return flows.Record{}, false
+	}
+	if t := p.TCP(); t != nil {
+		rec.TCPFlags = t.Flags
+		if rec.Dir == flows.DirOutbound {
+			localPort, remotePort = t.SrcPort, t.DstPort
+		} else {
+			localPort, remotePort = t.DstPort, t.SrcPort
+		}
+	} else if u := p.UDP(); u != nil {
+		if rec.Dir == flows.DirOutbound {
+			localPort, remotePort = u.SrcPort, u.DstPort
+		} else {
+			localPort, remotePort = u.DstPort, u.SrcPort
+		}
+	}
+	rec.LocalPort, rec.RemotePort = localPort, remotePort
+	if tls := p.TLS(); tls != nil {
+		rec.TLSVersion = tls.Version
+	}
+	if resolve != nil {
+		rec.RemoteDomain = resolve(rec.RemoteIP)
+	}
+	return rec, true
+}

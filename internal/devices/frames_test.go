@@ -1,0 +1,77 @@
+package devices
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+	"fiat/internal/packet"
+	"fiat/internal/simclock"
+)
+
+var (
+	devIP  = netip.MustParseAddr("192.168.1.50")
+	devMAC = packet.MAC{2, 0, 0, 0, 0, 0x50}
+	gwMAC  = packet.MAC{2, 0, 0, 0, 0, 0x01}
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	fr := NewFramer(devIP, devMAC, gwMAC)
+	p := ByName("HomeMini")
+	recs := p.Generate(simclock.NewRNG(1), TraceOptions{
+		Start: simclock.Epoch, Duration: time.Hour, ManualPerDay: 24, Routines: true,
+	})
+	for i, rec := range recs[:min(300, len(recs))] {
+		frame := fr.Frame(rec)
+		decoded := packet.Decode(frame, packet.CaptureInfo{
+			Timestamp: rec.Time, Length: len(frame), CaptureLength: len(frame),
+		})
+		if decoded.ErrorLayer() != nil {
+			t.Fatalf("record %d: decode error %v", i, decoded.ErrorLayer())
+		}
+		got, ok := RecordFromFrame(decoded, devIP, func(a netip.Addr) string { return rec.RemoteDomain })
+		if !ok {
+			t.Fatalf("record %d: RecordFromFrame rejected", i)
+		}
+		if got.Dir != rec.Dir || got.Proto != rec.Proto {
+			t.Fatalf("record %d: dir/proto mismatch: %+v vs %+v", i, got, rec)
+		}
+		if got.RemoteIP != rec.RemoteIP {
+			t.Fatalf("record %d: remote IP %v vs %v", i, got.RemoteIP, rec.RemoteIP)
+		}
+		if got.LocalPort != rec.LocalPort || got.RemotePort != rec.RemotePort {
+			t.Fatalf("record %d: ports %d/%d vs %d/%d", i, got.LocalPort, got.RemotePort, rec.LocalPort, rec.RemotePort)
+		}
+		// TLS survives when the trace had it and the size allowed a record.
+		if rec.TLSVersion != 0 && rec.Size >= 14+20+20+5 && got.TLSVersion != rec.TLSVersion {
+			t.Fatalf("record %d: TLS %x vs %x", i, got.TLSVersion, rec.TLSVersion)
+		}
+	}
+}
+
+func TestFrameSizeHonored(t *testing.T) {
+	fr := NewFramer(devIP, devMAC, gwMAC)
+	rec := flows.Record{
+		Time: simclock.Epoch, Size: 235, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: netip.MustParseAddr("52.0.0.9"), LocalPort: 9999, RemotePort: 443,
+		TLSVersion: packet.VersionTLS12,
+	}
+	frame := fr.Frame(rec)
+	if len(frame) != 235 {
+		t.Fatalf("frame length = %d, want 235", len(frame))
+	}
+}
+
+func TestRecordFromFrameIgnoresThirdParties(t *testing.T) {
+	var b packet.Builder
+	frame := b.TCPPacket(packet.TCPSpec{
+		SrcMAC: gwMAC, DstMAC: devMAC,
+		SrcIP: netip.MustParseAddr("10.9.9.9"), DstIP: netip.MustParseAddr("10.8.8.8"),
+		SrcPort: 1, DstPort: 2,
+	})
+	p := packet.Decode(frame, packet.CaptureInfo{})
+	if _, ok := RecordFromFrame(p, devIP, nil); ok {
+		t.Fatal("frame not involving the device accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package devices models the 10 IoT devices of the paper's testbed
+// (Table 1) as traffic generators: periodic control flows to the vendor
+// cloud, routine-driven automated bursts, and manual command bursts whose
+// shape depends on the device class (one 235 B notification packet for a
+// smart plug, a 41-packet exchange plus a constant-rate stream for a
+// camera). Per-location cloud domains reproduce the §3.3 observation that
+// devices talk to different names under the Germany/Japan VPN exits.
+//
+// The models are calibrated against the paper's measurements: control
+// traffic ~98% predictable (Nest-E the outlier near 91%), automated ~90%
+// (0 for the two-packet plugs), manual worst except cameras (60-65% thanks
+// to streaming), per-device manual-event classifiability matching Table 3's
+// spread, and command-completion packet counts N in [1, 41].
+package devices
+
+import (
+	"crypto/sha256"
+	"net/netip"
+	"time"
+
+	"fiat/internal/dnssim"
+	"fiat/internal/flows"
+	"fiat/internal/netsim"
+)
+
+// PeriodicFlow is one predictable control flow: fixed size, destination,
+// and period (Fig 1a shows eight of these for a Bose SoundTouch).
+type PeriodicFlow struct {
+	DomainSuffix string // prepended to the device's cloud domain
+	Period       time.Duration
+	Size         int
+	Proto        string
+	Dir          flows.Direction
+	TLS          uint16
+	// FreshPort makes every packet use a new ephemeral source port
+	// (NTP/DNS-style query flows). These flows stay predictable under the
+	// PortLess definition but fragment into one-packet buckets under
+	// Classic — the gap Fig 1(b) shows.
+	FreshPort bool
+	// SizeDither is the probability that a packet's length deviates a few
+	// bytes from the flow's nominal size (variable-length API responses).
+	// Dithered packets are unpredictable at packet granularity and, more
+	// importantly, randomize the byte sums of 5-second aggregates.
+	SizeDither float64
+}
+
+// EventShape parameterizes the head packets of an unpredictable event —
+// the features §4.1 classifies on.
+type EventShape struct {
+	FirstDir     flows.Direction
+	Proto        string
+	TLS          uint16
+	TCPFlags     uint8
+	SizeMin      int
+	SizeMax      int
+	PacketsMin   int
+	PacketsMax   int
+	Spacing      time.Duration // mean intra-event gap
+	DomainSuffix string
+	// RemotePort pins the server port (0 selects 443 for TCP or a random
+	// high port for UDP). Vendor command channels and scheduler pushes use
+	// characteristic ports (443, 8883/MQTT, ...), a feature the paper's
+	// classifiers consume.
+	RemotePort uint16
+}
+
+// Profile describes one device model.
+type Profile struct {
+	Name     string
+	Brand    string
+	Kind     string
+	Site     string // "NJ" (controlled) or "IL" (household)
+	Quantity int
+
+	// CompletionN is the minimum packets needed for a manual command to
+	// take effect (§3.3: 1 for the plugs, up to 41 for WyzeCam).
+	CompletionN int
+	// SimpleRule marks devices whose manual traffic is identified by a
+	// fixed notification packet size instead of ML (SP10, WP3, Nest-E).
+	SimpleRule bool
+	// NotificationSize is that distinctive size (235/267 B in the paper).
+	NotificationSize int
+
+	// Control lists the periodic flows.
+	Control []PeriodicFlow
+	// UnpredControlPerDay is the rate of unpredictable control events
+	// (sensor-triggered wakeups etc.; high for Nest-E).
+	UnpredControlPerDay float64
+	// RoutinesPerDay is the automation rate when routines are enabled.
+	RoutinesPerDay float64
+
+	// Shapes of each unpredictable event class.
+	ManualShape, AutoShape, CtrlShape EventShape
+	// ManualConfusion/OtherConfusion are the probabilities that a
+	// manual/non-manual event presents with the other class's shape,
+	// bounding what any classifier can reach (drives Table 3's spread).
+	ManualConfusion, OtherConfusion float64
+	// StreamOnManual adds a constant-rate media stream to manual events
+	// (the cameras), making most of their bytes predictable.
+	StreamOnManual bool
+	StreamRate     time.Duration // inter-packet gap of the stream
+	StreamSize     int
+	StreamPackets  int
+
+	// CloudDomain maps a location to the vendor domain the device uses
+	// there (google.com vs google.co.jp in the paper).
+	CloudDomain map[netsim.Location]string
+}
+
+// DomainAt returns the device's cloud domain for a location, falling back
+// to the US name.
+func (p *Profile) DomainAt(loc netsim.Location) string {
+	if d, ok := p.CloudDomain[loc]; ok {
+		return d
+	}
+	return p.CloudDomain[netsim.LocCloudUS]
+}
+
+// CommandCompletes reports whether a manual command succeeds when only the
+// first n packets are allowed through — the §3.3 truncation experiment.
+func (p *Profile) CommandCompletes(n int) bool { return n >= p.CompletionN }
+
+// AddrFor deterministically assigns an IPv4 address to a domain name, so
+// every run of the simulator agrees on the cloud addressing. Different
+// locations yield different prefixes (geolocated anycast).
+func AddrFor(domain string) netip.Addr {
+	h := sha256.Sum256([]byte(domain))
+	// Avoid reserved prefixes: map into 52.0.0.0/10-ish space plus the
+	// hash spread.
+	return netip.AddrFrom4([4]byte{52 + h[0]%8, h[1], h[2], 1 + h[3]%250})
+}
+
+// RegisterDomains installs every domain the profile may use (all locations,
+// all control-flow suffixes) into the zone.
+func (p *Profile) RegisterDomains(zone *dnssim.Zone) {
+	for _, domain := range p.allDomains() {
+		zone.Add(domain, AddrFor(domain))
+	}
+}
+
+func (p *Profile) allDomains() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(d string) {
+		if d != "" && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, base := range p.CloudDomain {
+		add(base)
+		add("sched." + base) // routine-body sync flow
+		for _, cf := range p.Control {
+			add(cf.DomainSuffix + base)
+		}
+		for _, sh := range []EventShape{p.ManualShape, p.AutoShape, p.CtrlShape} {
+			add(sh.DomainSuffix + base)
+		}
+	}
+	return out
+}
+
+func locSuffix(loc netsim.Location) string {
+	switch loc {
+	case netsim.LocCloudDE:
+		return "de."
+	case netsim.LocCloudJP:
+		return "jp."
+	default:
+		return ""
+	}
+}
+
+// domains builds the per-location map for a vendor base name.
+func domains(base string) map[netsim.Location]string {
+	m := make(map[netsim.Location]string, 3)
+	for _, loc := range []netsim.Location{netsim.LocCloudUS, netsim.LocCloudDE, netsim.LocCloudJP} {
+		m[loc] = locSuffix(loc) + base
+	}
+	return m
+}

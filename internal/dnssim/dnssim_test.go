@@ -1,0 +1,329 @@
+package dnssim
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fiat/internal/simclock"
+)
+
+func TestEncodeDecodeQuery(t *testing.T) {
+	m := &Message{
+		ID:        0xbeef,
+		Questions: []Question{{Name: "nexus.echo.amazon.example", Type: TypeA, Class: ClassIN}},
+	}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0xbeef || got.Response || len(got.Questions) != 1 {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if got.Questions[0].Name != "nexus.echo.amazon.example" {
+		t.Fatalf("name = %q", got.Questions[0].Name)
+	}
+}
+
+func TestEncodeDecodeAResponse(t *testing.T) {
+	addr := netip.MustParseAddr("52.94.233.10")
+	m := &Message{
+		ID: 7, Response: true,
+		Questions: []Question{{Name: "api.wyze.example", Type: TypeA, Class: ClassIN}},
+		Answers: []ResourceRecord{
+			{Name: "api.wyze.example", Type: TypeA, Class: ClassIN, TTL: 300, Addr: addr},
+		},
+	}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || len(got.Answers) != 1 || got.Answers[0].Addr != addr {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if got.Answers[0].TTL != 300 {
+		t.Fatalf("TTL = %d", got.Answers[0].TTL)
+	}
+}
+
+func TestEncodeDecodePTR(t *testing.T) {
+	m := &Message{
+		ID: 9, Response: true,
+		Questions: []Question{{Name: "10.233.94.52.in-addr.arpa", Type: TypePTR, Class: ClassIN}},
+		Answers: []ResourceRecord{
+			{Name: "10.233.94.52.in-addr.arpa", Type: TypePTR, Class: ClassIN, TTL: 60, Target: "api.wyze.example"},
+		},
+	}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Target != "api.wyze.example" {
+		t.Fatalf("target = %q", got.Answers[0].Target)
+	}
+}
+
+func TestDecodeCompressedName(t *testing.T) {
+	// Hand-built response using a compression pointer for the answer name.
+	wire := []byte{
+		0x00, 0x01, 0x81, 0x80, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+		// question: a.b
+		1, 'a', 1, 'b', 0, 0x00, 0x01, 0x00, 0x01,
+		// answer name: pointer to offset 12
+		0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3c, 0x00, 0x04, 1, 2, 3, 4,
+	}
+	m, err := DecodeMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "a.b" {
+		t.Fatalf("name = %q", m.Answers[0].Name)
+	}
+	if m.Answers[0].Addr != netip.MustParseAddr("1.2.3.4") {
+		t.Fatalf("addr = %v", m.Answers[0].Addr)
+	}
+}
+
+func TestDecodePointerLoopRejected(t *testing.T) {
+	wire := make([]byte, 14)
+	wire[5] = 1 // one question
+	wire[12] = 0xc0
+	wire[13] = 0x0c // points at itself
+	if _, err := DecodeMessage(wire); err == nil {
+		t.Fatal("pointer loop not rejected")
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	long := strings.Repeat("a", 64)
+	m := &Message{Questions: []Question{{Name: long + ".example", Type: TypeA, Class: ClassIN}}}
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("label > 63 accepted")
+	}
+	m = &Message{Questions: []Question{{Name: strings.Repeat("abcdefg.", 40), Type: TypeA, Class: ClassIN}}}
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("name > 253 accepted")
+	}
+}
+
+func TestReverseName(t *testing.T) {
+	a := netip.MustParseAddr("52.94.233.10")
+	if got := ReverseName(a); got != "10.233.94.52.in-addr.arpa" {
+		t.Fatalf("ReverseName = %q", got)
+	}
+	addr, ok := parseReverseName("10.233.94.52.in-addr.arpa")
+	if !ok || addr != a {
+		t.Fatalf("parseReverseName = %v, %v", addr, ok)
+	}
+}
+
+func TestReverseNameRoundTrip(t *testing.T) {
+	f := func(b [4]byte) bool {
+		a := netip.AddrFrom4(b)
+		got, ok := parseReverseName(ReverseName(a))
+		return ok && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestZone() *Zone {
+	z := NewZone()
+	z.Add("device-metrics.amazon.example", netip.MustParseAddr("52.1.1.1"))
+	z.Add("api.wyze.example", netip.MustParseAddr("52.2.2.2"))
+	z.Add("clients.google.example", netip.MustParseAddr("142.250.0.1"))
+	z.Add("clients.google.example", netip.MustParseAddr("142.250.0.2"))
+	return z
+}
+
+func TestZoneLookup(t *testing.T) {
+	z := newTestZone()
+	addrs, err := z.Lookup("Clients.Google.Example.") // case + trailing dot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	if _, err := z.Lookup("nonexistent.example"); err == nil {
+		t.Fatal("expected NXDOMAIN")
+	}
+}
+
+func TestZoneReverse(t *testing.T) {
+	z := newTestZone()
+	name, err := z.ReverseLookup(netip.MustParseAddr("52.2.2.2"))
+	if err != nil || name != "api.wyze.example" {
+		t.Fatalf("reverse = %q, %v", name, err)
+	}
+}
+
+func TestZoneAliasKeepsCanonicalPTR(t *testing.T) {
+	z := NewZone()
+	addr := netip.MustParseAddr("8.8.4.4")
+	z.Add("canonical.example", addr)
+	z.Add("alias.example", addr)
+	name, err := z.ReverseLookup(addr)
+	if err != nil || name != "canonical.example" {
+		t.Fatalf("reverse = %q, %v (aliases must not override PTR)", name, err)
+	}
+}
+
+func TestHandleQueryA(t *testing.T) {
+	z := newTestZone()
+	q := &Message{ID: 3, Questions: []Question{{Name: "api.wyze.example", Type: TypeA, Class: ClassIN}}}
+	wire, _ := q.Encode()
+	respWire, err := z.HandleQuery(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeMessage(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 3 || !resp.Response || resp.RCode != 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Addr != netip.MustParseAddr("52.2.2.2") {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+}
+
+func TestHandleQueryNXDomain(t *testing.T) {
+	z := newTestZone()
+	q := &Message{ID: 4, Questions: []Question{{Name: "missing.example", Type: TypeA, Class: ClassIN}}}
+	wire, _ := q.Encode()
+	respWire, err := z.HandleQuery(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := DecodeMessage(respWire)
+	if resp.RCode != 3 {
+		t.Fatalf("RCode = %d, want 3", resp.RCode)
+	}
+}
+
+func TestHandleQueryPTR(t *testing.T) {
+	z := newTestZone()
+	q := &Message{ID: 5, Questions: []Question{{Name: ReverseName(netip.MustParseAddr("52.1.1.1")), Type: TypePTR, Class: ClassIN}}}
+	wire, _ := q.Encode()
+	respWire, err := z.HandleQuery(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := DecodeMessage(respWire)
+	if len(resp.Answers) != 1 || resp.Answers[0].Target != "device-metrics.amazon.example" {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+}
+
+func TestResolverCaching(t *testing.T) {
+	z := newTestZone()
+	clock := simclock.NewVirtual()
+	r := NewResolver(z, clock)
+	for i := 0; i < 5; i++ {
+		if _, err := r.Lookup("api.wyze.example"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Queries != 1 {
+		t.Fatalf("Queries = %d, want 1 (cache)", r.Queries)
+	}
+	clock.Advance(6 * time.Minute) // past TTL
+	if _, err := r.Lookup("api.wyze.example"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != 2 {
+		t.Fatalf("Queries = %d, want 2 (expired)", r.Queries)
+	}
+}
+
+func TestResolverReverseCaching(t *testing.T) {
+	z := newTestZone()
+	r := NewResolver(z, simclock.NewVirtual())
+	a := netip.MustParseAddr("52.1.1.1")
+	for i := 0; i < 3; i++ {
+		name, err := r.ReverseLookup(a)
+		if err != nil || name != "device-metrics.amazon.example" {
+			t.Fatalf("reverse = %q, %v", name, err)
+		}
+	}
+	if r.Queries != 1 {
+		t.Fatalf("Queries = %d, want 1", r.Queries)
+	}
+}
+
+func TestDomainForFallsBackToIP(t *testing.T) {
+	z := newTestZone()
+	r := NewResolver(z, simclock.NewVirtual())
+	unknown := netip.MustParseAddr("203.0.113.99")
+	if got := r.DomainFor(unknown); got != "203.0.113.99" {
+		t.Fatalf("DomainFor = %q", got)
+	}
+	if got := r.DomainFor(netip.MustParseAddr("52.2.2.2")); got != "api.wyze.example" {
+		t.Fatalf("DomainFor = %q", got)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(id uint16, a, b, c byte) bool {
+		name := "h" + string([]byte{'a' + a%26}) + "." + string([]byte{'a' + b%26}) + "dev.example"
+		addr := netip.AddrFrom4([4]byte{a, b, c, 1})
+		m := &Message{
+			ID: id, Response: true,
+			Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+			Answers:   []ResourceRecord{{Name: name, Type: TypeA, Class: ClassIN, TTL: 60, Addr: addr}},
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMessage(wire)
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.Answers[0].Addr == addr && got.Questions[0].Name == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneNamesSorted(t *testing.T) {
+	z := newTestZone()
+	names := z.Names()
+	if len(names) != 3 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestDecodeMessageNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(120)
+		data := make([]byte, n)
+		rng.Read(data)
+		_, _ = DecodeMessage(data) // must not panic
+	}
+}

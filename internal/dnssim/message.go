@@ -1,0 +1,264 @@
+// Package dnssim implements the DNS substrate FIAT's "PortLess" flow
+// definition depends on: a wire-format codec (queries/responses with A and
+// PTR records), an authoritative zone describing the simulated IoT cloud
+// names, and a caching resolver that performs forward and reverse lookups.
+//
+// The paper obtains domain names "either from DNS requests — when available
+// in the trace — or via a reverse DNS lookup" against a fixed recursive
+// resolver (§2.1 footnote). Both paths exist here.
+package dnssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types supported by the codec.
+const (
+	TypeA   uint16 = 1
+	TypePTR uint16 = 12
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Codec errors.
+var (
+	ErrTruncated  = errors.New("dnssim: truncated message")
+	ErrBadName    = errors.New("dnssim: malformed name")
+	ErrNXDomain   = errors.New("dnssim: no such domain")
+	ErrNameTooBig = errors.New("dnssim: name exceeds 255 octets")
+)
+
+// Question is one DNS question.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// ResourceRecord is one answer record. For A records Addr is set; for PTR
+// records Target is set.
+type ResourceRecord struct {
+	Name   string
+	Type   uint16
+	Class  uint16
+	TTL    uint32
+	Addr   netip.Addr
+	Target string
+}
+
+// Message is a DNS query or response.
+type Message struct {
+	ID        uint16
+	Response  bool
+	RCode     uint8
+	Questions []Question
+	Answers   []ResourceRecord
+}
+
+// Header flag bits.
+const (
+	flagQR = 1 << 15
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// Encode serializes the message (no compression — legal, just larger).
+func (m *Message) Encode() ([]byte, error) {
+	buf := make([]byte, 12, 64)
+	binary.BigEndian.PutUint16(buf[0:2], m.ID)
+	var flags uint16 = flagRD
+	if m.Response {
+		flags |= flagQR | flagRA
+	}
+	flags |= uint16(m.RCode) & 0x0f
+	binary.BigEndian.PutUint16(buf[2:4], flags)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(m.Answers)))
+	for _, q := range m.Questions {
+		n, err := encodeName(q.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, n...)
+		buf = appendU16(buf, q.Type)
+		buf = appendU16(buf, q.Class)
+	}
+	for _, rr := range m.Answers {
+		n, err := encodeName(rr.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, n...)
+		buf = appendU16(buf, rr.Type)
+		buf = appendU16(buf, rr.Class)
+		buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+		switch rr.Type {
+		case TypeA:
+			if !rr.Addr.Is4() {
+				return nil, fmt.Errorf("dnssim: A record %q without IPv4 address", rr.Name)
+			}
+			a := rr.Addr.As4()
+			buf = appendU16(buf, 4)
+			buf = append(buf, a[:]...)
+		case TypePTR:
+			tn, err := encodeName(rr.Target)
+			if err != nil {
+				return nil, err
+			}
+			buf = appendU16(buf, uint16(len(tn)))
+			buf = append(buf, tn...)
+		default:
+			return nil, fmt.Errorf("dnssim: cannot encode record type %d", rr.Type)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeMessage parses a DNS message.
+func DecodeMessage(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(data[0:2])}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&flagQR != 0
+	m.RCode = uint8(flags & 0x0f)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(data) {
+			return nil, ErrTruncated
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+10 > len(data) {
+			return nil, ErrTruncated
+		}
+		rr := ResourceRecord{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+			TTL:   binary.BigEndian.Uint32(data[off+4 : off+8]),
+		}
+		rdLen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+		off += 10
+		if off+rdLen > len(data) {
+			return nil, ErrTruncated
+		}
+		switch rr.Type {
+		case TypeA:
+			if rdLen != 4 {
+				return nil, ErrTruncated
+			}
+			var a [4]byte
+			copy(a[:], data[off:off+4])
+			rr.Addr = netip.AddrFrom4(a)
+		case TypePTR:
+			target, _, err := decodeName(data, off)
+			if err != nil {
+				return nil, err
+			}
+			rr.Target = target
+		}
+		off += rdLen
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return binary.BigEndian.AppendUint16(b, v)
+}
+
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	if len(name) > 253 {
+		return nil, ErrNameTooBig
+	}
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > 63 {
+			return nil, ErrBadName
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// decodeName parses a (possibly compressed) name starting at off and returns
+// the name plus the offset just past it.
+func decodeName(data []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	for hops := 0; ; hops++ {
+		if hops > 128 {
+			return "", 0, ErrBadName // pointer loop
+		}
+		if off >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		l := int(data[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(data) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:off+2]) & 0x3fff)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			off = ptr
+		default:
+			if off+1+l > len(data) {
+				return "", 0, ErrTruncated
+			}
+			labels = append(labels, string(data[off+1:off+1+l]))
+			off += 1 + l
+			if !jumped {
+				end = off
+			}
+		}
+	}
+}
+
+// ReverseName renders the in-addr.arpa name for an IPv4 address.
+func ReverseName(a netip.Addr) string {
+	if !a.Is4() {
+		return ""
+	}
+	b := a.As4()
+	return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", b[3], b[2], b[1], b[0])
+}

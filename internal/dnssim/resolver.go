@@ -1,0 +1,233 @@
+package dnssim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fiat/internal/simclock"
+)
+
+// Zone is an authoritative name↔address database: the simulated IoT cloud.
+// It answers forward (A) and reverse (PTR) queries. A single zone instance
+// backs the whole simulation, mirroring the paper's single recursive
+// resolver in Illinois ("the same IP will correspond to the same domain
+// name").
+type Zone struct {
+	mu      sync.RWMutex
+	forward map[string][]netip.Addr // name -> addresses
+	reverse map[netip.Addr]string   // address -> canonical name
+	aliases map[string]string       // alias -> canonical name
+}
+
+// NewZone returns an empty zone.
+func NewZone() *Zone {
+	return &Zone{
+		forward: make(map[string][]netip.Addr),
+		reverse: make(map[netip.Addr]string),
+		aliases: make(map[string]string),
+	}
+}
+
+// Add registers name -> addr. The first name registered for addr becomes its
+// canonical (PTR) name; later names behave like aliases, matching the
+// paper's observation that reverse lookups lose alias detail.
+func (z *Zone) Add(name string, addr netip.Addr) {
+	name = canon(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.forward[name] = append(z.forward[name], addr)
+	if _, ok := z.reverse[addr]; !ok {
+		z.reverse[addr] = name
+	} else if z.reverse[addr] != name {
+		z.aliases[name] = z.reverse[addr]
+	}
+}
+
+// Lookup returns the addresses for name.
+func (z *Zone) Lookup(name string) ([]netip.Addr, error) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	addrs, ok := z.forward[canon(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNXDomain, name)
+	}
+	out := make([]netip.Addr, len(addrs))
+	copy(out, addrs)
+	return out, nil
+}
+
+// ReverseLookup returns the canonical name for addr.
+func (z *Zone) ReverseLookup(addr netip.Addr) (string, error) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	name, ok := z.reverse[addr]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNXDomain, addr)
+	}
+	return name, nil
+}
+
+// Names returns all registered names, sorted, for deterministic iteration.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	names := make([]string, 0, len(z.forward))
+	for n := range z.forward {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HandleQuery answers one wire-format query against the zone, producing a
+// wire-format response (NXDOMAIN rcode 3 on miss).
+func (z *Zone) HandleQuery(query []byte) ([]byte, error) {
+	q, err := DecodeMessage(query)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Message{ID: q.ID, Response: true, Questions: q.Questions}
+	for _, question := range q.Questions {
+		switch question.Type {
+		case TypeA:
+			addrs, err := z.Lookup(question.Name)
+			if err != nil {
+				resp.RCode = 3
+				continue
+			}
+			for _, a := range addrs {
+				resp.Answers = append(resp.Answers, ResourceRecord{
+					Name: question.Name, Type: TypeA, Class: ClassIN, TTL: 300, Addr: a,
+				})
+			}
+		case TypePTR:
+			addr, ok := parseReverseName(question.Name)
+			if !ok {
+				resp.RCode = 3
+				continue
+			}
+			name, err := z.ReverseLookup(addr)
+			if err != nil {
+				resp.RCode = 3
+				continue
+			}
+			resp.Answers = append(resp.Answers, ResourceRecord{
+				Name: question.Name, Type: TypePTR, Class: ClassIN, TTL: 300, Target: name,
+			})
+		default:
+			resp.RCode = 4 // not implemented
+		}
+	}
+	return resp.Encode()
+}
+
+func parseReverseName(name string) (netip.Addr, bool) {
+	name = canon(name)
+	const suffix = ".in-addr.arpa"
+	if !strings.HasSuffix(name, suffix) {
+		return netip.Addr{}, false
+	}
+	parts := strings.Split(strings.TrimSuffix(name, suffix), ".")
+	if len(parts) != 4 {
+		return netip.Addr{}, false
+	}
+	var b [4]byte
+	for i, p := range parts {
+		var v int
+		if _, err := fmt.Sscanf(p, "%d", &v); err != nil || v < 0 || v > 255 {
+			return netip.Addr{}, false
+		}
+		b[3-i] = byte(v)
+	}
+	return netip.AddrFrom4(b), true
+}
+
+func canon(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// Resolver is a caching stub resolver in front of a Zone, the component
+// FIAT's proxy uses to map destination IPs to domains for PortLess
+// bucketing. Cache entries respect TTLs against the injected clock.
+type Resolver struct {
+	zone  *Zone
+	clock simclock.Clock
+	ttl   time.Duration
+
+	mu       sync.Mutex
+	fwdCache map[string]cacheEntry[[]netip.Addr]
+	revCache map[netip.Addr]cacheEntry[string]
+
+	// Queries counts zone round-trips (cache misses), exposed for tests
+	// and for the latency accounting in the evaluation harness.
+	Queries int
+}
+
+type cacheEntry[T any] struct {
+	val     T
+	expires time.Time
+}
+
+// NewResolver builds a resolver over zone with a 5-minute cache TTL.
+func NewResolver(zone *Zone, clock simclock.Clock) *Resolver {
+	return &Resolver{
+		zone:     zone,
+		clock:    clock,
+		ttl:      5 * time.Minute,
+		fwdCache: make(map[string]cacheEntry[[]netip.Addr]),
+		revCache: make(map[netip.Addr]cacheEntry[string]),
+	}
+}
+
+// Lookup resolves name to addresses, consulting the cache first.
+func (r *Resolver) Lookup(name string) ([]netip.Addr, error) {
+	name = canon(name)
+	now := r.clock.Now()
+	r.mu.Lock()
+	if e, ok := r.fwdCache[name]; ok && now.Before(e.expires) {
+		r.mu.Unlock()
+		return e.val, nil
+	}
+	r.mu.Unlock()
+	addrs, err := r.zone.Lookup(name)
+	r.mu.Lock()
+	r.Queries++
+	if err == nil {
+		r.fwdCache[name] = cacheEntry[[]netip.Addr]{val: addrs, expires: now.Add(r.ttl)}
+	}
+	r.mu.Unlock()
+	return addrs, err
+}
+
+// ReverseLookup resolves addr to its canonical name, consulting the cache.
+func (r *Resolver) ReverseLookup(addr netip.Addr) (string, error) {
+	now := r.clock.Now()
+	r.mu.Lock()
+	if e, ok := r.revCache[addr]; ok && now.Before(e.expires) {
+		r.mu.Unlock()
+		return e.val, nil
+	}
+	r.mu.Unlock()
+	name, err := r.zone.ReverseLookup(addr)
+	r.mu.Lock()
+	r.Queries++
+	if err == nil {
+		r.revCache[addr] = cacheEntry[string]{val: name, expires: now.Add(r.ttl)}
+	}
+	r.mu.Unlock()
+	return name, err
+}
+
+// DomainFor maps an address to a domain for PortLess bucketing. On
+// resolution failure it falls back to the literal address, which is at
+// least as precise as using the IP directly (the paper's argument).
+func (r *Resolver) DomainFor(addr netip.Addr) string {
+	if name, err := r.ReverseLookup(addr); err == nil {
+		return name
+	}
+	return addr.String()
+}

@@ -1,0 +1,146 @@
+// Package events groups unpredictable packets into "unpredictable events"
+// using the paper's §3.2 procedure: consecutive unpredictable packets less
+// than a gap threshold (5 s, chosen empirically) apart belong to the same
+// event; a larger gap starts a new one. Events inherit a ground-truth
+// category from their member packets when labels are available, and feed the
+// manual-event classifier and the FIAT proxy pipeline.
+package events
+
+import (
+	"time"
+
+	"fiat/internal/flows"
+)
+
+// DefaultGap is the inter-packet threshold separating events (§3.2). The
+// paper notes the choice "has very limited impact on the results"; the
+// ablation bench sweeps it.
+const DefaultGap = 5 * time.Second
+
+// Event is one unpredictable event: a maximal run of unpredictable packets
+// with gaps below the threshold.
+type Event struct {
+	// Packets are the member records in arrival order.
+	Packets []flows.Record
+	// Start and End are the first and last member timestamps.
+	Start, End time.Time
+	// Category is the event's ground-truth label (see Categorize).
+	Category flows.Category
+}
+
+// Duration returns End - Start.
+func (e *Event) Duration() time.Duration { return e.End.Sub(e.Start) }
+
+// Len returns the member count.
+func (e *Event) Len() int { return len(e.Packets) }
+
+// Categorize derives the event label from member labels: manual wins over
+// automated, automated over control. A user action mid-heartbeat should
+// label the whole event manual — exactly how the paper labels events from
+// interaction logs overlapping the window.
+func (e *Event) Categorize() flows.Category {
+	cat := flows.CategoryUnknown
+	for _, p := range e.Packets {
+		switch p.Category {
+		case flows.CategoryManual:
+			return flows.CategoryManual
+		case flows.CategoryAutomated:
+			cat = flows.CategoryAutomated
+		case flows.CategoryControl:
+			if cat == flows.CategoryUnknown {
+				cat = flows.CategoryControl
+			}
+		}
+	}
+	return cat
+}
+
+// Group batches unpredictable records into events. recs must be in
+// timestamp order; gap <= 0 selects DefaultGap. Every input record lands in
+// exactly one event.
+func Group(recs []flows.Record, gap time.Duration) []*Event {
+	if gap <= 0 {
+		gap = DefaultGap
+	}
+	var out []*Event
+	var cur *Event
+	for _, r := range recs {
+		if cur != nil && r.Time.Sub(cur.End) < gap {
+			cur.Packets = append(cur.Packets, r)
+			cur.End = r.Time
+			continue
+		}
+		cur = &Event{Packets: []flows.Record{r}, Start: r.Time, End: r.Time}
+		out = append(out, cur)
+	}
+	for _, e := range out {
+		e.Category = e.Categorize()
+	}
+	return out
+}
+
+// FromAnalyzer extracts the unpredictable packets from a completed analysis
+// and groups them.
+func FromAnalyzer(a *flows.Analyzer, gap time.Duration) []*Event {
+	marks := a.Predictable()
+	recs := a.Records()
+	var unpred []flows.Record
+	for i, m := range marks {
+		if !m {
+			unpred = append(unpred, recs[i])
+		}
+	}
+	return Group(unpred, gap)
+}
+
+// Grouper is the streaming form used by the proxy: packets judged
+// unpredictable are added one at a time; a finished event is emitted once
+// the gap elapses (detected on the next Add or via Flush).
+type Grouper struct {
+	gap time.Duration
+	cur *Event
+}
+
+// NewGrouper builds a streaming grouper; gap <= 0 selects DefaultGap.
+func NewGrouper(gap time.Duration) *Grouper {
+	if gap <= 0 {
+		gap = DefaultGap
+	}
+	return &Grouper{gap: gap}
+}
+
+// Add ingests one unpredictable record. When the record starts a new event,
+// the previous (now complete) event is returned; otherwise nil.
+func (g *Grouper) Add(r flows.Record) *Event {
+	if g.cur != nil && r.Time.Sub(g.cur.End) < g.gap {
+		g.cur.Packets = append(g.cur.Packets, r)
+		g.cur.End = r.Time
+		return nil
+	}
+	done := g.finish()
+	g.cur = &Event{Packets: []flows.Record{r}, Start: r.Time, End: r.Time}
+	return done
+}
+
+// Current returns the in-progress event (nil when idle). The proxy uses it
+// to act on an event before it is complete — decisions cannot wait for the
+// 5 s gap.
+func (g *Grouper) Current() *Event { return g.cur }
+
+// Expired reports whether the in-progress event is already complete at the
+// given instant (the gap has elapsed with no new packets).
+func (g *Grouper) Expired(now time.Time) bool {
+	return g.cur != nil && now.Sub(g.cur.End) >= g.gap
+}
+
+// Flush closes and returns the in-progress event, if any.
+func (g *Grouper) Flush() *Event { return g.finish() }
+
+func (g *Grouper) finish() *Event {
+	e := g.cur
+	g.cur = nil
+	if e != nil {
+		e.Category = e.Categorize()
+	}
+	return e
+}

@@ -1,0 +1,212 @@
+package events
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fiat/internal/flows"
+)
+
+var t0 = time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(offset time.Duration, cat flows.Category) flows.Record {
+	return flows.Record{
+		Time: t0.Add(offset), Size: 100, Proto: "tcp",
+		RemoteIP: netip.MustParseAddr("52.0.0.1"), Category: cat,
+	}
+}
+
+func TestGroupSplitsOnGap(t *testing.T) {
+	recs := []flows.Record{
+		rec(0, flows.CategoryManual),
+		rec(time.Second, flows.CategoryManual),
+		rec(2*time.Second, flows.CategoryManual),
+		rec(10*time.Second, flows.CategoryControl), // 8 s gap -> new event
+		rec(11*time.Second, flows.CategoryControl),
+	}
+	evs := Group(recs, 0)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Len() != 3 || evs[1].Len() != 2 {
+		t.Fatalf("sizes = %d, %d", evs[0].Len(), evs[1].Len())
+	}
+	if evs[0].Category != flows.CategoryManual || evs[1].Category != flows.CategoryControl {
+		t.Fatalf("categories = %v, %v", evs[0].Category, evs[1].Category)
+	}
+}
+
+func TestGapIsStrict(t *testing.T) {
+	// Paper: T2-T1 < 5 s extends; the procedure ends when the gap exceeds
+	// the threshold. A gap of exactly 5 s starts a new event.
+	recs := []flows.Record{rec(0, 0), rec(5*time.Second, 0)}
+	if evs := Group(recs, 0); len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 at exactly the gap", len(evs))
+	}
+	recs = []flows.Record{rec(0, 0), rec(5*time.Second-time.Millisecond, 0)}
+	if evs := Group(recs, 0); len(evs) != 1 {
+		t.Fatalf("events = %d, want 1 just under the gap", len(evs))
+	}
+}
+
+func TestChainedEventExtension(t *testing.T) {
+	// Each packet 4 s after the previous: one long event even though the
+	// first and last are far apart.
+	var recs []flows.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, rec(time.Duration(i)*4*time.Second, 0))
+	}
+	evs := Group(recs, 0)
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	if evs[0].Duration() != 36*time.Second {
+		t.Fatalf("duration = %v", evs[0].Duration())
+	}
+}
+
+func TestManualDominatesLabels(t *testing.T) {
+	recs := []flows.Record{
+		rec(0, flows.CategoryControl),
+		rec(time.Second, flows.CategoryManual),
+		rec(2*time.Second, flows.CategoryAutomated),
+	}
+	evs := Group(recs, 0)
+	if evs[0].Category != flows.CategoryManual {
+		t.Fatalf("category = %v, want manual", evs[0].Category)
+	}
+}
+
+func TestAutomatedDominatesControl(t *testing.T) {
+	recs := []flows.Record{
+		rec(0, flows.CategoryControl),
+		rec(time.Second, flows.CategoryAutomated),
+	}
+	evs := Group(recs, 0)
+	if evs[0].Category != flows.CategoryAutomated {
+		t.Fatalf("category = %v, want automated", evs[0].Category)
+	}
+}
+
+func TestEveryPacketInExactlyOneEvent(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		if len(gaps) > 100 {
+			gaps = gaps[:100]
+		}
+		var recs []flows.Record
+		cur := time.Duration(0)
+		for _, g := range gaps {
+			cur += time.Duration(g) * 100 * time.Millisecond
+			recs = append(recs, rec(cur, 0))
+		}
+		evs := Group(recs, 0)
+		total := 0
+		for _, e := range evs {
+			total += e.Len()
+		}
+		return total == len(recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventInvariants(t *testing.T) {
+	// Within an event all consecutive gaps < threshold; between events the
+	// gap >= threshold.
+	f := func(gaps []uint16) bool {
+		if len(gaps) > 60 {
+			gaps = gaps[:60]
+		}
+		var recs []flows.Record
+		cur := time.Duration(0)
+		for _, g := range gaps {
+			cur += time.Duration(g%120) * 100 * time.Millisecond
+			recs = append(recs, rec(cur, 0))
+		}
+		evs := Group(recs, 0)
+		for i, e := range evs {
+			for j := 1; j < len(e.Packets); j++ {
+				if e.Packets[j].Time.Sub(e.Packets[j-1].Time) >= DefaultGap {
+					return false
+				}
+			}
+			if i > 0 && e.Start.Sub(evs[i-1].End) < DefaultGap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrouperStreaming(t *testing.T) {
+	g := NewGrouper(0)
+	if done := g.Add(rec(0, flows.CategoryManual)); done != nil {
+		t.Fatal("first Add returned a finished event")
+	}
+	if done := g.Add(rec(time.Second, flows.CategoryManual)); done != nil {
+		t.Fatal("in-gap Add returned a finished event")
+	}
+	done := g.Add(rec(10*time.Second, flows.CategoryControl))
+	if done == nil || done.Len() != 2 || done.Category != flows.CategoryManual {
+		t.Fatalf("finished event = %+v", done)
+	}
+	if g.Current() == nil || g.Current().Len() != 1 {
+		t.Fatalf("current = %+v", g.Current())
+	}
+	last := g.Flush()
+	if last == nil || last.Len() != 1 || g.Current() != nil {
+		t.Fatalf("flush = %+v", last)
+	}
+}
+
+func TestGrouperExpired(t *testing.T) {
+	g := NewGrouper(0)
+	g.Add(rec(0, 0))
+	if g.Expired(t0.Add(2 * time.Second)) {
+		t.Fatal("expired too early")
+	}
+	if !g.Expired(t0.Add(6 * time.Second)) {
+		t.Fatal("not expired after gap")
+	}
+}
+
+func TestGrouperFlushEmpty(t *testing.T) {
+	g := NewGrouper(0)
+	if g.Flush() != nil {
+		t.Fatal("Flush on empty grouper returned an event")
+	}
+}
+
+func TestFromAnalyzer(t *testing.T) {
+	a := flows.NewAnalyzer(flows.ModePortLess)
+	// Periodic background (predictable after warmup) + a 3-packet burst.
+	for i := 0; i < 10; i++ {
+		a.Observe(flows.Record{Time: t0.Add(time.Duration(i) * time.Minute), Size: 100,
+			Proto: "tcp", RemoteIP: netip.MustParseAddr("52.0.0.1"), RemoteDomain: "cloud.example",
+			Category: flows.CategoryControl})
+	}
+	for i := 0; i < 3; i++ {
+		a.Observe(flows.Record{Time: t0.Add(30*time.Second + time.Duration(i)*700*time.Millisecond),
+			Size: 640 + 17*i, Proto: "tcp", RemoteIP: netip.MustParseAddr("34.9.9.9"),
+			RemoteDomain: "app.example", Category: flows.CategoryManual})
+	}
+	evs := FromAnalyzer(a, 0)
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1 (burst only)", len(evs))
+	}
+	if evs[0].Len() != 3 || evs[0].Category != flows.CategoryManual {
+		t.Fatalf("event = %+v", evs[0])
+	}
+}
+
+func TestGroupEmpty(t *testing.T) {
+	if evs := Group(nil, 0); len(evs) != 0 {
+		t.Fatalf("events = %v", evs)
+	}
+}

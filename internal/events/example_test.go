@@ -1,0 +1,27 @@
+package events_test
+
+import (
+	"fmt"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/flows"
+)
+
+// Grouping the §3.2 way: packets under 5 s apart share an event; a larger
+// gap starts the next one. The event label follows the strongest member
+// label (manual > automated > control).
+func ExampleGroup() {
+	base := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	recs := []flows.Record{
+		{Time: base, Size: 420, Category: flows.CategoryManual},
+		{Time: base.Add(2 * time.Second), Size: 66, Category: flows.CategoryControl},
+		{Time: base.Add(20 * time.Second), Size: 130, Category: flows.CategoryControl},
+	}
+	for _, e := range events.Group(recs, 0) {
+		fmt.Printf("%d packet(s), %s\n", e.Len(), e.Category)
+	}
+	// Output:
+	// 2 packet(s), manual
+	// 1 packet(s), control
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fiat/internal/dataset"
+	"fiat/internal/events"
+	"fiat/internal/features"
+	"fiat/internal/flows"
+	"fiat/internal/ml"
+	"fiat/internal/sensors"
+	"fiat/internal/stats"
+	"fiat/internal/tcpchan"
+)
+
+// AblationBucketing isolates the Classic-vs-PortLess design choice on the
+// testbed corpus: predictable fraction per mode, per device.
+func AblationBucketing(sc Scale) Result {
+	traces := testbedFor(sc, 0)
+	tb := &stats.Table{Header: []string{"Trace", "Classic", "PortLess", "Delta"}}
+	metrics := map[string]float64{}
+	var sumDelta float64
+	n := 0
+	for i := range traces {
+		tr := &traces[i]
+		cl := tr.Analyze(flows.ModeClassic).Fraction()
+		pl := tr.Analyze(flows.ModePortLess).Fraction()
+		tb.Add(tr.Name, stats.FormatPct(cl), stats.FormatPct(pl), stats.FormatPct(pl-cl))
+		sumDelta += pl - cl
+		n++
+	}
+	metrics["mean_delta"] = sumDelta / float64(n)
+	return Result{
+		ID:      "ablate-bucketing",
+		Title:   "Ablation: Classic vs PortLess bucketing",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}
+}
+
+// AblationGap sweeps the §3.2 event-grouping threshold. The paper asserts
+// the 5 s choice "has very limited impact on the results"; the sweep
+// measures event counts and classifier F1 across thresholds.
+func AblationGap(sc Scale) Result {
+	traces := testbedFor(sc, 0)
+	tr, _ := findFirst(traces, "HomeMini-US")
+	a := tr.Analyze(flows.ModePortLess)
+	tb := &stats.Table{Header: []string{"Gap", "Events", "BNB manual F1"}}
+	metrics := map[string]float64{}
+	for _, gap := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second, 30 * time.Second} {
+		evs := events.FromAnalyzer(a, gap)
+		X := features.ExtractAll(evs)
+		y := features.MulticlassLabels(evs)
+		f1 := 0.0
+		if res, err := ml.CrossValidate(func() ml.Classifier { return &ml.BernoulliNB{} }, X, y, 5, sc.CVSeeds); err == nil {
+			f1 = ml.PooledPRF(res, 2).F1
+		}
+		tb.Add(gap.String(), len(evs), fmt.Sprintf("%.3f", f1))
+		metrics[fmt.Sprintf("f1_gap_%ds", int(gap.Seconds()))] = f1
+	}
+	return Result{
+		ID:      "ablate-gap",
+		Title:   "Ablation: event-grouping gap threshold",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}
+}
+
+// AblationHeadN sweeps how many event-head packets feed the classifier
+// (the paper allows and featurizes the first N=5).
+func AblationHeadN(sc Scale) Result {
+	traces := testbedFor(sc, 0)
+	tr, _ := findFirst(traces, "HomeMini-US")
+	evs := tr.Events(flows.ModePortLess)
+	y := features.MulticlassLabels(evs)
+	tb := &stats.Table{Header: []string{"Head packets", "BNB manual F1"}}
+	metrics := map[string]float64{}
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		X := make([][]float64, len(evs))
+		for i, e := range evs {
+			head := *e
+			if len(head.Packets) > n {
+				head.Packets = head.Packets[:n]
+			}
+			X[i] = features.Extract(&head)
+		}
+		f1 := 0.0
+		if res, err := ml.CrossValidate(func() ml.Classifier { return &ml.BernoulliNB{} }, X, y, 5, sc.CVSeeds); err == nil {
+			f1 = ml.PooledPRF(res, 2).F1
+		}
+		tb.Add(n, fmt.Sprintf("%.3f", f1))
+		metrics[fmt.Sprintf("f1_n%d", n)] = f1
+	}
+	return Result{
+		ID:      "ablate-headn",
+		Title:   "Ablation: packets per event fed to the classifier",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}
+}
+
+// AblationBootstrap sweeps the rule-learning window: fraction of
+// post-bootstrap control traffic admitted by rule hits. The paper picks 20
+// minutes = 2x the largest recurring interval.
+func AblationBootstrap(sc Scale) Result {
+	traces := testbedFor(sc, 0)
+	tr, _ := findFirst(traces, "EchoDot4-US")
+	tb := &stats.Table{Header: []string{"Bootstrap", "Rules", "Control rule-hit rate"}}
+	metrics := map[string]float64{}
+	for _, window := range []time.Duration{5 * time.Minute, 10 * time.Minute, 20 * time.Minute, 40 * time.Minute} {
+		rt := flows.NewRuleTable(flows.ModePortLess)
+		cut := tr.Records[0].Time.Add(window)
+		var hits, total int
+		for _, rec := range tr.Records {
+			if rec.Time.Before(cut) {
+				rt.Learn(rec)
+				continue
+			}
+			if !rt.Frozen() {
+				rt.Freeze()
+			}
+			if rec.Category != flows.CategoryControl {
+				continue
+			}
+			total++
+			if rt.Match(rec) {
+				hits++
+			}
+		}
+		rate := ratio(hits, total)
+		tb.Add(window.String(), rt.Rules(), stats.FormatPct(rate))
+		metrics[fmt.Sprintf("hit_rate_%dm", int(window.Minutes()))] = rate
+	}
+	return Result{
+		ID:      "ablate-bootstrap",
+		Title:   "Ablation: bootstrap learning window",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}
+}
+
+// AblationTransport compares the attestation channel designs on real
+// loopback sockets: QUIC 0-RTT, QUIC 1-RTT (both over quicfast with path
+// latency injected) and a TCP+TLS-style stream channel (internal/tcpchan
+// behind a delaying relay). The TCP column is measured, not estimated.
+func AblationTransport(sc Scale) Result {
+	tb := &stats.Table{Header: []string{"Scenario", "QUIC 0-RTT", "QUIC 1-RTT", "TCP+TLS-style (measured)"}}
+	metrics := map[string]float64{}
+	for _, scen := range table7Scenarios {
+		validator, gen, err := sensors.DefaultValidator(sc.Seed + 80)
+		if err != nil {
+			return Result{ID: "ablate-transport", Title: "Transport ablation", Text: "error: " + err.Error()}
+		}
+		q1, q0, _, closeFn, err := measureQUIC(scen, sc.Table7Runs, validator, gen, sc.Seed+81)
+		if err != nil {
+			return Result{ID: "ablate-transport", Title: "Transport ablation", Text: "error: " + err.Error()}
+		}
+		closeFn()
+		tcpMeasured, err := measureTCPChannel(scen, sc.Table7Runs)
+		if err != nil {
+			return Result{ID: "ablate-transport", Title: "Transport ablation", Text: "error: " + err.Error()}
+		}
+		tb.Add(scen.Name, fmtMS(q0), fmtMS(q1), fmtMS(tcpMeasured))
+		metrics[scen.Name+"_q0_ms"] = float64(q0.Milliseconds())
+		metrics[scen.Name+"_q1_ms"] = float64(q1.Milliseconds())
+		metrics[scen.Name+"_tcp_ms"] = float64(tcpMeasured.Milliseconds())
+	}
+	return Result{
+		ID:      "ablate-transport",
+		Title:   "Ablation: attestation transport (0-RTT vs 1-RTT vs TCP-style)",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}
+}
+
+// measureTCPChannel times a cold TCP+handshake attestation (connect +
+// hello exchange + data/ack) through a relay adding the scenario's one-way
+// path latency.
+func measureTCPChannel(scen scenario, runs int) (time.Duration, error) {
+	psk := []byte("ablate-transport-psk-32-bytes!!!")
+	srv, err := tcpchan.Listen("tcp", "127.0.0.1:0", psk)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	go func() { _ = srv.Serve(nil) }()
+	relay, err := tcpchan.NewDelayRelay(srv.Addr().String(), scen.OneWay)
+	if err != nil {
+		return 0, err
+	}
+	defer relay.Close()
+
+	payload := make([]byte, 4+1+1+8+8*sensors.FeatureDim+32)
+	if runs <= 0 {
+		runs = 3
+	}
+	var sum time.Duration
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		conn, err := tcpchan.Dial("tcp", relay.Addr(), psk)
+		if err != nil {
+			return 0, err
+		}
+		if err := conn.SendWithAck(payload); err != nil {
+			conn.Close()
+			return 0, err
+		}
+		sum += time.Since(start)
+		conn.Close()
+	}
+	return sum / time.Duration(runs), nil
+}
+
+// Ablations runs the design-choice sweeps DESIGN.md calls out.
+func Ablations(sc Scale) []Result {
+	return []Result{
+		AblationBucketing(sc),
+		AblationGap(sc),
+		AblationHeadN(sc),
+		AblationBootstrap(sc),
+		AblationTransport(sc),
+		AblationHumanness(sc),
+	}
+}
+
+func findFirst(traces []dataset.Trace, name string) (*dataset.Trace, bool) {
+	return dataset.FindTrace(traces, name)
+}

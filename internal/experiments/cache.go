@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fiat/internal/dataset"
+	"fiat/internal/features"
+	"fiat/internal/flows"
+)
+
+// The experiment suite reuses the same corpora across tables; generating a
+// two-week 18-trace testbed repeatedly would dominate the runtime, so the
+// builders are memoized. Keys include every generation parameter, so
+// differently-scaled runs never share entries.
+
+var (
+	cacheMu      sync.Mutex
+	testbedMemo  = map[string][]dataset.Trace{}
+	eventXYMemo  = map[string]xyPair{}
+	ytCorpusMemo = map[string][]dataset.Trace{}
+)
+
+type xyPair struct {
+	X [][]float64
+	Y []int
+}
+
+func testbedFor(sc Scale, seedOff int64) []dataset.Trace {
+	key := fmt.Sprintf("tb/%d/%d/%g", sc.Seed+seedOff, sc.TestbedDays, sc.ManualPerDay)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if tr, ok := testbedMemo[key]; ok {
+		return tr
+	}
+	tr := dataset.Testbed(dataset.TestbedOptions{
+		Days: sc.TestbedDays, ManualPerDay: sc.ManualPerDay, Seed: sc.Seed + seedOff,
+	})
+	testbedMemo[key] = tr
+	return tr
+}
+
+func yourThingsFor(seed int64, n int, durNanos int64) []dataset.Trace {
+	key := fmt.Sprintf("yt/%d/%d/%d", seed, n, durNanos)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if tr, ok := ytCorpusMemo[key]; ok {
+		return tr
+	}
+	tr := dataset.YourThings(seed, n, durationOf(durNanos))
+	ytCorpusMemo[key] = tr
+	return tr
+}
+
+// cachedEventXY extracts (and memoizes) the §4 design matrix for a trace.
+func cachedEventXY(sc Scale, seedOff int64, tr *dataset.Trace) ([][]float64, []int) {
+	key := fmt.Sprintf("xy/%d/%d/%g/%s", sc.Seed+seedOff, sc.TestbedDays, sc.ManualPerDay, tr.Name)
+	cacheMu.Lock()
+	if p, ok := eventXYMemo[key]; ok {
+		cacheMu.Unlock()
+		return p.X, p.Y
+	}
+	cacheMu.Unlock()
+	evs := tr.Events(flows.ModePortLess)
+	X := features.ExtractAll(evs)
+	y := features.MulticlassLabels(evs)
+	cacheMu.Lock()
+	eventXYMemo[key] = xyPair{X: X, Y: y}
+	cacheMu.Unlock()
+	return X, y
+}
+
+// ResetCaches clears the memoized corpora (tests and memory-sensitive
+// callers).
+func ResetCaches() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	testbedMemo = map[string][]dataset.Trace{}
+	eventXYMemo = map[string]xyPair{}
+	ytCorpusMemo = map[string][]dataset.Trace{}
+}
+
+func durationOf(nanos int64) time.Duration { return time.Duration(nanos) }

@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrates. Each experiment returns a
+// Result holding the rendered text (the same rows/series the paper
+// reports) plus the key numbers as structured metrics, so the fiatbench
+// binary, the root benchmarks, and EXPERIMENTS.md all share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier ("fig1b", "table6", ...).
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Text is the rendered table/figure.
+	Text string
+	// Metrics holds the headline numbers, keyed for programmatic
+	// comparison against the paper's values.
+	Metrics map[string]float64
+}
+
+// String renders the result with its header.
+func (r Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	sb.WriteString(r.Text)
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("  key metrics: ")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s=%.3g", k, r.Metrics[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Scale sizes an experiment run. Full reproduces the paper's corpus sizes;
+// Quick shrinks them so the whole suite runs in seconds (benchmarks and CI).
+type Scale struct {
+	// Seed drives all randomness.
+	Seed int64
+	// YTDevices/YTDuration size the YourThings-like corpus (paper: 65
+	// devices, 10 days).
+	YTDevices  int
+	YTDuration time.Duration
+	// MonDevices/MonDuration size the Mon(IoT)r-like corpus (paper: 104).
+	MonDevices  int
+	MonDuration time.Duration
+	// TestbedDays and ManualPerDay size the §3 testbed traces.
+	TestbedDays  int
+	ManualPerDay float64
+	// CVSeeds is the cross-validation shuffling seed.
+	CVSeeds int64
+	// PermRepeats is the permutation-importance repeat count (paper: 50).
+	PermRepeats int
+	// Table6Ops is the scripted manual operations per device (paper: 50).
+	Table6Ops int
+	// HumanWindows sizes the humanness-recall measurement (paper: ~100
+	// interactions; more samples tighten the estimate).
+	HumanWindows int
+	// Table7Runs is the per-cell repeat count (paper: 5).
+	Table7Runs int
+}
+
+// Quick returns the fast preset.
+func Quick(seed int64) Scale {
+	return Scale{
+		Seed:      seed,
+		YTDevices: 24, YTDuration: 8 * time.Hour,
+		MonDevices: 16, MonDuration: 4 * time.Hour,
+		TestbedDays: 6, ManualPerDay: 6,
+		CVSeeds: 1, PermRepeats: 10,
+		Table6Ops: 30, HumanWindows: 300, Table7Runs: 3,
+	}
+}
+
+// Full returns the paper-scale preset.
+func Full(seed int64) Scale {
+	return Scale{
+		Seed:      seed,
+		YTDevices: 65, YTDuration: 48 * time.Hour,
+		MonDevices: 104, MonDuration: 12 * time.Hour,
+		TestbedDays: 14, ManualPerDay: 5,
+		CVSeeds: 1, PermRepeats: 50,
+		Table6Ops: 50, HumanWindows: 1000, Table7Runs: 5,
+	}
+}
+
+// All runs every experiment at the given scale, in paper order.
+func All(sc Scale) []Result {
+	return []Result{
+		Fig1a(sc),
+		Fig1b(sc),
+		Fig1c(sc),
+		Inspector(sc),
+		Fig2(sc),
+		CompletionN(sc),
+		Table2(sc),
+		Table3(sc),
+		Table4(sc),
+		Table5(sc),
+		Table6(sc),
+		Table7(sc),
+		DelayTolerance(sc),
+	}
+}

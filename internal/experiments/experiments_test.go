@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps the test suite fast while preserving enough data for the
+// qualitative paper claims to hold.
+func tinyScale() Scale {
+	return Scale{
+		Seed:      7,
+		YTDevices: 12, YTDuration: 6 * time.Hour,
+		MonDevices: 8, MonDuration: 3 * time.Hour,
+		TestbedDays: 5, ManualPerDay: 6,
+		CVSeeds: 1, PermRepeats: 5,
+		Table6Ops: 25, HumanWindows: 200, Table7Runs: 2,
+	}
+}
+
+var (
+	scaleOnce sync.Once
+	scaleVal  Scale
+)
+
+func sharedScale() Scale {
+	scaleOnce.Do(func() { scaleVal = tinyScale() })
+	return scaleVal
+}
+
+func TestFig1aRendersFlows(t *testing.T) {
+	r := Fig1a(sharedScale())
+	if r.Metrics["flows"] < 5 {
+		t.Fatalf("flows = %v, want several periodic flows", r.Metrics["flows"])
+	}
+	if !strings.Contains(r.Text, "#") {
+		t.Fatal("timeline empty")
+	}
+}
+
+func TestFig1bHeadlines(t *testing.T) {
+	r := Fig1b(sharedScale())
+	// Paper: >80% of traffic predictable for 80% of YourThings devices
+	// (PortLess); PortLess beats Classic; idle more predictable than
+	// active.
+	if p20 := r.Metrics["yourthings_portless_p20"]; p20 < 0.7 {
+		t.Fatalf("YourThings PortLess p20 = %.3f", p20)
+	}
+	if r.Metrics["yourthings_portless_p20"] <= r.Metrics["yourthings_classic_p20"] {
+		t.Fatal("PortLess did not beat Classic")
+	}
+	if r.Metrics["moniotr_idle_mean"] <= r.Metrics["moniotr_active_mean"] {
+		t.Fatal("idle not more predictable than active")
+	}
+}
+
+func TestFig1cBootstrapJustification(t *testing.T) {
+	r := Fig1c(sharedScale())
+	// Paper: 80-90% of predictable traffic recurs within 5 minutes; max 10.
+	if v := r.Metrics["within_5min_fraction"]; v < 0.6 {
+		t.Fatalf("within-5-min fraction = %.3f", v)
+	}
+	if v := r.Metrics["max_interval_minutes"]; v > 10.5 {
+		t.Fatalf("max recurring interval = %.1f min, want <= 10", v)
+	}
+}
+
+func TestInspectorMedian(t *testing.T) {
+	r := Inspector(sharedScale())
+	if v := r.Metrics["aggregate_median"]; v < 0.8 {
+		t.Fatalf("aggregate median = %.3f, want > ~0.85 (paper)", v)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := Fig2(sharedScale())
+	// Control high everywhere; Nest the outlier; plugs' automated ~0;
+	// cameras' manual mid-range.
+	if v := r.Metrics["HomeMini_control"]; v < 0.93 {
+		t.Fatalf("HomeMini control = %.3f", v)
+	}
+	if r.Metrics["Nest-E_control"] >= r.Metrics["HomeMini_control"] {
+		t.Fatal("Nest-E not the control outlier")
+	}
+	if v := r.Metrics["SP10_automated"]; v > 0.2 {
+		t.Fatalf("SP10 automated = %.3f, want ~0", v)
+	}
+	if v := r.Metrics["WyzeCam_manual"]; v < 0.45 || v > 0.9 {
+		t.Fatalf("WyzeCam manual = %.3f, want ~0.6", v)
+	}
+	if r.Metrics["EchoDot4_manual"] >= r.Metrics["EchoDot4_control"] {
+		t.Fatal("manual not the least predictable category")
+	}
+}
+
+func TestCompletionNRange(t *testing.T) {
+	r := CompletionN(sharedScale())
+	if r.Metrics["min_N"] != 1 || r.Metrics["max_N"] != 41 {
+		t.Fatalf("N range = [%v, %v], want [1, 41]", r.Metrics["min_N"], r.Metrics["max_N"])
+	}
+}
+
+func TestTable2TopModels(t *testing.T) {
+	r := Table2(sharedScale())
+	bnb := r.Metrics["bernoulli-naive-bayes"]
+	if bnb < 0.85 {
+		t.Fatalf("BernoulliNB balanced accuracy = %.3f", bnb)
+	}
+	// All nine families must be present.
+	if len(r.Metrics) != 9 {
+		t.Fatalf("models scored = %d, want 9", len(r.Metrics))
+	}
+}
+
+func TestTable3Band(t *testing.T) {
+	r := Table3(sharedScale())
+	// The deployed model's per-device manual F1 lands in the paper's band,
+	// with the Home speaker the hard device.
+	if v := r.Metrics["WyzeCam-DE_bnb_f1"]; v < 0.8 {
+		t.Fatalf("WyzeCam-DE BNB F1 = %.3f (paper 0.99)", v)
+	}
+	if r.Metrics["Home-US_bnb_f1"] >= r.Metrics["WyzeCam-DE_bnb_f1"] {
+		t.Fatal("Home not harder than WyzeCam-DE")
+	}
+}
+
+func TestTable4IPsIrrelevant(t *testing.T) {
+	r := Table4(sharedScale())
+	if v := r.Metrics["mean_ip_octets"]; v > 0.004 {
+		t.Fatalf("mean IP-octet importance = %.4f, want ~0 (paper: 0.0000)", v)
+	}
+	if r.Metrics["top_importance"] <= 0 {
+		t.Fatal("no feature has positive importance")
+	}
+}
+
+func TestTable5TransferWorks(t *testing.T) {
+	r := Table5(sharedScale())
+	// BNB transfers across locations (the paper's deployment argument:
+	// BNB has "better transferability than NCC").
+	var bnbSum, nccSum float64
+	n := 0
+	for k, v := range r.Metrics {
+		if strings.HasSuffix(k, "_bnb") {
+			bnbSum += v
+			n++
+		}
+		if strings.HasSuffix(k, "_ncc") {
+			nccSum += v
+		}
+	}
+	if n == 0 {
+		t.Fatal("no transfer results")
+	}
+	if bnbSum/float64(n) < 0.6 {
+		t.Fatalf("mean BNB transfer F1 = %.3f", bnbSum/float64(n))
+	}
+	if bnbSum <= nccSum {
+		t.Fatal("BNB does not transfer better than NCC")
+	}
+}
+
+func TestTable6HeadlineClaims(t *testing.T) {
+	r := Table6(sharedScale())
+	// Paper: zero FP/FN for half the devices, at most ~6% FN elsewhere;
+	// human/non-human validation recall ~0.93/0.98.
+	if v := r.Metrics["worst_fn"]; v > 0.12 {
+		t.Fatalf("worst FN = %.3f, want <= ~0.06-0.12", v)
+	}
+	zeroFN := 0
+	for _, dev := range []string{"SP10", "WP3", "Nest-E", "Blink", "WyzeCam", "Home", "EchoDot3", "EchoDot4", "HomeMini", "E4"} {
+		if r.Metrics[dev+"_fn"] == 0 {
+			zeroFN++
+		}
+	}
+	if zeroFN < 3 {
+		t.Fatalf("devices with zero FN = %d, want several", zeroFN)
+	}
+	if v := r.Metrics["human_recall"]; v < 0.88 {
+		t.Fatalf("human recall = %.3f", v)
+	}
+	if v := r.Metrics["nonhuman_recall"]; v < 0.95 {
+		t.Fatalf("non-human recall = %.3f", v)
+	}
+	// The simple-rule devices classify perfectly.
+	for _, dev := range []string{"SP10", "WP3"} {
+		if r.Metrics[dev+"_cls_manual_recall"] != 1 {
+			t.Fatalf("%s classifier recall = %v, want 1", dev, r.Metrics[dev+"_cls_manual_recall"])
+		}
+	}
+}
+
+func TestTable7ValidationAlwaysWins(t *testing.T) {
+	r := Table7(sharedScale())
+	for _, dev := range []string{"WyzeCam", "SP10", "EchoDot4", "HomeMini"} {
+		for _, scen := range []string{"LAN", "Mobile"} {
+			if r.Metrics[dev+"_"+scen+"_validation_wins"] != 1 {
+				t.Fatalf("%s/%s: validation not faster than IoT traffic", dev, scen)
+			}
+		}
+	}
+	// Paper: faster by >74% on LAN, >50% on mobile.
+	if v := r.Metrics["min_speedup_lan"]; v < 0.74 {
+		t.Fatalf("LAN speedup = %.3f, want > 0.74", v)
+	}
+	if v := r.Metrics["min_speedup_mobile"]; v < 0.5 {
+		t.Fatalf("mobile speedup = %.3f, want > 0.5", v)
+	}
+}
+
+func TestDelayToleranceTwoSeconds(t *testing.T) {
+	r := DelayTolerance(sharedScale())
+	if v := r.Metrics["max_delay_all_ok_seconds"]; v < 2 {
+		t.Fatalf("max tolerated delay = %vs, want >= 2 (paper)", v)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	sc := sharedScale()
+	for _, r := range Ablations(sc) {
+		if r.Text == "" || strings.HasPrefix(r.Text, "error") {
+			t.Fatalf("%s failed: %s", r.ID, r.Text)
+		}
+	}
+}
+
+func TestAblationBucketingPositiveDelta(t *testing.T) {
+	r := AblationBucketing(sharedScale())
+	if v := r.Metrics["mean_delta"]; v <= 0 {
+		t.Fatalf("PortLess mean delta = %.3f, want positive", v)
+	}
+}
+
+func TestAblationBootstrapMonotone(t *testing.T) {
+	r := AblationBootstrap(sharedScale())
+	if r.Metrics["hit_rate_20m"] < r.Metrics["hit_rate_5m"] {
+		t.Fatal("longer bootstrap reduced the rule-hit rate")
+	}
+	if r.Metrics["hit_rate_20m"] < 0.8 {
+		t.Fatalf("20-minute bootstrap rule-hit rate = %.3f", r.Metrics["hit_rate_20m"])
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "x", Title: "T", Text: "body\n", Metrics: map[string]float64{"a": 1}}
+	s := r.String()
+	if !strings.Contains(s, "== x: T ==") || !strings.Contains(s, "a=1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	q, f := Quick(1), Full(1)
+	if q.YTDevices >= f.YTDevices || q.TestbedDays >= f.TestbedDays {
+		t.Fatal("Quick not smaller than Full")
+	}
+	if f.YTDevices != 65 || f.MonDevices != 104 || f.Table6Ops != 50 || f.PermRepeats != 50 {
+		t.Fatalf("Full preset does not match the paper's corpus sizes: %+v", f)
+	}
+}
+
+func TestAblationHumannessAllFamiliesWork(t *testing.T) {
+	r := AblationHumanness(sharedScale())
+	// Paper via zkSENSE: all four families reach similar (~0.95) recall.
+	for k, v := range r.Metrics {
+		if strings.HasSuffix(k, "-human") && v < 0.85 {
+			t.Fatalf("%s human recall = %.3f, want ~0.95", k, v)
+		}
+	}
+	if len(r.Metrics) < 4 {
+		t.Fatalf("families evaluated = %d, want 4", len(r.Metrics))
+	}
+}

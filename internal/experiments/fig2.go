@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fiat/internal/dataset"
+	"fiat/internal/devices"
+	"fiat/internal/flows"
+	"fiat/internal/stats"
+)
+
+// Fig2 reproduces the per-device predictability by traffic category on the
+// testbed (control ~98% with Nest-E the outlier; automated ~90% but 0 for
+// the two-packet plugs; manual worst except the streaming cameras).
+func Fig2(sc Scale) Result {
+	traces := testbedFor(sc, 0)
+	tb := &stats.Table{Header: []string{"Device", "Control", "Automated", "Manual"}}
+	metrics := map[string]float64{}
+	for _, p := range devices.StandardTestbed() {
+		tr, ok := dataset.FindTrace(traces, p.Name+"-US")
+		if !ok {
+			continue
+		}
+		by := tr.Analyze(flows.ModePortLess).FractionByCategory()
+		tb.Add(p.Name,
+			stats.FormatPct(by[flows.CategoryControl]),
+			stats.FormatPct(by[flows.CategoryAutomated]),
+			stats.FormatPct(by[flows.CategoryManual]))
+		metrics[p.Name+"_control"] = by[flows.CategoryControl]
+		metrics[p.Name+"_automated"] = by[flows.CategoryAutomated]
+		metrics[p.Name+"_manual"] = by[flows.CategoryManual]
+	}
+	return Result{
+		ID:      "fig2",
+		Title:   "Testbed predictability by category (PortLess)",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}
+}
+
+// CompletionN reproduces the §3.3 truncation experiment: the minimum number
+// of packets each device needs to execute a manual command (1 for the
+// plugs, up to 41 for WyzeCam) — the per-device grace budget the proxy can
+// spend before it must decide.
+func CompletionN(sc Scale) Result {
+	tb := &stats.Table{Header: []string{"Device", "Min packets N", "Completes at N-1", "Completes at N"}}
+	metrics := map[string]float64{}
+	minN, maxN := 1<<30, 0
+	for _, p := range devices.StandardTestbed() {
+		tb.Add(p.Name, p.CompletionN,
+			fmt.Sprintf("%v", p.CommandCompletes(p.CompletionN-1)),
+			fmt.Sprintf("%v", p.CommandCompletes(p.CompletionN)))
+		metrics[p.Name+"_N"] = float64(p.CompletionN)
+		if p.CompletionN < minN {
+			minN = p.CompletionN
+		}
+		if p.CompletionN > maxN {
+			maxN = p.CompletionN
+		}
+	}
+	metrics["min_N"] = float64(minN)
+	metrics["max_N"] = float64(maxN)
+	return Result{
+		ID:      "ncomplete",
+		Title:   "Minimum packets for manual-command completion (§3.3)",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}
+}

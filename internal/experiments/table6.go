@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fiat/internal/core"
+	"fiat/internal/dataset"
+	"fiat/internal/devices"
+	"fiat/internal/events"
+	"fiat/internal/flows"
+	"fiat/internal/ml"
+	"fiat/internal/netsim"
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+	"fiat/internal/stats"
+)
+
+// Table6 reproduces FIAT's end-to-end accuracy evaluation: per device, the
+// precision/recall of the deployed event classifier (simple rules for
+// SP10/WP3/Nest-E, BernoulliNB otherwise), the shared humanness-validation
+// precision/recall, and the measured false-positive/false-negative rates
+// under three workloads — legitimate manual operations with real (human)
+// windows, legitimate non-manual events with no interaction, and attacks
+// (manual-shaped traffic with spyware-driven, non-human attestations).
+func Table6(sc Scale) Result {
+	// Humanness validation, shared across devices.
+	validator, gen, err := sensors.DefaultValidator(sc.Seed + 40)
+	if err != nil {
+		return Result{ID: "table6", Title: "FIAT accuracy", Text: "error: " + err.Error()}
+	}
+	humanRecall, nonHumanRecall := validator.Recalls(gen, sc.HumanWindows)
+	// Precision follows from the recalls at a balanced mix.
+	humanPrecision := humanRecall / (humanRecall + (1 - nonHumanRecall))
+	nonHumanPrecision := nonHumanRecall / (nonHumanRecall + (1 - humanRecall))
+
+	// Train per-device classifiers on one corpus, evaluate on a fresh one.
+	train := testbedFor(sc, 41)
+	eval := testbedFor(sc, 42)
+
+	// The engaged user's deliberate taps are firm: gentle grazes are rarer
+	// than in the general window population.
+	userGen := sensors.NewGenerator(simclock.NewRNG(sc.Seed + 43))
+	userGen.GentleTouchProb = 0.02
+	attackGen := sensors.NewGenerator(simclock.NewRNG(sc.Seed + 44))
+
+	tb := &stats.Table{Header: []string{
+		"Device", "Cls Manual P/R", "Cls Non-M P/R", "FP Manual", "FP Non-M", "FN",
+	}}
+	metrics := map[string]float64{
+		"human_recall":       humanRecall,
+		"nonhuman_recall":    nonHumanRecall,
+		"human_precision":    humanPrecision,
+		"nonhuman_precision": nonHumanPrecision,
+		"validation_windows": float64(sc.HumanWindows),
+	}
+	var worstFN float64
+	zeroFNZeroFP := 0
+	for _, p := range devices.StandardTestbed() {
+		trTrain, _ := dataset.FindTrace(train, p.Name+"-US")
+		trEval, _ := dataset.FindTrace(eval, p.Name+"-US")
+		if trTrain == nil || trEval == nil {
+			continue
+		}
+		clf := buildClassifier(p, trTrain)
+
+		// The evaluation workload: Table6Ops scripted manual operations
+		// (the ADB automation of §6) against the eval trace's
+		// unpredictable non-manual events.
+		opsRNG := simclock.NewRNG(sc.Seed + 45).Fork(p.Name)
+		opRecs := p.ScriptedOps(opsRNG, sc.Table6Ops, netsim.LocCloudUS, simclock.Epoch)
+		manualEvents := events.Group(opRecs, 0)
+		var nonManualEvents []*events.Event
+		for _, e := range trEval.Events(flows.ModePortLess) {
+			if e.Category != flows.CategoryManual {
+				nonManualEvents = append(nonManualEvents, e)
+			}
+		}
+
+		// Classifier P/R over the combined event set.
+		var yTrue, yPred []int
+		for _, e := range manualEvents {
+			yTrue = append(yTrue, 1)
+			yPred = append(yPred, b2i(clf.IsManual(e)))
+		}
+		for _, e := range nonManualEvents {
+			yTrue = append(yTrue, 0)
+			yPred = append(yPred, b2i(clf.IsManual(e)))
+		}
+		man := ml.ClassPRF(yTrue, yPred, 1)
+		non := ml.ClassPRF(yTrue, yPred, 0)
+
+		var fpManual, fpNonManual, fn int
+		legitOps := len(manualEvents)
+		for _, e := range manualEvents {
+			if clf.IsManual(e) && !validator.ValidateWindow(userGen.Human()) {
+				fpManual++ // correctly classified, human not validated
+			}
+		}
+		nonManualTotal := len(nonManualEvents)
+		for _, e := range nonManualEvents {
+			if clf.IsManual(e) {
+				fpNonManual++ // misclassified; no human present to save it
+			}
+		}
+		attacks := len(manualEvents)
+		for _, e := range manualEvents {
+			// The attack: same traffic shape, spyware-driven app, so the
+			// attestation carries a non-human window.
+			if !clf.IsManual(e) || validator.ValidateWindow(attackGen.NonHuman()) {
+				fn++
+			}
+		}
+		fpM := ratio(fpManual, legitOps)
+		fpN := ratio(fpNonManual, nonManualTotal)
+		fnR := ratio(fn, attacks)
+		tb.Add(p.Name,
+			fmt.Sprintf("%.2f/%.2f", man.Precision, man.Recall),
+			fmt.Sprintf("%.2f/%.2f", non.Precision, non.Recall),
+			stats.FormatPct(fpM), stats.FormatPct(fpN), stats.FormatPct(fnR))
+		metrics[p.Name+"_fn"] = fnR
+		metrics[p.Name+"_fp_manual"] = fpM
+		metrics[p.Name+"_fp_nonmanual"] = fpN
+		metrics[p.Name+"_cls_manual_recall"] = man.Recall
+		if fnR > worstFN {
+			worstFN = fnR
+		}
+		if fnR == 0 && fpM == 0 && fpN == 0 {
+			zeroFNZeroFP++
+		}
+	}
+	metrics["worst_fn"] = worstFN
+	metrics["perfect_devices"] = float64(zeroFNZeroFP)
+
+	text := tb.String()
+	text += fmt.Sprintf("\n  Human validation: P=%.3f R=%.3f   Non-human: P=%.3f R=%.3f\n",
+		humanPrecision, humanRecall, nonHumanPrecision, nonHumanRecall)
+	text += fmt.Sprintf("  Appendix A closed forms at these recalls (R_m=0.98, R_nm=0.985 example):\n")
+	text += fmt.Sprintf("    P_FP-N=%.4f  P_FP-M=%.4f  P_FN=%.4f\n",
+		core.PFPNonManual(0.985, nonHumanRecall),
+		core.PFPManual(0.98, humanRecall),
+		core.PFN(0.98, nonHumanRecall))
+	return Result{
+		ID:      "table6",
+		Title:   "FIAT accuracy evaluation",
+		Text:    text,
+		Metrics: metrics,
+	}
+}
+
+// buildClassifier assembles the deployed per-device classifier: the packet
+// size rule for simple devices, BernoulliNB trained on the device's
+// training-trace events otherwise (§6 footnote 2).
+func buildClassifier(p *devices.Profile, trTrain *dataset.Trace) core.EventClassifier {
+	if p.SimpleRule {
+		return core.RuleClassifier{NotificationSize: p.NotificationSize}
+	}
+	evs := trTrain.Events(flows.ModePortLess)
+	clf, err := core.TrainMLClassifier(evs, nil)
+	if err != nil {
+		// Degenerate training corpus: fall back to a never-manual rule.
+		return core.RuleClassifier{NotificationSize: -1}
+	}
+	return clf
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func ratio(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// DelayTolerance reproduces the §6 closing experiment: add synthetic
+// latency to the humanness validation and find when IoT functions break.
+// TCP absorbs held packets via retransmission; what breaks a command is the
+// companion app's own response timeout. All testbed devices tolerate two
+// seconds of extra verdict delay.
+func DelayTolerance(sc Scale) Result {
+	// Per-device application-layer timeouts (seconds) for the command
+	// round trip; conservative values for cheap plugs, generous for
+	// speakers that show progress UI.
+	appTimeout := map[string]time.Duration{
+		"EchoDot4": 5 * time.Second, "HomeMini": 5 * time.Second,
+		"WyzeCam": 6 * time.Second, "SP10": 2800 * time.Millisecond,
+		"Home": 5 * time.Second, "Nest-E": 4 * time.Second,
+		"EchoDot3": 5 * time.Second, "E4": 6 * time.Second,
+		"Blink": 6 * time.Second, "WP3": 2800 * time.Millisecond,
+	}
+	tb := &stats.Table{Header: []string{"Extra verdict delay", "Devices functioning", "Retransmits", "Broken"}}
+	metrics := map[string]float64{}
+	delays := []time.Duration{0, 500 * time.Millisecond, time.Second,
+		2 * time.Second, 2500 * time.Millisecond, 3 * time.Second, 4 * time.Second}
+	tcp := netsim.DefaultTCPModel(30 * time.Millisecond)
+	var maxAllOK time.Duration
+	for _, d := range delays {
+		ok := 0
+		broken := ""
+		maxRetrans := 0
+		for _, p := range devices.StandardTestbed() {
+			// The proxy holds the command's packets until the verdict;
+			// the cloud's TCP stack retransmits with backoff, and the
+			// exchange completes once released — unless the companion
+			// app's own timeout fires first.
+			out := tcp.DeliverWithHold(d)
+			if out.Retransmits > maxRetrans {
+				maxRetrans = out.Retransmits
+			}
+			if tcp.CommandSucceeds(d, appTimeout[p.Name]) {
+				ok++
+			} else if broken == "" {
+				broken = p.Name
+			}
+		}
+		tb.Add(d.String(), fmt.Sprintf("%d/10", ok), maxRetrans, broken)
+		if ok == 10 && d > maxAllOK {
+			maxAllOK = d
+		}
+	}
+	metrics["max_delay_all_ok_seconds"] = maxAllOK.Seconds()
+	text := tb.String()
+	text += fmt.Sprintf("\n  all devices tolerate %v extra delay (paper: two seconds);\n", maxAllOK)
+	text += "  held packets are recovered by TCP retransmission, as the paper observes\n"
+	return Result{
+		ID:      "delay",
+		Title:   "Verdict-delay tolerance (§6)",
+		Text:    text,
+		Metrics: metrics,
+	}
+}

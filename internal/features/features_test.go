@@ -1,0 +1,179 @@
+package features
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/flows"
+)
+
+var t0 = time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func mkEvent(n int, cat flows.Category) *events.Event {
+	var recs []flows.Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, flows.Record{
+			Time: t0.Add(time.Duration(i) * 500 * time.Millisecond),
+			Size: 100 + 10*i, Proto: "tcp", Dir: flows.DirInbound,
+			RemoteIP:  netip.MustParseAddr("52.94.233.10"),
+			LocalPort: 8009, RemotePort: 443,
+			TCPFlags: flows.Record{}.TCPFlags | 0x18, TLSVersion: 0x0303,
+			Category: cat,
+		})
+	}
+	evs := events.Group(recs, 0)
+	return evs[0]
+}
+
+func TestNamesCountMatchesDim(t *testing.T) {
+	names := Names()
+	if len(names) != Dim {
+		t.Fatalf("len(Names) = %d, want %d", len(names), Dim)
+	}
+	if Dim != 66 {
+		t.Fatalf("Dim = %d, want 66 per the paper", Dim)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestExtractDimension(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 9} {
+		v := Extract(mkEvent(n, flows.CategoryManual))
+		if len(v) != Dim {
+			t.Fatalf("n=%d: len = %d, want %d", n, len(v), Dim)
+		}
+	}
+}
+
+func TestPerPacketFields(t *testing.T) {
+	v := Extract(mkEvent(3, flows.CategoryManual))
+	names := Names()
+	at := func(name string) float64 {
+		for i, n := range names {
+			if n == name {
+				return v[i]
+			}
+		}
+		t.Fatalf("no feature %q", name)
+		return 0
+	}
+	if at("pkt1-direction") != 1 { // inbound
+		t.Fatal("pkt1-direction")
+	}
+	if at("pkt1-proto") != 0 { // tcp
+		t.Fatal("pkt1-proto")
+	}
+	if at("pkt1-len") != 100 || at("pkt2-len") != 110 {
+		t.Fatal("packet lengths")
+	}
+	if at("pkt1-iat") != 0 {
+		t.Fatal("first packet IAT must be 0")
+	}
+	if at("pkt2-iat") != 0.5 {
+		t.Fatalf("pkt2-iat = %v", at("pkt2-iat"))
+	}
+	if at("pkt1-tls") != 3 { // TLS 1.2
+		t.Fatalf("pkt1-tls = %v", at("pkt1-tls"))
+	}
+	if at("pkt1-dst-ip1") != 52 || at("pkt1-dst-ip4") != 10 {
+		t.Fatal("IP octets")
+	}
+	// Inbound: the sender's port is the remote port.
+	if at("pkt1-src-port") != 443 || at("pkt1-dst-port") != 8009 {
+		t.Fatalf("ports = %v, %v", at("pkt1-src-port"), at("pkt1-dst-port"))
+	}
+}
+
+func TestZeroPaddingShortEvents(t *testing.T) {
+	v := Extract(mkEvent(2, flows.CategoryManual))
+	names := Names()
+	for i, n := range names {
+		if len(n) >= 4 && (n[:4] == "pkt3" || n[:4] == "pkt4" || n[:4] == "pkt5") {
+			if v[i] != 0 {
+				t.Fatalf("%s = %v, want 0 (padding)", n, v[i])
+			}
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	v := Extract(mkEvent(5, flows.CategoryManual))
+	agg := HeadPackets * perPacket
+	if v[agg+0] != 5 {
+		t.Fatalf("pkt-count = %v", v[agg+0])
+	}
+	if v[agg+1] != 100+110+120+130+140 {
+		t.Fatalf("total-bytes = %v", v[agg+1])
+	}
+	if v[agg+2] != 120 {
+		t.Fatalf("mean-len = %v", v[agg+2])
+	}
+	if v[agg+4] != 0.5 {
+		t.Fatalf("mean-iat = %v", v[agg+4])
+	}
+	if v[agg+5] != 0 { // constant IATs
+		t.Fatalf("std-iat = %v", v[agg+5])
+	}
+}
+
+func TestHeadTruncation(t *testing.T) {
+	// Events longer than 5 packets only use the head: aggregates of a
+	// 9-packet event equal those of its first 5 packets.
+	a := Extract(mkEvent(9, flows.CategoryManual))
+	b := Extract(mkEvent(5, flows.CategoryManual))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	evs := []*events.Event{
+		mkEvent(2, flows.CategoryManual),
+		mkEvent(2, flows.CategoryControl),
+		mkEvent(2, flows.CategoryAutomated),
+	}
+	y := Labels(evs)
+	if y[0] != 1 || y[1] != 0 || y[2] != 0 {
+		t.Fatalf("Labels = %v", y)
+	}
+	my := MulticlassLabels(evs)
+	if my[0] != 2 || my[1] != 0 || my[2] != 1 {
+		t.Fatalf("MulticlassLabels = %v", my)
+	}
+}
+
+func TestExtractAll(t *testing.T) {
+	evs := []*events.Event{mkEvent(1, 0), mkEvent(4, 0)}
+	X := ExtractAll(evs)
+	if len(X) != 2 || len(X[0]) != Dim || len(X[1]) != Dim {
+		t.Fatalf("shapes: %d x %d", len(X), len(X[0]))
+	}
+}
+
+func TestUDPProtoFeature(t *testing.T) {
+	recs := []flows.Record{{
+		Time: t0, Size: 64, Proto: "udp", Dir: flows.DirOutbound,
+		RemoteIP: netip.MustParseAddr("8.8.8.8"), LocalPort: 5353, RemotePort: 53,
+	}}
+	v := Extract(events.Group(recs, 0)[0])
+	if v[1] != 1 { // pkt1-proto
+		t.Fatalf("pkt1-proto = %v, want 1 for udp", v[1])
+	}
+	if v[0] != 0 { // outbound
+		t.Fatalf("pkt1-direction = %v, want 0", v[0])
+	}
+	// Outbound: src port is the local port.
+	if v[3] != 5353 || v[4] != 53 {
+		t.Fatalf("ports = %v, %v", v[3], v[4])
+	}
+}

@@ -1,0 +1,244 @@
+package flows
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultIATQuantum is the resolution at which inter-arrival times are
+// compared. Physical captures jitter by tens of milliseconds; two intervals
+// within the same quantum "match" in the sense of §2.1. One second keeps
+// minute-scale heartbeats matching while leaving the Nest thermostat's
+// "slightly different intervals (a few to ten seconds)" unpredictable,
+// reproducing the outlier the paper reports.
+const DefaultIATQuantum = time.Second
+
+// Analyzer performs the offline predictability analysis of §2.1 over a
+// packet stream. Feed Records in timestamp order with Observe, then read the
+// per-packet marks and aggregate statistics.
+type Analyzer struct {
+	mode    KeyMode
+	quantum time.Duration
+
+	records []Record
+	marks   []bool
+	buckets map[Key]*bucket
+}
+
+type bucket struct {
+	lastIdx  int
+	lastTime time.Time
+	hasLast  bool
+	// iats maps the quantized inter-arrival value to the packet indices
+	// associated with it. Once a value has been formed twice, every
+	// associated packet (previous or future) is predictable.
+	iats map[int64][]int
+	// matched records which quantized values have recurred.
+	matched map[int64]bool
+	// matchUses counts occurrences of each matched value; sustained
+	// intervals (>= 3 occurrences) feed the Fig 1c statistics so chance
+	// two-off coincidences do not inflate the maximum.
+	matchUses map[int64]int
+	// maxMatched is the largest recurring interval (Fig 1c).
+	maxMatched time.Duration
+}
+
+// Option customizes an Analyzer.
+type Option func(*Analyzer)
+
+// WithQuantum overrides the inter-arrival comparison resolution.
+func WithQuantum(q time.Duration) Option {
+	return func(a *Analyzer) {
+		if q > 0 {
+			a.quantum = q
+		}
+	}
+}
+
+// NewAnalyzer builds an analyzer for the given bucketing mode.
+func NewAnalyzer(mode KeyMode, opts ...Option) *Analyzer {
+	a := &Analyzer{
+		mode:    mode,
+		quantum: DefaultIATQuantum,
+		buckets: make(map[Key]*bucket),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Observe appends one record and returns its index.
+func (a *Analyzer) Observe(r Record) int {
+	idx := len(a.records)
+	a.records = append(a.records, r)
+	a.marks = append(a.marks, false)
+
+	key := KeyOf(a.mode, r)
+	b := a.buckets[key]
+	if b == nil {
+		b = &bucket{iats: make(map[int64][]int), matched: make(map[int64]bool), matchUses: make(map[int64]int)}
+		a.buckets[key] = b
+	}
+	if b.hasLast {
+		q := a.quantize(r.Time.Sub(b.lastTime))
+		b.iats[q] = append(b.iats[q], b.lastIdx, idx)
+		if len(b.iats[q]) >= 4 || b.matched[q] {
+			// This inter-arrival value has now been formed at least
+			// twice: mark every packet associated with it.
+			if !b.matched[q] {
+				b.matchUses[q] = 2
+			} else {
+				b.matchUses[q]++
+			}
+			b.matched[q] = true
+			if b.matchUses[q] >= 3 {
+				if d := time.Duration(q) * a.quantum; d > b.maxMatched {
+					b.maxMatched = d
+				}
+			}
+			for _, i := range b.iats[q] {
+				a.marks[i] = true
+			}
+			// Keep the slice short: packets already marked need not be
+			// revisited, only future ones appended per Observe.
+			b.iats[q] = b.iats[q][:0]
+		}
+	}
+	b.lastIdx = idx
+	b.lastTime = r.Time
+	b.hasLast = true
+	return idx
+}
+
+// ObserveAll feeds a whole trace.
+func (a *Analyzer) ObserveAll(recs []Record) {
+	for _, r := range recs {
+		a.Observe(r)
+	}
+}
+
+func (a *Analyzer) quantize(d time.Duration) int64 {
+	if d < 0 {
+		d = 0
+	}
+	return int64((d + a.quantum/2) / a.quantum)
+}
+
+// Len returns the number of observed packets.
+func (a *Analyzer) Len() int { return len(a.records) }
+
+// Predictable returns the per-packet marks (aliasing internal state; do not
+// mutate).
+func (a *Analyzer) Predictable() []bool { return a.marks }
+
+// Records returns the observed records (aliasing internal state).
+func (a *Analyzer) Records() []Record { return a.records }
+
+// Unpredictable returns the indices of unmarked packets, in order.
+func (a *Analyzer) Unpredictable() []int {
+	var out []int
+	for i, m := range a.marks {
+		if !m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Fraction returns the fraction of packets marked predictable.
+func (a *Analyzer) Fraction() float64 {
+	if len(a.marks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range a.marks {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.marks))
+}
+
+// FractionBytes returns the fraction of bytes marked predictable.
+func (a *Analyzer) FractionBytes() float64 {
+	var total, pred int64
+	for i, r := range a.records {
+		total += int64(r.Size)
+		if a.marks[i] {
+			pred += int64(r.Size)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(pred) / float64(total)
+}
+
+// FractionByCategory returns the predictable fraction per traffic category,
+// the quantity Fig 2 plots.
+func (a *Analyzer) FractionByCategory() map[Category]float64 {
+	total := map[Category]int{}
+	pred := map[Category]int{}
+	for i, r := range a.records {
+		total[r.Category]++
+		if a.marks[i] {
+			pred[r.Category]++
+		}
+	}
+	out := make(map[Category]float64, len(total))
+	for c, n := range total {
+		out[c] = float64(pred[c]) / float64(n)
+	}
+	return out
+}
+
+// MaxIntervalStats summarizes the recurring-interval structure of the
+// predictable traffic (Fig 1c).
+type MaxIntervalStats struct {
+	// PerFlow lists, for every bucket that became predictable, its largest
+	// recurring interval.
+	PerFlow []time.Duration
+	// PerPacket lists the owning bucket's largest recurring interval once
+	// per predictable packet, so CDFs can be traffic-weighted as in the
+	// paper ("80-90% of the predictable traffic occurs within 5 minutes").
+	PerPacket []time.Duration
+}
+
+// MaxIntervals computes the Fig 1c statistics.
+func (a *Analyzer) MaxIntervals() MaxIntervalStats {
+	var st MaxIntervalStats
+	perKey := make(map[Key]time.Duration, len(a.buckets))
+	for k, b := range a.buckets {
+		if b.maxMatched > 0 {
+			st.PerFlow = append(st.PerFlow, b.maxMatched)
+			perKey[k] = b.maxMatched
+		}
+	}
+	sort.Slice(st.PerFlow, func(i, j int) bool { return st.PerFlow[i] < st.PerFlow[j] })
+	for i, r := range a.records {
+		if !a.marks[i] {
+			continue
+		}
+		if d, ok := perKey[KeyOf(a.mode, r)]; ok {
+			st.PerPacket = append(st.PerPacket, d)
+		}
+	}
+	sort.Slice(st.PerPacket, func(i, j int) bool { return st.PerPacket[i] < st.PerPacket[j] })
+	return st
+}
+
+// Buckets returns the number of distinct flow keys observed.
+func (a *Analyzer) Buckets() int { return len(a.buckets) }
+
+// PredictableFlows returns the number of buckets with at least one recurring
+// interval.
+func (a *Analyzer) PredictableFlows() int {
+	n := 0
+	for _, b := range a.buckets {
+		if b.maxMatched > 0 {
+			n++
+		}
+	}
+	return n
+}

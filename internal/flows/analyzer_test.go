@@ -1,0 +1,291 @@
+package flows
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	cloudIP = netip.MustParseAddr("52.10.20.30")
+	otherIP = netip.MustParseAddr("34.1.2.3")
+	t0      = time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// periodicTrace emits n same-size packets to the same destination at a fixed
+// period — the canonical predictable IoT heartbeat.
+func periodicTrace(n int, period time.Duration, size int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Time: t0.Add(time.Duration(i) * period), Size: size, Proto: "tcp",
+			Dir: DirOutbound, RemoteIP: cloudIP, RemoteDomain: "cloud.example",
+			LocalPort: 40000, RemotePort: 443, Category: CategoryControl,
+		}
+	}
+	return recs
+}
+
+func TestPeriodicTrafficIsPredictable(t *testing.T) {
+	for _, mode := range []KeyMode{ModeClassic, ModePortLess} {
+		a := NewAnalyzer(mode)
+		a.ObserveAll(periodicTrace(20, time.Minute, 200))
+		// All 20 packets participate in a recurring interval.
+		if got := a.Fraction(); got != 1.0 {
+			t.Fatalf("%v: Fraction = %v, want 1.0", mode, got)
+		}
+	}
+}
+
+func TestTwoPacketsNeverPredictable(t *testing.T) {
+	// A single inter-arrival cannot match a previous one (the SP10/WP3
+	// two-packet events in Fig 2 have predictability 0).
+	a := NewAnalyzer(ModePortLess)
+	a.ObserveAll(periodicTrace(2, time.Minute, 235))
+	if got := a.Fraction(); got != 0 {
+		t.Fatalf("Fraction = %v, want 0", got)
+	}
+}
+
+func TestThreePeriodicPacketsAllMarked(t *testing.T) {
+	// Three packets form two equal intervals; the match marks all three,
+	// including the first retroactively.
+	a := NewAnalyzer(ModePortLess)
+	a.ObserveAll(periodicTrace(3, time.Minute, 200))
+	for i, m := range a.Predictable() {
+		if !m {
+			t.Fatalf("packet %d unmarked", i)
+		}
+	}
+}
+
+func TestRetroactiveMarking(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	recs := periodicTrace(3, time.Minute, 200)
+	a.Observe(recs[0])
+	a.Observe(recs[1])
+	if a.Predictable()[0] || a.Predictable()[1] {
+		t.Fatal("packets marked before any interval recurred")
+	}
+	a.Observe(recs[2])
+	if !a.Predictable()[0] {
+		t.Fatal("first packet not retroactively marked")
+	}
+}
+
+func TestJitterWithinQuantumStillMatches(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	base := periodicTrace(10, time.Minute, 128)
+	for i := range base {
+		base[i].Time = base[i].Time.Add(time.Duration(rand.New(rand.NewSource(int64(i))).Intn(200)-100) * time.Millisecond)
+	}
+	a.ObserveAll(base)
+	if got := a.Fraction(); got < 0.9 {
+		t.Fatalf("Fraction = %v with sub-quantum jitter, want >= 0.9", got)
+	}
+}
+
+func TestIrregularIntervalsUnpredictable(t *testing.T) {
+	// Nest-thermostat-style: same bucket, but intervals differ by several
+	// seconds every time.
+	a := NewAnalyzer(ModePortLess)
+	cur := t0
+	gaps := []time.Duration{61 * time.Second, 67 * time.Second, 72 * time.Second, 64 * time.Second, 69 * time.Second}
+	for i := 0; i < 6; i++ {
+		a.Observe(Record{Time: cur, Size: 300, Proto: "tcp", Dir: DirOutbound,
+			RemoteIP: cloudIP, RemoteDomain: "nest.example"})
+		if i < len(gaps) {
+			cur = cur.Add(gaps[i])
+		}
+	}
+	if got := a.Fraction(); got != 0 {
+		t.Fatalf("Fraction = %v, want 0 for irregular intervals", got)
+	}
+}
+
+func TestDifferentSizesDifferentBuckets(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	for i := 0; i < 10; i++ {
+		a.Observe(Record{Time: t0.Add(time.Duration(i) * time.Minute), Size: 100 + i, // every size unique
+			Proto: "tcp", Dir: DirOutbound, RemoteIP: cloudIP, RemoteDomain: "cloud.example"})
+	}
+	if got := a.Fraction(); got != 0 {
+		t.Fatalf("Fraction = %v, want 0 when sizes never repeat", got)
+	}
+	if a.Buckets() != 10 {
+		t.Fatalf("Buckets = %d, want 10", a.Buckets())
+	}
+}
+
+func TestPortLessMergesEphemeralPorts(t *testing.T) {
+	// Same domain + size + period, but the source port changes on every
+	// connection: Classic keeps them apart (unpredictable), PortLess merges
+	// them (predictable). This is the paper's motivation for PortLess.
+	mk := func() []Record {
+		recs := periodicTrace(12, time.Minute, 150)
+		for i := range recs {
+			recs[i].LocalPort = uint16(40000 + i)
+		}
+		return recs
+	}
+	classic := NewAnalyzer(ModeClassic)
+	classic.ObserveAll(mk())
+	portless := NewAnalyzer(ModePortLess)
+	portless.ObserveAll(mk())
+	if got := classic.Fraction(); got != 0 {
+		t.Fatalf("Classic Fraction = %v, want 0", got)
+	}
+	if got := portless.Fraction(); got != 1 {
+		t.Fatalf("PortLess Fraction = %v, want 1", got)
+	}
+}
+
+func TestPortLessFallsBackToIPWithoutDomain(t *testing.T) {
+	r := Record{RemoteIP: otherIP, Proto: "udp", Size: 64}
+	k := KeyOf(ModePortLess, r)
+	if k.Domain != "34.1.2.3" {
+		t.Fatalf("Domain fallback = %q", k.Domain)
+	}
+}
+
+func TestDirectionSeparatesBuckets(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	// Outbound periodic, inbound one-off of identical size/domain.
+	a.ObserveAll(periodicTrace(10, time.Minute, 99))
+	a.Observe(Record{Time: t0.Add(30 * time.Second), Size: 99, Proto: "tcp",
+		Dir: DirInbound, RemoteIP: cloudIP, RemoteDomain: "cloud.example"})
+	unpred := a.Unpredictable()
+	if len(unpred) != 1 || unpred[0] != 10 {
+		t.Fatalf("Unpredictable = %v, want [10]", unpred)
+	}
+}
+
+func TestFractionBytes(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	a.ObserveAll(periodicTrace(10, time.Minute, 100)) // 1000 predictable bytes
+	a.Observe(Record{Time: t0.Add(time.Second), Size: 1000, Proto: "tcp",
+		Dir: DirOutbound, RemoteIP: otherIP, RemoteDomain: "burst.example"})
+	got := a.FractionBytes()
+	if got < 0.49 || got > 0.51 {
+		t.Fatalf("FractionBytes = %v, want ~0.5", got)
+	}
+}
+
+func TestFractionByCategory(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	a.ObserveAll(periodicTrace(10, time.Minute, 100)) // control, predictable
+	for i := 0; i < 3; i++ {
+		a.Observe(Record{Time: t0.Add(time.Duration(i)*13*time.Second + 500*time.Millisecond),
+			Size: 777 + i*13, Proto: "tcp", Dir: DirInbound, RemoteIP: otherIP,
+			RemoteDomain: "app.example", Category: CategoryManual})
+	}
+	by := a.FractionByCategory()
+	if by[CategoryControl] != 1 {
+		t.Fatalf("control fraction = %v", by[CategoryControl])
+	}
+	if by[CategoryManual] != 0 {
+		t.Fatalf("manual fraction = %v", by[CategoryManual])
+	}
+}
+
+func TestMaxIntervals(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	a.ObserveAll(periodicTrace(10, 5*time.Minute, 100))
+	recs := periodicTrace(10, time.Minute, 333)
+	for i := range recs {
+		recs[i].RemoteDomain = "fast.example"
+	}
+	a.ObserveAll(recs)
+	st := a.MaxIntervals()
+	if len(st.PerFlow) != 2 {
+		t.Fatalf("PerFlow = %v", st.PerFlow)
+	}
+	if st.PerFlow[0] != time.Minute || st.PerFlow[1] != 5*time.Minute {
+		t.Fatalf("PerFlow = %v", st.PerFlow)
+	}
+	if len(st.PerPacket) != 20 {
+		t.Fatalf("PerPacket count = %d, want 20", len(st.PerPacket))
+	}
+}
+
+func TestObserveOrderInvariantAcrossOtherBuckets(t *testing.T) {
+	// Property: interleaving an unrelated bucket's packets does not change
+	// the verdicts of the first bucket.
+	mkA := periodicTrace(8, time.Minute, 100)
+	noise := make([]Record, 8)
+	for i := range noise {
+		noise[i] = Record{Time: t0.Add(time.Duration(i)*time.Minute + 17*time.Second),
+			Size: 555 + i*7, Proto: "udp", Dir: DirInbound, RemoteIP: otherIP, RemoteDomain: "noise.example"}
+	}
+	solo := NewAnalyzer(ModePortLess)
+	solo.ObserveAll(mkA)
+	inter := NewAnalyzer(ModePortLess)
+	for i := 0; i < 8; i++ {
+		inter.Observe(mkA[i])
+		inter.Observe(noise[i])
+	}
+	soloMarks := solo.Predictable()
+	interMarks := inter.Predictable()
+	for i := 0; i < 8; i++ {
+		if soloMarks[i] != interMarks[2*i] {
+			t.Fatalf("packet %d verdict changed by unrelated interleaving", i)
+		}
+	}
+}
+
+func TestMarkingIsMonotone(t *testing.T) {
+	// Property: once marked, a packet never becomes unmarked as more
+	// traffic arrives.
+	a := NewAnalyzer(ModePortLess)
+	recs := periodicTrace(30, time.Minute, 100)
+	markedAt := make(map[int]bool)
+	for i, r := range recs {
+		a.Observe(r)
+		for j := 0; j <= i; j++ {
+			if markedAt[j] && !a.Predictable()[j] {
+				t.Fatalf("packet %d unmarked after step %d", j, i)
+			}
+			if a.Predictable()[j] {
+				markedAt[j] = true
+			}
+		}
+	}
+}
+
+func TestPredictableFlowsCount(t *testing.T) {
+	a := NewAnalyzer(ModePortLess)
+	a.ObserveAll(periodicTrace(10, time.Minute, 100))
+	a.Observe(Record{Time: t0, Size: 9999, Proto: "tcp", Dir: DirInbound,
+		RemoteIP: otherIP, RemoteDomain: "oneoff.example"})
+	if a.PredictableFlows() != 1 {
+		t.Fatalf("PredictableFlows = %d, want 1", a.PredictableFlows())
+	}
+	if a.Buckets() != 2 {
+		t.Fatalf("Buckets = %d, want 2", a.Buckets())
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	r := Record{Size: 235, Proto: "tcp", Dir: DirInbound, RemoteIP: cloudIP,
+		RemoteDomain: "plug.example", LocalPort: 9999, RemotePort: 443}
+	if got := KeyOf(ModePortLess, r).String(); got != "in/plug.example/tcp/235B" {
+		t.Fatalf("PortLess key = %q", got)
+	}
+	if got := KeyOf(ModeClassic, r).String(); got != "in/52.10.20.30:443-9999/tcp/235B" {
+		t.Fatalf("Classic key = %q", got)
+	}
+}
+
+func TestCategoryAndDirectionStrings(t *testing.T) {
+	if CategoryManual.String() != "manual" || CategoryControl.String() != "control" ||
+		CategoryAutomated.String() != "automated" || CategoryUnknown.String() != "unknown" {
+		t.Fatal("Category String mismatch")
+	}
+	if DirInbound.String() != "in" || DirOutbound.String() != "out" {
+		t.Fatal("Direction String mismatch")
+	}
+	if ModeClassic.String() != "Classic" || ModePortLess.String() != "PortLess" {
+		t.Fatal("KeyMode String mismatch")
+	}
+}

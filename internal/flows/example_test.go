@@ -1,0 +1,50 @@
+package flows_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"fiat/internal/flows"
+)
+
+// The §2.1 heuristic in a few lines: a minute-periodic heartbeat becomes
+// predictable once its inter-arrival time recurs; an injected packet of a
+// different size stays unpredictable.
+func ExampleAnalyzer() {
+	a := flows.NewAnalyzer(flows.ModePortLess)
+	base := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		a.Observe(flows.Record{
+			Time: base.Add(time.Duration(i) * time.Minute),
+			Size: 128, Proto: "tcp", Dir: flows.DirOutbound,
+			RemoteIP: netip.MustParseAddr("52.1.1.1"), RemoteDomain: "cloud.example",
+		})
+	}
+	a.Observe(flows.Record{
+		Time: base.Add(90 * time.Second), Size: 900, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: netip.MustParseAddr("52.1.1.1"), RemoteDomain: "cloud.example",
+	})
+	fmt.Printf("predictable: %.0f%% of packets, %d of %d flows\n",
+		100*a.Fraction(), a.PredictableFlows(), a.Buckets())
+	// Output: predictable: 83% of packets, 1 of 2 flows
+}
+
+// RuleTable is the online form the proxy uses: learn during bootstrap,
+// freeze, then match.
+func ExampleRuleTable() {
+	rt := flows.NewRuleTable(flows.ModePortLess)
+	base := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	rec := func(at time.Time, size int) flows.Record {
+		return flows.Record{Time: at, Size: size, Proto: "tcp", Dir: flows.DirOutbound,
+			RemoteIP: netip.MustParseAddr("52.1.1.1"), RemoteDomain: "cloud.example"}
+	}
+	for i := 0; i < 5; i++ {
+		rt.Learn(rec(base.Add(time.Duration(i)*time.Minute), 128))
+	}
+	rt.Freeze()
+	onTime := rt.Match(rec(base.Add(5*time.Minute), 128))
+	injected := rt.Match(rec(base.Add(5*time.Minute+13*time.Second), 128))
+	fmt.Printf("on-period heartbeat: %v, injected copy: %v\n", onTime, injected)
+	// Output: on-period heartbeat: true, injected copy: false
+}

@@ -1,0 +1,146 @@
+// Package flows implements FIAT's traffic-predictability heuristic (paper
+// §2.1): packets are bucketed by a flow key — the "Classic" 6-tuple or the
+// "PortLess" domain 4-tuple — and a packet is predictable when the
+// inter-arrival time it forms inside its bucket matches an inter-arrival
+// time previously seen in that bucket. Marking is retroactive: once an
+// inter-arrival value recurs, all packets associated with it, previous or
+// future, are predictable.
+//
+// The package also provides the online form used by the IoT proxy (§5.4): a
+// RuleTable learned during the bootstrap window and then frozen, whose rule
+// hits admit packets without further analysis.
+package flows
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Direction of a packet relative to the IoT device under analysis.
+type Direction uint8
+
+// Direction values.
+const (
+	DirOutbound Direction = iota // device -> remote
+	DirInbound                   // remote -> device
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == DirInbound {
+		return "in"
+	}
+	return "out"
+}
+
+// Category labels traffic by its cause, following the paper's taxonomy.
+type Category uint8
+
+// Categories of IoT traffic (§2).
+const (
+	CategoryUnknown   Category = iota
+	CategoryControl            // software keep-alives, telemetry
+	CategoryAutomated          // routines (IFTTT, schedules)
+	CategoryManual             // human-triggered via companion app
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CategoryControl:
+		return "control"
+	case CategoryAutomated:
+		return "automated"
+	case CategoryManual:
+		return "manual"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one captured packet, normalized to the device's point of view.
+// The analyzers consume Records rather than raw frames so the same code
+// runs over live captures, pcap files, and synthetic corpora.
+type Record struct {
+	// Time is the capture timestamp.
+	Time time.Time
+	// Size is the wire length in bytes.
+	Size int
+	// Proto is "tcp" or "udp".
+	Proto string
+	// Dir is the packet direction relative to the device.
+	Dir Direction
+	// RemoteIP is the non-device endpoint address.
+	RemoteIP netip.Addr
+	// RemoteDomain is the resolved name for RemoteIP ("" if unresolved).
+	RemoteDomain string
+	// LocalPort and RemotePort are the transport ports.
+	LocalPort, RemotePort uint16
+	// TCPFlags carries the TCP flag bits (0 for UDP).
+	TCPFlags uint8
+	// TLSVersion is the TLS record version observed (0 if none).
+	TLSVersion uint16
+	// Category is the ground-truth label when known.
+	Category Category
+}
+
+// KeyMode selects the bucketing definition.
+type KeyMode uint8
+
+// Bucketing modes from §2.1.
+const (
+	// ModeClassic buckets on the 6-tuple
+	// <ip_src, ip_dst, port_src, port_dst, proto, size>.
+	ModeClassic KeyMode = iota
+	// ModePortLess abandons the ports and replaces the remote IP with its
+	// domain name: <direction, domain, proto, size>.
+	ModePortLess
+)
+
+// String implements fmt.Stringer.
+func (m KeyMode) String() string {
+	if m == ModePortLess {
+		return "PortLess"
+	}
+	return "Classic"
+}
+
+// Key identifies a bucket. It is comparable and usable as a map key. Fields
+// not used by the mode stay at their zero values.
+type Key struct {
+	Mode   KeyMode
+	Dir    Direction
+	Proto  string
+	Size   int
+	Remote netip.Addr // Classic only
+	LPort  uint16     // Classic only
+	RPort  uint16     // Classic only
+	Domain string     // PortLess only
+}
+
+// KeyOf derives the bucket key for a record under the given mode. In
+// PortLess mode an unresolved domain falls back to the remote IP literal,
+// matching the resolver's behaviour.
+func KeyOf(mode KeyMode, r Record) Key {
+	k := Key{Mode: mode, Dir: r.Dir, Proto: r.Proto, Size: r.Size}
+	if mode == ModeClassic {
+		k.Remote = r.RemoteIP
+		k.LPort = r.LocalPort
+		k.RPort = r.RemotePort
+		return k
+	}
+	k.Domain = r.RemoteDomain
+	if k.Domain == "" {
+		k.Domain = r.RemoteIP.String()
+	}
+	return k
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string {
+	if k.Mode == ModePortLess {
+		return fmt.Sprintf("%s/%s/%s/%dB", k.Dir, k.Domain, k.Proto, k.Size)
+	}
+	return fmt.Sprintf("%s/%s:%d-%d/%s/%dB", k.Dir, k.Remote, k.RPort, k.LPort, k.Proto, k.Size)
+}

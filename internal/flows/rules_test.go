@@ -1,0 +1,159 @@
+package flows
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuleTableLearnsPeriodicFlow(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	recs := periodicTrace(10, time.Minute, 200)
+	for _, r := range recs {
+		rt.Learn(r)
+	}
+	rt.Freeze()
+	if rt.Rules() != 1 {
+		t.Fatalf("Rules = %d, want 1", rt.Rules())
+	}
+	// The next heartbeat, one period after the last learned packet, hits.
+	next := recs[len(recs)-1]
+	next.Time = next.Time.Add(time.Minute)
+	if !rt.Match(next) {
+		t.Fatal("on-period packet did not match")
+	}
+}
+
+func TestRuleTableMissesUnknownBucket(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	for _, r := range periodicTrace(10, time.Minute, 200) {
+		rt.Learn(r)
+	}
+	rt.Freeze()
+	odd := Record{Time: t0.Add(time.Hour), Size: 999, Proto: "tcp",
+		Dir: DirInbound, RemoteIP: otherIP, RemoteDomain: "attacker.example"}
+	if rt.Match(odd) {
+		t.Fatal("unknown bucket matched")
+	}
+}
+
+func TestRuleTableMissesOffPeriodPacket(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	recs := periodicTrace(10, time.Minute, 200)
+	for _, r := range recs {
+		rt.Learn(r)
+	}
+	rt.Freeze()
+	// Same bucket, but arriving 12 s after the last packet: an injected
+	// packet that copies size and destination still misses the rule.
+	inject := recs[len(recs)-1]
+	inject.Time = inject.Time.Add(12 * time.Second)
+	if rt.Match(inject) {
+		t.Fatal("off-period packet matched")
+	}
+}
+
+func TestRuleTableMatchUpdatesArrivalState(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	recs := periodicTrace(10, time.Minute, 200)
+	for _, r := range recs {
+		rt.Learn(r)
+	}
+	rt.Freeze()
+	last := recs[len(recs)-1]
+	// An off-period packet misses but becomes the new reference arrival;
+	// a packet one period after *it* then hits.
+	mid := last
+	mid.Time = last.Time.Add(21 * time.Second)
+	if rt.Match(mid) {
+		t.Fatal("off-period packet matched")
+	}
+	after := last
+	after.Time = mid.Time.Add(time.Minute)
+	if !rt.Match(after) {
+		t.Fatal("packet one period after the new reference did not match")
+	}
+}
+
+func TestRuleTableSinglePairIsNotARule(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	recs := periodicTrace(2, time.Minute, 235) // one interval only
+	for _, r := range recs {
+		rt.Learn(r)
+	}
+	rt.Freeze()
+	if rt.Rules() != 0 {
+		t.Fatalf("Rules = %d, want 0 (an interval seen once is not recurring)", rt.Rules())
+	}
+}
+
+func TestLearnAfterFreezeIgnored(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	rt.Freeze()
+	for _, r := range periodicTrace(10, time.Minute, 200) {
+		rt.Learn(r)
+	}
+	if rt.Rules() != 0 {
+		t.Fatalf("Rules = %d, want 0 after freeze", rt.Rules())
+	}
+	if !rt.Frozen() {
+		t.Fatal("Frozen() = false")
+	}
+}
+
+func TestRuleTableMultiplePeriods(t *testing.T) {
+	// A bucket can legitimately recur at more than one interval (e.g. a
+	// keep-alive plus an hourly sync of the same size); both learned
+	// periods must hit.
+	rt := NewRuleTable(ModePortLess)
+	cur := t0
+	pattern := []time.Duration{time.Minute, time.Minute, 5 * time.Minute, time.Minute, time.Minute, 5 * time.Minute}
+	rec := func(ts time.Time) Record {
+		return Record{Time: ts, Size: 180, Proto: "tcp", Dir: DirOutbound,
+			RemoteIP: cloudIP, RemoteDomain: "cloud.example"}
+	}
+	rt.Learn(rec(cur))
+	for _, g := range pattern {
+		cur = cur.Add(g)
+		rt.Learn(rec(cur))
+	}
+	rt.Freeze()
+	a := rec(cur.Add(time.Minute))
+	if !rt.Match(a) {
+		t.Fatal("1-minute period missed")
+	}
+	b := rec(a.Time.Add(5 * time.Minute))
+	if !rt.Match(b) {
+		t.Fatal("5-minute period missed")
+	}
+}
+
+func TestRuleTableKeys(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	for _, r := range periodicTrace(10, time.Minute, 200) {
+		rt.Learn(r)
+	}
+	keys := rt.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if keys[0].Domain != "cloud.example" || keys[0].Size != 200 {
+		t.Fatalf("key = %+v", keys[0])
+	}
+}
+
+func TestRuleTableConcurrentAccess(t *testing.T) {
+	rt := NewRuleTable(ModePortLess)
+	recs := periodicTrace(100, time.Second, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, r := range recs {
+			rt.Learn(r)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		rt.Match(recs[i%len(recs)])
+		rt.Rules()
+	}
+	<-done
+}

@@ -1,0 +1,90 @@
+// Package intercept implements the traffic-interception substrate the FIAT
+// proxy deploys on (§5.4 "Traffic Intercept"): an ARP table with an
+// ARP-spoofing MITM (how the paper's Raspberry Pi inserts itself without
+// touching the home gateway), an NFQUEUE-style verdict queue (the
+// iptables/libnetfilter_queue pattern: the kernel delays forwarding, a
+// userspace handler returns accept/drop), and the L2 forwarder that
+// re-addresses accepted frames to their true next hop.
+package intercept
+
+import (
+	"net/netip"
+	"sync"
+
+	"fiat/internal/packet"
+)
+
+// ARPTable is one host's IP-to-MAC cache. ARP is stateless and unauthenti-
+// cated: the newest reply wins, which is exactly what spoofing exploits.
+type ARPTable struct {
+	mu      sync.RWMutex
+	entries map[netip.Addr]packet.MAC
+}
+
+// NewARPTable returns an empty table.
+func NewARPTable() *ARPTable {
+	return &ARPTable{entries: make(map[netip.Addr]packet.MAC)}
+}
+
+// Learn records a binding (from any ARP packet's sender fields).
+func (t *ARPTable) Learn(ip netip.Addr, mac packet.MAC) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[ip] = mac
+}
+
+// Observe updates the table from a decoded ARP frame.
+func (t *ARPTable) Observe(p *packet.Packet) {
+	if a := p.ARP(); a != nil {
+		t.Learn(a.SenderIP, a.SenderMAC)
+	}
+}
+
+// Lookup resolves an IP.
+func (t *ARPTable) Lookup(ip netip.Addr) (packet.MAC, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	m, ok := t.entries[ip]
+	return m, ok
+}
+
+// Len reports the entry count.
+func (t *ARPTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Spoofer builds the gratuitous ARP replies that poison victims' caches so
+// their traffic transits the proxy. Two directions are poisoned per victim:
+// the victim is told "the gateway is at the proxy's MAC", and the gateway is
+// told "the victim is at the proxy's MAC" — full-duplex interception.
+type Spoofer struct {
+	ProxyMAC  packet.MAC
+	GatewayIP netip.Addr
+	builder   packet.Builder
+}
+
+// PoisonFrames returns the two spoofed ARP replies for one victim. Send
+// them periodically (real tools re-announce every few seconds; ARP caches
+// expire).
+func (s *Spoofer) PoisonFrames(victimIP netip.Addr, victimMAC packet.MAC, gatewayMAC packet.MAC) [][]byte {
+	toVictim := s.builder.ARPPacket(packet.ARPReply, s.ProxyMAC, s.GatewayIP, victimMAC, victimIP)
+	toGateway := s.builder.ARPPacket(packet.ARPReply, s.ProxyMAC, victimIP, gatewayMAC, s.GatewayIP)
+	return [][]byte{toVictim, toGateway}
+}
+
+// RestoreFrames returns the correcting replies that undo the poisoning when
+// the proxy shuts down cleanly.
+func (s *Spoofer) RestoreFrames(victimIP netip.Addr, victimMAC, gatewayMAC packet.MAC) [][]byte {
+	toVictim := s.builder.ARPPacket(packet.ARPReply, gatewayMAC, s.GatewayIP, victimMAC, victimIP)
+	toGateway := s.builder.ARPPacket(packet.ARPReply, victimMAC, victimIP, gatewayMAC, s.GatewayIP)
+	return [][]byte{toVictim, toGateway}
+}
+
+// IsPoisoned reports whether a victim's table currently routes the gateway
+// IP to the proxy.
+func (s *Spoofer) IsPoisoned(victim *ARPTable) bool {
+	mac, ok := victim.Lookup(s.GatewayIP)
+	return ok && mac == s.ProxyMAC
+}

@@ -1,0 +1,238 @@
+package intercept
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"fiat/internal/packet"
+)
+
+var (
+	gwIP     = netip.MustParseAddr("192.168.1.1")
+	devIP    = netip.MustParseAddr("192.168.1.50")
+	cloudIP  = netip.MustParseAddr("52.1.2.3")
+	gwMAC    = packet.MAC{2, 0, 0, 0, 0, 0x01}
+	devMAC   = packet.MAC{2, 0, 0, 0, 0, 0x50}
+	proxyMAC = packet.MAC{2, 0, 0, 0, 0, 0xff}
+)
+
+func TestARPTableLearnAndLookup(t *testing.T) {
+	tbl := NewARPTable()
+	tbl.Learn(gwIP, gwMAC)
+	m, ok := tbl.Lookup(gwIP)
+	if !ok || m != gwMAC {
+		t.Fatalf("Lookup = %v, %v", m, ok)
+	}
+	if _, ok := tbl.Lookup(devIP); ok {
+		t.Fatal("unknown IP resolved")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestARPTableObserve(t *testing.T) {
+	tbl := NewARPTable()
+	var b packet.Builder
+	frame := b.ARPPacket(packet.ARPReply, devMAC, devIP, gwMAC, gwIP)
+	tbl.Observe(packet.Decode(frame, packet.CaptureInfo{}))
+	if m, ok := tbl.Lookup(devIP); !ok || m != devMAC {
+		t.Fatalf("Observe did not learn sender binding: %v %v", m, ok)
+	}
+}
+
+func TestNewestReplyWins(t *testing.T) {
+	tbl := NewARPTable()
+	tbl.Learn(gwIP, gwMAC)
+	tbl.Learn(gwIP, proxyMAC) // the spoof
+	if m, _ := tbl.Lookup(gwIP); m != proxyMAC {
+		t.Fatalf("Lookup = %v, want the newest binding", m)
+	}
+}
+
+func TestSpooferPoisonsBothDirections(t *testing.T) {
+	s := &Spoofer{ProxyMAC: proxyMAC, GatewayIP: gwIP}
+	frames := s.PoisonFrames(devIP, devMAC, gwMAC)
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	victim := NewARPTable()
+	gateway := NewARPTable()
+	victim.Observe(packet.Decode(frames[0], packet.CaptureInfo{}))
+	gateway.Observe(packet.Decode(frames[1], packet.CaptureInfo{}))
+	if !s.IsPoisoned(victim) {
+		t.Fatal("victim not poisoned")
+	}
+	if m, _ := gateway.Lookup(devIP); m != proxyMAC {
+		t.Fatal("gateway not poisoned")
+	}
+}
+
+func TestSpooferRestore(t *testing.T) {
+	s := &Spoofer{ProxyMAC: proxyMAC, GatewayIP: gwIP}
+	victim := NewARPTable()
+	for _, f := range s.PoisonFrames(devIP, devMAC, gwMAC) {
+		victim.Observe(packet.Decode(f, packet.CaptureInfo{}))
+	}
+	for _, f := range s.RestoreFrames(devIP, devMAC, gwMAC) {
+		victim.Observe(packet.Decode(f, packet.CaptureInfo{}))
+	}
+	if s.IsPoisoned(victim) {
+		t.Fatal("victim still poisoned after restore")
+	}
+	if m, _ := victim.Lookup(gwIP); m != gwMAC {
+		t.Fatal("gateway binding not restored")
+	}
+}
+
+func mkTCPFrame(payload []byte) []byte {
+	var b packet.Builder
+	return b.TCPPacket(packet.TCPSpec{
+		SrcMAC: devMAC, DstMAC: proxyMAC, SrcIP: devIP, DstIP: cloudIP,
+		SrcPort: 40000, DstPort: 443, Flags: packet.TCPFlagACK, Payload: payload,
+	})
+}
+
+func TestQueueVerdictFlow(t *testing.T) {
+	q := NewQueue(8, true)
+	go q.Run(func(p *packet.Packet) Verdict {
+		if p.TCP() != nil && len(p.TCP().LayerPayload()) > 3 {
+			return Drop
+		}
+		return Accept
+	})
+	defer q.Close()
+
+	small, err := q.Enqueue(packet.Decode(mkTCPFrame([]byte("ok")), packet.CaptureInfo{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := <-small; v != Accept {
+		t.Fatalf("small packet verdict = %v", v)
+	}
+	big, err := q.Enqueue(packet.Decode(mkTCPFrame([]byte("attack-payload")), packet.CaptureInfo{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := <-big; v != Drop {
+		t.Fatalf("big packet verdict = %v", v)
+	}
+	time.Sleep(5 * time.Millisecond) // let stat goroutines settle
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.Stats.Accepted != 1 || q.Stats.Dropped != 1 || q.Stats.Enqueued != 2 {
+		t.Fatalf("stats = %+v", q.Stats)
+	}
+}
+
+func TestQueueOverflowFailOpen(t *testing.T) {
+	q := NewQueue(1, true) // no Run loop: the queue backs up
+	p := packet.Decode(mkTCPFrame(nil), packet.CaptureInfo{})
+	if _, err := q.Enqueue(p); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := q.Enqueue(p) // overflows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := <-ch; v != Accept {
+		t.Fatalf("fail-open overflow verdict = %v", v)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.Stats.Bypassed != 1 {
+		t.Fatalf("bypassed = %d", q.Stats.Bypassed)
+	}
+}
+
+func TestQueueOverflowFailClosed(t *testing.T) {
+	q := NewQueue(1, false)
+	p := packet.Decode(mkTCPFrame(nil), packet.CaptureInfo{})
+	if _, err := q.Enqueue(p); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := q.Enqueue(p)
+	if v := <-ch; v != Drop {
+		t.Fatalf("fail-closed overflow verdict = %v", v)
+	}
+}
+
+func TestQueueCloseRejectsEnqueue(t *testing.T) {
+	q := NewQueue(4, true)
+	q.Close()
+	if _, err := q.Enqueue(packet.Decode(mkTCPFrame(nil), packet.CaptureInfo{})); err != ErrQueueClosed {
+		t.Fatalf("err = %v, want ErrQueueClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueConcurrentEnqueue(t *testing.T) {
+	q := NewQueue(256, true)
+	go q.Run(func(*packet.Packet) Verdict { return Accept })
+	defer q.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, err := q.Enqueue(packet.Decode(mkTCPFrame(nil), packet.CaptureInfo{}))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			<-ch
+		}()
+	}
+	wg.Wait()
+}
+
+func TestItemSetVerdictOnce(t *testing.T) {
+	it := &Item{verdict: make(chan Verdict, 1)}
+	it.SetVerdict(Drop)
+	it.SetVerdict(Accept) // ignored, must not block or panic
+	if v := <-it.verdict; v != Drop {
+		t.Fatalf("verdict = %v", v)
+	}
+}
+
+func TestForwarderRewrite(t *testing.T) {
+	tbl := NewARPTable()
+	tbl.Learn(cloudIP, gwMAC) // next hop for WAN destinations is the gateway
+	f := &Forwarder{ProxyMAC: proxyMAC, ARP: tbl}
+	frame := mkTCPFrame([]byte("data"))
+	out, ok := f.Rewrite(frame)
+	if !ok {
+		t.Fatal("rewrite failed")
+	}
+	p := packet.Decode(out, packet.CaptureInfo{})
+	eth := p.Ethernet()
+	if eth.DstMAC != gwMAC || eth.SrcMAC != proxyMAC {
+		t.Fatalf("rewritten MACs = %v -> %v", eth.SrcMAC, eth.DstMAC)
+	}
+	// Original frame untouched.
+	orig := packet.Decode(frame, packet.CaptureInfo{})
+	if orig.Ethernet().SrcMAC != devMAC {
+		t.Fatal("original frame mutated")
+	}
+	// Payload intact and checksums still valid (L2-only rewrite).
+	if string(p.TCP().LayerPayload()) != "data" {
+		t.Fatal("payload changed")
+	}
+	if !packet.VerifyTransportChecksum(p) {
+		t.Fatal("checksum broken by rewrite")
+	}
+}
+
+func TestForwarderUnresolvable(t *testing.T) {
+	f := &Forwarder{ProxyMAC: proxyMAC, ARP: NewARPTable()}
+	if _, ok := f.Rewrite(mkTCPFrame(nil)); ok {
+		t.Fatal("rewrite succeeded without ARP entry")
+	}
+	var b packet.Builder
+	arpFrame := b.ARPPacket(packet.ARPRequest, devMAC, devIP, packet.MAC{}, gwIP)
+	if _, ok := f.Rewrite(arpFrame); ok {
+		t.Fatal("non-IPv4 frame rewritten")
+	}
+}

@@ -1,0 +1,161 @@
+package intercept
+
+import (
+	"errors"
+	"sync"
+
+	"fiat/internal/packet"
+)
+
+// Verdict is the userspace decision for one queued packet.
+type Verdict uint8
+
+// Verdicts, mirroring NF_ACCEPT / NF_DROP.
+const (
+	Accept Verdict = iota
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if v == Drop {
+		return "drop"
+	}
+	return "accept"
+}
+
+// ErrQueueClosed is returned by Enqueue after Close.
+var ErrQueueClosed = errors.New("intercept: queue closed")
+
+// Item is one packet awaiting a verdict.
+type Item struct {
+	Packet  *packet.Packet
+	verdict chan Verdict
+	once    sync.Once
+}
+
+// SetVerdict releases the packet with the decision. Safe to call once;
+// later calls are ignored.
+func (it *Item) SetVerdict(v Verdict) {
+	it.once.Do(func() { it.verdict <- v })
+}
+
+// Queue is the NFQUEUE analogue: forwarding of each packet is delayed until
+// a handler issues its verdict. When the queue overflows, packets bypass
+// with the configured FailOpen policy, matching the common iptables
+// deployment choice (queue-bypass accepts rather than breaking the network).
+type Queue struct {
+	items    chan *Item
+	failOpen bool
+
+	mu     sync.Mutex
+	closed bool
+
+	// Stats counts queue events.
+	Stats struct {
+		Enqueued, Accepted, Dropped, Bypassed int
+	}
+}
+
+// NewQueue builds a queue of the given capacity. failOpen selects the
+// overflow policy: true accepts excess packets unexamined, false drops them.
+func NewQueue(capacity int, failOpen bool) *Queue {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Queue{items: make(chan *Item, capacity), failOpen: failOpen}
+}
+
+// Enqueue submits a packet and returns a channel delivering its verdict.
+// The caller (the simulated kernel path) must wait on the channel before
+// forwarding — that wait is the latency FIAT adds to IoT traffic.
+func (q *Queue) Enqueue(p *packet.Packet) (<-chan Verdict, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrQueueClosed
+	}
+	q.Stats.Enqueued++
+	q.mu.Unlock()
+	it := &Item{Packet: p, verdict: make(chan Verdict, 1)}
+	select {
+	case q.items <- it:
+		return q.wrapVerdict(it.verdict), nil
+	default:
+		// Queue full: bypass.
+		q.mu.Lock()
+		q.Stats.Bypassed++
+		q.mu.Unlock()
+		ch := make(chan Verdict, 1)
+		if q.failOpen {
+			ch <- Accept
+		} else {
+			ch <- Drop
+		}
+		return ch, nil
+	}
+}
+
+func (q *Queue) wrapVerdict(in <-chan Verdict) <-chan Verdict {
+	out := make(chan Verdict, 1)
+	go func() {
+		v := <-in
+		q.mu.Lock()
+		if v == Accept {
+			q.Stats.Accepted++
+		} else {
+			q.Stats.Dropped++
+		}
+		q.mu.Unlock()
+		out <- v
+	}()
+	return out
+}
+
+// Run consumes queued packets with the handler until Close. Run it on its
+// own goroutine; it is the "userspace Linux application" of §5.4.
+func (q *Queue) Run(handler func(*packet.Packet) Verdict) {
+	for it := range q.items {
+		it.SetVerdict(handler(it.Packet))
+	}
+}
+
+// Close stops the queue. Packets already queued still receive verdicts from
+// a draining Run; Enqueue afterwards fails.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.items)
+	}
+}
+
+// Forwarder re-addresses accepted frames to their true L2 next hop. The
+// proxy receives frames addressed to its own MAC (thanks to the spoofing)
+// and must rewrite the Ethernet header toward the real destination before
+// putting them back on the wire.
+type Forwarder struct {
+	ProxyMAC packet.MAC
+	ARP      *ARPTable
+}
+
+// Rewrite returns a copy of the frame with src MAC set to the proxy and dst
+// MAC resolved from the IP destination. It returns false when the
+// destination is unresolvable or the frame is not IPv4.
+func (f *Forwarder) Rewrite(frame []byte) ([]byte, bool) {
+	p := packet.Decode(frame, packet.CaptureInfo{})
+	ip := p.IPv4()
+	if ip == nil {
+		return nil, false
+	}
+	dstMAC, ok := f.ARP.Lookup(ip.DstIP)
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	copy(out[0:6], dstMAC[:])
+	copy(out[6:12], f.ProxyMAC[:])
+	return out, true
+}

@@ -1,0 +1,178 @@
+// Package keystore simulates the trusted hardware FIAT anchors its keys in:
+// the phone's TEE-backed keystore (Android hardware keystore / Jetpack
+// security) and the proxy's enclave (SGX in the paper). It provides sealed
+// storage — secrets encrypted under a device-root key that never leaves the
+// "enclave" — an ed25519 device identity, and the local pairing protocol
+// that establishes the attestation keys shared between FIAT's app and the
+// IoT proxy (§5.4 "Pairing").
+//
+// The threat-model property preserved: callers can sign/MAC with stored keys
+// but cannot read them back in plaintext once sealed; an attacker with
+// user-space access (spyware) holds handles, not keys.
+package keystore
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"fiat/internal/cryptoutil"
+)
+
+// Errors returned by the keystore.
+var (
+	ErrNoKey      = errors.New("keystore: no such key")
+	ErrSealedData = errors.New("keystore: sealed blob corrupt or wrong enclave")
+	ErrKeyExists  = errors.New("keystore: key alias already present")
+)
+
+// Store is one device's simulated enclave. Create with New; the rootKey
+// models the hardware fuse key and never leaves the struct.
+type Store struct {
+	mu      sync.RWMutex
+	rootKey [32]byte
+	rand    io.Reader
+	secrets map[string][]byte // alias -> raw key material (enclave-resident)
+	iD      ed25519.PrivateKey
+	pub     ed25519.PublicKey
+}
+
+// New builds an enclave seeded from rand (crypto/rand.Reader in production,
+// a deterministic reader in tests).
+func New(rand io.Reader) (*Store, error) {
+	s := &Store{rand: rand, secrets: make(map[string][]byte)}
+	if _, err := io.ReadFull(rand, s.rootKey[:]); err != nil {
+		return nil, fmt.Errorf("keystore: seeding root key: %w", err)
+	}
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: generating identity: %w", err)
+	}
+	s.iD = priv
+	s.pub = pub
+	return s, nil
+}
+
+// Identity returns the device's public identity key.
+func (s *Store) Identity() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), s.pub...)
+}
+
+// SignIdentity signs msg with the device identity key (used during pairing
+// to bind the session secret to this device).
+func (s *Store) SignIdentity(msg []byte) []byte {
+	return ed25519.Sign(s.iD, msg)
+}
+
+// VerifyIdentity checks a signature against a peer's public identity.
+func VerifyIdentity(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
+}
+
+// ImportKey stores raw key material under alias. It fails if the alias is
+// taken — key handles are create-once, like Android's keystore.
+func (s *Store) ImportKey(alias string, material []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.secrets[alias]; ok {
+		return ErrKeyExists
+	}
+	s.secrets[alias] = append([]byte(nil), material...)
+	return nil
+}
+
+// DeleteKey removes an alias.
+func (s *Store) DeleteKey(alias string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.secrets, alias)
+}
+
+// HasKey reports whether alias exists.
+func (s *Store) HasKey(alias string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.secrets[alias]
+	return ok
+}
+
+// MAC computes HMAC-SHA-256 over msg with the named key — the operation
+// FIAT's app uses to authenticate sensor payloads. The key never crosses
+// the API boundary.
+func (s *Store) MAC(alias string, msg []byte) ([]byte, error) {
+	s.mu.RLock()
+	key, ok := s.secrets[alias]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoKey, alias)
+	}
+	m := hmac.New(sha256.New, key)
+	m.Write(msg)
+	return m.Sum(nil), nil
+}
+
+// VerifyMAC checks an HMAC produced by the peer holding the same alias.
+func (s *Store) VerifyMAC(alias string, msg, mac []byte) bool {
+	want, err := s.MAC(alias, msg)
+	if err != nil {
+		return false
+	}
+	return cryptoutil.ConstantTimeEqual(want, mac)
+}
+
+// DeriveKey expands the named key into purpose-bound subkey material
+// without exposing the parent (e.g. the QUIC pre-shared key from the
+// pairing secret).
+func (s *Store) DeriveKey(alias string, purpose string, length int) ([]byte, error) {
+	s.mu.RLock()
+	key, ok := s.secrets[alias]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoKey, alias)
+	}
+	return cryptoutil.HKDF(key, nil, []byte("fiat-derive:"+purpose), length)
+}
+
+// Seal encrypts plaintext under the enclave root key (AES-256-GCM). The
+// blob is only openable by this Store instance — sealed storage semantics.
+func (s *Store) Seal(plaintext, aad []byte) ([]byte, error) {
+	block, err := aes.NewCipher(s.rootKey[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(s.rand, nonce); err != nil {
+		return nil, fmt.Errorf("keystore: nonce: %w", err)
+	}
+	return append(nonce, gcm.Seal(nil, nonce, plaintext, aad)...), nil
+}
+
+// Unseal decrypts a blob produced by Seal with the same aad.
+func (s *Store) Unseal(blob, aad []byte) ([]byte, error) {
+	block, err := aes.NewCipher(s.rootKey[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, ErrSealedData
+	}
+	pt, err := gcm.Open(nil, blob[:gcm.NonceSize()], blob[gcm.NonceSize():], aad)
+	if err != nil {
+		return nil, ErrSealedData
+	}
+	return pt, nil
+}

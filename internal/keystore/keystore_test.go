@@ -1,0 +1,245 @@
+package keystore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// detRand is a deterministic io.Reader for reproducible key generation.
+func detRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func newStore(t *testing.T, seed int64) *Store {
+	t.Helper()
+	s, err := New(detRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	s := newStore(t, 1)
+	blob, err := s.Seal([]byte("attestation-key-material"), []byte("ctx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s.Unseal(blob, []byte("ctx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "attestation-key-material" {
+		t.Fatalf("plaintext = %q", pt)
+	}
+}
+
+func TestUnsealWrongEnclaveFails(t *testing.T) {
+	a := newStore(t, 1)
+	b := newStore(t, 2)
+	blob, err := a.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unseal(blob, nil); err == nil {
+		t.Fatal("blob opened by a different enclave")
+	}
+}
+
+func TestUnsealWrongAADFails(t *testing.T) {
+	s := newStore(t, 3)
+	blob, _ := s.Seal([]byte("secret"), []byte("aad-1"))
+	if _, err := s.Unseal(blob, []byte("aad-2")); err == nil {
+		t.Fatal("AAD mismatch accepted")
+	}
+}
+
+func TestUnsealTamperedBlobFails(t *testing.T) {
+	s := newStore(t, 4)
+	blob, _ := s.Seal([]byte("secret"), nil)
+	blob[len(blob)-1] ^= 1
+	if _, err := s.Unseal(blob, nil); err == nil {
+		t.Fatal("tampered blob accepted")
+	}
+}
+
+func TestUnsealTruncatedBlobFails(t *testing.T) {
+	s := newStore(t, 5)
+	if _, err := s.Unseal([]byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+func TestSealRandomizedNonce(t *testing.T) {
+	s := newStore(t, 6)
+	a, _ := s.Seal([]byte("same"), nil)
+	b, _ := s.Seal([]byte("same"), nil)
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext are identical")
+	}
+}
+
+func TestMACAndVerify(t *testing.T) {
+	s := newStore(t, 7)
+	if err := s.ImportKey("k", []byte("key-material")); err != nil {
+		t.Fatal(err)
+	}
+	mac, err := s.MAC("k", []byte("sensor-data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.VerifyMAC("k", []byte("sensor-data"), mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if s.VerifyMAC("k", []byte("tampered"), mac) {
+		t.Fatal("MAC verified for different message")
+	}
+	if s.VerifyMAC("missing", []byte("sensor-data"), mac) {
+		t.Fatal("MAC verified against missing key")
+	}
+}
+
+func TestMACMissingKey(t *testing.T) {
+	s := newStore(t, 8)
+	if _, err := s.MAC("nope", []byte("x")); err == nil {
+		t.Fatal("MAC with missing key succeeded")
+	}
+}
+
+func TestImportKeyOnce(t *testing.T) {
+	s := newStore(t, 9)
+	if err := s.ImportKey("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ImportKey("a", []byte("2")); err == nil {
+		t.Fatal("duplicate alias accepted")
+	}
+	s.DeleteKey("a")
+	if s.HasKey("a") {
+		t.Fatal("key survives deletion")
+	}
+	if err := s.ImportKey("a", []byte("3")); err != nil {
+		t.Fatal("re-import after delete failed")
+	}
+}
+
+func TestDeriveKeyPurposeSeparation(t *testing.T) {
+	s := newStore(t, 10)
+	if err := s.ImportKey("root", []byte("shared-secret")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.DeriveKey("root", "quic-psk", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.DeriveKey("root", "log-hmac", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("purposes derived identical keys")
+	}
+	a2, _ := s.DeriveKey("root", "quic-psk", 32)
+	if !bytes.Equal(a, a2) {
+		t.Fatal("derivation not deterministic")
+	}
+}
+
+func TestIdentitySignVerify(t *testing.T) {
+	s := newStore(t, 11)
+	sig := s.SignIdentity([]byte("challenge"))
+	if !VerifyIdentity(s.Identity(), []byte("challenge"), sig) {
+		t.Fatal("valid identity signature rejected")
+	}
+	if VerifyIdentity(s.Identity(), []byte("other"), sig) {
+		t.Fatal("signature verified for other message")
+	}
+	other := newStore(t, 12)
+	if VerifyIdentity(other.Identity(), []byte("challenge"), sig) {
+		t.Fatal("signature verified under other identity")
+	}
+}
+
+func TestPairingHappyPath(t *testing.T) {
+	proxy := newStore(t, 20)
+	phone := newStore(t, 21)
+	offer, err := NewPairingOffer(proxy, detRand(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := AcceptPairing(phone, offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ConfirmPairing(offer, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(id, phone.Identity()) {
+		t.Fatal("confirmed identity is not the phone's")
+	}
+	// Both sides now share the attestation key: a MAC by the phone must
+	// verify at the proxy.
+	mac, err := phone.MAC(PairingAlias, []byte("attestation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proxy.VerifyMAC(PairingAlias, []byte("attestation"), mac) {
+		t.Fatal("cross-device MAC failed after pairing")
+	}
+}
+
+func TestPairingRejectsForgedOffer(t *testing.T) {
+	proxy := newStore(t, 23)
+	phone := newStore(t, 24)
+	mitm := newStore(t, 25)
+	offer, err := NewPairingOffer(proxy, detRand(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A LAN attacker substitutes their identity but cannot sign the code
+	// with the proxy's key.
+	forged := *offer
+	forged.ProxyID = mitm.Identity()
+	if _, err := AcceptPairing(phone, &forged); err == nil {
+		t.Fatal("forged offer accepted")
+	}
+}
+
+func TestPairingRejectsForgedResponse(t *testing.T) {
+	proxy := newStore(t, 27)
+	phone := newStore(t, 28)
+	mitm := newStore(t, 29)
+	offer, err := NewPairingOffer(proxy, detRand(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := AcceptPairing(phone, offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *resp
+	forged.PhoneID = mitm.Identity()
+	if _, err := ConfirmPairing(offer, &forged); err == nil {
+		t.Fatal("forged response accepted")
+	}
+}
+
+func TestPairingDerivedKeysMatchButDifferAcrossPairings(t *testing.T) {
+	proxyA := newStore(t, 31)
+	phoneA := newStore(t, 32)
+	offerA, _ := NewPairingOffer(proxyA, detRand(33))
+	if _, err := AcceptPairing(phoneA, offerA); err != nil {
+		t.Fatal(err)
+	}
+	proxyB := newStore(t, 34)
+	phoneB := newStore(t, 35)
+	offerB, _ := NewPairingOffer(proxyB, detRand(36))
+	if _, err := AcceptPairing(phoneB, offerB); err != nil {
+		t.Fatal(err)
+	}
+	macA, _ := phoneA.MAC(PairingAlias, []byte("m"))
+	macB, _ := phoneB.MAC(PairingAlias, []byte("m"))
+	if bytes.Equal(macA, macB) {
+		t.Fatal("two independent pairings share a key")
+	}
+}

@@ -1,0 +1,98 @@
+package keystore
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+
+	"fiat/internal/cryptoutil"
+)
+
+// PairingAlias is the alias the shared attestation key is stored under on
+// both sides after pairing.
+const PairingAlias = "fiat-pairing"
+
+// Pairing errors.
+var (
+	ErrBadPairingCode = errors.New("keystore: pairing code mismatch")
+	ErrBadSignature   = errors.New("keystore: pairing signature invalid")
+)
+
+// PairingOffer is what the proxy displays (QR code / sound) during local
+// pairing: a fresh secret plus the proxy's identity.
+type PairingOffer struct {
+	Code     []byte // 32-byte pairing secret, transferred out of band
+	ProxyID  ed25519.PublicKey
+	ProxySig []byte // proxy's signature over the code
+}
+
+// PairingResponse is the phone's answer, binding its identity to the code.
+type PairingResponse struct {
+	PhoneID  ed25519.PublicKey
+	PhoneSig []byte // phone's signature over the code
+}
+
+// DerivePairingKey derives the shared attestation key from an out-of-band
+// pairing code — the computation both sides of the ceremony perform.
+func DerivePairingKey(code []byte) ([]byte, error) {
+	return cryptoutil.HKDF(code, nil, []byte("fiat-pairing-v1"), 32)
+}
+
+// NewPairingOffer creates the proxy-side offer and installs the derived
+// session key into the proxy's store under the default alias. Proxies
+// pairing multiple phones give each its own alias via NewPairingOfferAlias.
+func NewPairingOffer(proxy *Store, rand io.Reader) (*PairingOffer, error) {
+	return NewPairingOfferAlias(proxy, rand, PairingAlias)
+}
+
+// NewPairingOfferAlias creates an offer whose derived key is stored under
+// the given proxy-side alias.
+func NewPairingOfferAlias(proxy *Store, rand io.Reader, alias string) (*PairingOffer, error) {
+	code := make([]byte, 32)
+	if _, err := io.ReadFull(rand, code); err != nil {
+		return nil, fmt.Errorf("keystore: pairing code: %w", err)
+	}
+	key, err := DerivePairingKey(code)
+	if err != nil {
+		return nil, err
+	}
+	if err := proxy.ImportKey(alias, key); err != nil {
+		return nil, err
+	}
+	return &PairingOffer{
+		Code:     code,
+		ProxyID:  proxy.Identity(),
+		ProxySig: proxy.SignIdentity(code),
+	}, nil
+}
+
+// AcceptPairing runs the phone side: verify the proxy's signature over the
+// out-of-band code, install the derived key, and emit a response the proxy
+// can verify.
+func AcceptPairing(phone *Store, offer *PairingOffer) (*PairingResponse, error) {
+	if !VerifyIdentity(offer.ProxyID, offer.Code, offer.ProxySig) {
+		return nil, ErrBadSignature
+	}
+	key, err := DerivePairingKey(offer.Code)
+	if err != nil {
+		return nil, err
+	}
+	if err := phone.ImportKey(PairingAlias, key); err != nil {
+		return nil, err
+	}
+	return &PairingResponse{
+		PhoneID:  phone.Identity(),
+		PhoneSig: phone.SignIdentity(offer.Code),
+	}, nil
+}
+
+// ConfirmPairing runs the proxy-side final check, returning the phone's
+// now-authorized identity. The proxy "rejects any traffic... from an
+// unauthorized device" (§5.4); this identity anchors that check.
+func ConfirmPairing(offer *PairingOffer, resp *PairingResponse) (ed25519.PublicKey, error) {
+	if !VerifyIdentity(resp.PhoneID, offer.Code, resp.PhoneSig) {
+		return nil, ErrBadSignature
+	}
+	return resp.PhoneID, nil
+}

@@ -1,0 +1,197 @@
+package ml
+
+import "math"
+
+// BernoulliNB is Bernoulli naive Bayes with Laplace smoothing, the paper's
+// deployed manual-event classifier ("we choose the BernoulliNB model with
+// default parameters of sklearn" — alpha 1.0, binarize 0.0). Features are
+// binarized at Threshold; after standard scaling, threshold 0 splits each
+// feature at its training mean.
+type BernoulliNB struct {
+	// Alpha is the Laplace smoothing parameter (default 1).
+	Alpha float64
+	// Threshold is the binarization cut (default 0).
+	Threshold float64
+
+	logPrior [][2]float64 // per class: {logP(c), unused}
+	logProb  [][][2]float64
+	classes  []int
+}
+
+// Fit estimates class priors and per-feature Bernoulli parameters.
+func (b *BernoulliNB) Fit(X [][]float64, y []int) error {
+	d, k, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	alpha := b.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	counts := make([]int, k)
+	ones := make([][]float64, k)
+	for i, row := range X {
+		c := y[i]
+		if ones[c] == nil {
+			ones[c] = make([]float64, d)
+		}
+		counts[c]++
+		for j, v := range row {
+			if v > b.Threshold {
+				ones[c][j]++
+			}
+		}
+	}
+	b.classes = nil
+	b.logPrior = nil
+	b.logProb = nil
+	n := float64(len(X))
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		b.classes = append(b.classes, c)
+		b.logPrior = append(b.logPrior, [2]float64{math.Log(float64(counts[c]) / n)})
+		probs := make([][2]float64, d)
+		for j := 0; j < d; j++ {
+			p := (ones[c][j] + alpha) / (float64(counts[c]) + 2*alpha)
+			probs[j] = [2]float64{math.Log(p), math.Log(1 - p)}
+		}
+		b.logProb = append(b.logProb, probs)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (b *BernoulliNB) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	if len(b.classes) == 0 {
+		return out
+	}
+	for i, row := range X {
+		scores := make([]float64, len(b.classes))
+		for ci := range b.classes {
+			s := b.logPrior[ci][0]
+			probs := b.logProb[ci]
+			for j, v := range row {
+				if j >= len(probs) {
+					break
+				}
+				if v > b.Threshold {
+					s += probs[j][0]
+				} else {
+					s += probs[j][1]
+				}
+			}
+			scores[ci] = s
+		}
+		out[i] = b.classes[argmax(scores)]
+	}
+	return out
+}
+
+// GaussianNB is Gaussian naive Bayes with variance smoothing, matching
+// sklearn's GaussianNB defaults.
+type GaussianNB struct {
+	// VarSmoothing is added to every variance as a fraction of the largest
+	// feature variance (sklearn default 1e-9).
+	VarSmoothing float64
+
+	classes  []int
+	logPrior []float64
+	mean     [][]float64
+	variance [][]float64
+}
+
+// Fit estimates per-class feature means and variances.
+func (g *GaussianNB) Fit(X [][]float64, y []int) error {
+	d, k, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	smoothing := g.VarSmoothing
+	if smoothing == 0 {
+		smoothing = 1e-9
+	}
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	sqs := make([][]float64, k)
+	for i, row := range X {
+		c := y[i]
+		if sums[c] == nil {
+			sums[c] = make([]float64, d)
+			sqs[c] = make([]float64, d)
+		}
+		counts[c]++
+		for j, v := range row {
+			sums[c][j] += v
+			sqs[c][j] += v * v
+		}
+	}
+	// Largest overall feature variance for the smoothing floor.
+	var maxVar float64
+	{
+		n := float64(len(X))
+		for j := 0; j < d; j++ {
+			var s, sq float64
+			for _, row := range X {
+				s += row[j]
+				sq += row[j] * row[j]
+			}
+			m := s / n
+			if v := sq/n - m*m; v > maxVar {
+				maxVar = v
+			}
+		}
+	}
+	eps := smoothing * maxVar
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	g.classes, g.logPrior, g.mean, g.variance = nil, nil, nil, nil
+	n := float64(len(X))
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		cn := float64(counts[c])
+		mean := make([]float64, d)
+		variance := make([]float64, d)
+		for j := 0; j < d; j++ {
+			mean[j] = sums[c][j] / cn
+			variance[j] = sqs[c][j]/cn - mean[j]*mean[j] + eps
+			if variance[j] <= 0 {
+				variance[j] = eps
+			}
+		}
+		g.classes = append(g.classes, c)
+		g.logPrior = append(g.logPrior, math.Log(cn/n))
+		g.mean = append(g.mean, mean)
+		g.variance = append(g.variance, variance)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GaussianNB) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	if len(g.classes) == 0 {
+		return out
+	}
+	for i, row := range X {
+		scores := make([]float64, len(g.classes))
+		for ci := range g.classes {
+			s := g.logPrior[ci]
+			for j, v := range row {
+				if j >= len(g.mean[ci]) {
+					break
+				}
+				diff := v - g.mean[ci][j]
+				s += -0.5*math.Log(2*math.Pi*g.variance[ci][j]) - diff*diff/(2*g.variance[ci][j])
+			}
+			scores[ci] = s
+		}
+		out[i] = g.classes[argmax(scores)]
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package ml
+
+import "math"
+
+// Distance selects the metric used by NearestCentroid and KNN. The paper
+// tests Euclidean, Manhattan, and Chebyshev; Chebyshev wins for NCC and
+// Euclidean for kNN (§4.1).
+type Distance uint8
+
+// Supported distance metrics.
+const (
+	Euclidean Distance = iota
+	Manhattan
+	Chebyshev
+)
+
+// String implements fmt.Stringer.
+func (d Distance) String() string {
+	switch d {
+	case Manhattan:
+		return "manhattan"
+	case Chebyshev:
+		return "chebyshev"
+	default:
+		return "euclidean"
+	}
+}
+
+func (d Distance) between(a, b []float64) float64 {
+	switch d {
+	case Manhattan:
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	case Chebyshev:
+		var m float64
+		for i := range a {
+			if v := math.Abs(a[i] - b[i]); v > m {
+				m = v
+			}
+		}
+		return m
+	default:
+		var s float64
+		for i := range a {
+			dv := a[i] - b[i]
+			s += dv * dv
+		}
+		return s // monotone in the true distance; no sqrt needed
+	}
+}
+
+// NearestCentroid classifies to the class whose training mean is closest —
+// the paper's best model for unpredictable-event classification (balanced
+// accuracy 0.931 with Chebyshev distance).
+type NearestCentroid struct {
+	// Metric is the distance used at prediction time.
+	Metric Distance
+
+	centroids [][]float64
+	classes   []int
+}
+
+// Fit computes one centroid per class.
+func (nc *NearestCentroid) Fit(X [][]float64, y []int) error {
+	d, k, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i, row := range X {
+		c := y[i]
+		if sums[c] == nil {
+			sums[c] = make([]float64, d)
+		}
+		for j, v := range row {
+			sums[c][j] += v
+		}
+		counts[c]++
+	}
+	nc.centroids = nil
+	nc.classes = nil
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range sums[c] {
+			sums[c][j] /= float64(counts[c])
+		}
+		nc.centroids = append(nc.centroids, sums[c])
+		nc.classes = append(nc.classes, c)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (nc *NearestCentroid) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	if len(nc.centroids) == 0 {
+		return out
+	}
+	for i, row := range X {
+		best, bi := math.Inf(1), 0
+		for ci, cen := range nc.centroids {
+			if d := nc.Metric.between(row, cen); d < best {
+				best, bi = d, ci
+			}
+		}
+		out[i] = nc.classes[bi]
+	}
+	return out
+}
+
+// Centroids exposes the fitted class means (for inspection/tests).
+func (nc *NearestCentroid) Centroids() ([][]float64, []int) {
+	return nc.centroids, nc.classes
+}

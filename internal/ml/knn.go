@@ -1,0 +1,69 @@
+package ml
+
+import "sort"
+
+// KNN is the k-nearest-neighbors classifier. The paper tests k in 3..15 and
+// metrics Euclidean/Manhattan/Chebyshev, finding k=5 with Euclidean best.
+type KNN struct {
+	// K is the neighbor count (default 5).
+	K int
+	// Metric is the distance (default Euclidean).
+	Metric Distance
+
+	trainX [][]float64
+	trainY []int
+	k      int // classes
+}
+
+// Fit memorizes the training set.
+func (kn *KNN) Fit(X [][]float64, y []int) error {
+	_, k, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	kn.trainX = X
+	kn.trainY = y
+	kn.k = k
+	return nil
+}
+
+// Predict implements Classifier: majority vote among the K nearest training
+// rows, ties broken toward the closer aggregate neighborhood.
+func (kn *KNN) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	if len(kn.trainX) == 0 {
+		return out
+	}
+	kNeighbors := kn.K
+	if kNeighbors <= 0 {
+		kNeighbors = 5
+	}
+	if kNeighbors > len(kn.trainX) {
+		kNeighbors = len(kn.trainX)
+	}
+	type nb struct {
+		dist  float64
+		label int
+	}
+	for i, row := range X {
+		nbs := make([]nb, len(kn.trainX))
+		for t, tr := range kn.trainX {
+			nbs[t] = nb{dist: kn.Metric.between(row, tr), label: kn.trainY[t]}
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].dist < nbs[b].dist })
+		votes := make([]int, kn.k)
+		distSum := make([]float64, kn.k)
+		for _, n := range nbs[:kNeighbors] {
+			votes[n.label]++
+			distSum[n.label] += n.dist
+		}
+		best, bi := -1, 0
+		for c, v := range votes {
+			if v > best || (v == best && distSum[c] < distSum[bi]) {
+				best, bi = v, c
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}

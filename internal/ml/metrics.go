@@ -1,0 +1,121 @@
+package ml
+
+// ConfusionMatrix counts conf[true][pred] over k classes. Labels outside
+// [0, k) are ignored.
+func ConfusionMatrix(yTrue, yPred []int, k int) [][]int {
+	conf := make([][]int, k)
+	for i := range conf {
+		conf[i] = make([]int, k)
+	}
+	for i := range yTrue {
+		t, p := yTrue[i], yPred[i]
+		if t >= 0 && t < k && p >= 0 && p < k {
+			conf[t][p]++
+		}
+	}
+	return conf
+}
+
+// Accuracy is the fraction of exact matches.
+func Accuracy(yTrue, yPred []int) float64 {
+	if len(yTrue) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(yTrue))
+}
+
+// BalancedAccuracy is the mean per-class recall — the paper's Table 2
+// metric, which "assigns the same weight to all traffic" classes. Classes
+// absent from yTrue are skipped.
+func BalancedAccuracy(yTrue, yPred []int) float64 {
+	k := 0
+	for _, c := range yTrue {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	conf := ConfusionMatrix(yTrue, yPred, k)
+	var sum float64
+	present := 0
+	for c := 0; c < k; c++ {
+		total := 0
+		for p := 0; p < k; p++ {
+			total += conf[c][p]
+		}
+		if total == 0 {
+			continue
+		}
+		present++
+		sum += float64(conf[c][c]) / float64(total)
+	}
+	if present == 0 {
+		return 0
+	}
+	return sum / float64(present)
+}
+
+// PRF holds precision, recall, and F1 for one class.
+type PRF struct {
+	Precision, Recall, F1 float64
+	Support               int
+}
+
+// ClassPRF computes precision/recall/F1 for class c.
+func ClassPRF(yTrue, yPred []int, c int) PRF {
+	var tp, fp, fn int
+	for i := range yTrue {
+		switch {
+		case yTrue[i] == c && yPred[i] == c:
+			tp++
+		case yTrue[i] != c && yPred[i] == c:
+			fp++
+		case yTrue[i] == c && yPred[i] != c:
+			fn++
+		}
+	}
+	var out PRF
+	out.Support = tp + fn
+	if tp+fp > 0 {
+		out.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		out.Recall = float64(tp) / float64(tp+fn)
+	}
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// MacroF1 averages per-class F1 over the classes present in yTrue.
+func MacroF1(yTrue, yPred []int) float64 {
+	k := 0
+	for _, c := range yTrue {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	var sum float64
+	present := 0
+	for c := 0; c < k; c++ {
+		prf := ClassPRF(yTrue, yPred, c)
+		if prf.Support == 0 {
+			continue
+		}
+		present++
+		sum += prf.F1
+	}
+	if present == 0 {
+		return 0
+	}
+	return sum / float64(present)
+}

@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully connected feed-forward network with ReLU hidden layers and
+// a softmax output, trained with mini-batch SGD and momentum. The paper's
+// neural-network baseline uses hidden size 128 and finds 8 hidden layers
+// best on its data (§4.1).
+type MLP struct {
+	// Hidden lists the hidden layer widths (default: one layer of 128).
+	Hidden []int
+	// Epochs is the training pass count (default 100).
+	Epochs int
+	// LearningRate is the SGD step (default 0.01).
+	LearningRate float64
+	// Momentum is the SGD momentum factor (default 0.9).
+	Momentum float64
+	// Batch is the mini-batch size (default 32).
+	Batch int
+	// Seed drives initialization and shuffling.
+	Seed int64
+
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+	classes int
+}
+
+// Fit trains the network.
+func (m *MLP) Fit(X [][]float64, y []int) error {
+	d, k, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	hidden := m.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{128}
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 100
+	}
+	lr := m.LearningRate
+	if lr <= 0 {
+		lr = 0.01
+	}
+	mom := m.Momentum
+	if mom == 0 {
+		mom = 0.9
+	}
+	batch := m.Batch
+	if batch <= 0 {
+		batch = 32
+	}
+	m.classes = k
+	sizes := append(append([]int{d}, hidden...), k)
+	rng := rand.New(rand.NewSource(m.Seed + 3))
+	m.weights = make([][][]float64, len(sizes)-1)
+	m.biases = make([][]float64, len(sizes)-1)
+	vel := make([][][]float64, len(sizes)-1)
+	velB := make([][]float64, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := math.Sqrt(2 / float64(in)) // He init for ReLU
+		m.weights[l] = make([][]float64, out)
+		vel[l] = make([][]float64, out)
+		for o := 0; o < out; o++ {
+			m.weights[l][o] = make([]float64, in)
+			vel[l][o] = make([]float64, in)
+			for i := 0; i < in; i++ {
+				m.weights[l][o][i] = rng.NormFloat64() * scale
+			}
+		}
+		m.biases[l] = make([]float64, out)
+		velB[l] = make([]float64, out)
+	}
+	n := len(X)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	layers := len(m.weights)
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			// Accumulate gradients over the batch.
+			gradW := make([][][]float64, layers)
+			gradB := make([][]float64, layers)
+			for l := 0; l < layers; l++ {
+				gradW[l] = make([][]float64, len(m.weights[l]))
+				for o := range gradW[l] {
+					gradW[l][o] = make([]float64, len(m.weights[l][o]))
+				}
+				gradB[l] = make([]float64, len(m.biases[l]))
+			}
+			for _, i := range order[start:end] {
+				acts, zs := m.forward(X[i])
+				// Softmax + cross-entropy delta at the output.
+				probs := softmax(zs[layers-1])
+				delta := make([]float64, k)
+				copy(delta, probs)
+				delta[y[i]] -= 1
+				for l := layers - 1; l >= 0; l-- {
+					inAct := acts[l]
+					for o := range m.weights[l] {
+						gradB[l][o] += delta[o]
+						for j := range m.weights[l][o] {
+							gradW[l][o][j] += delta[o] * inAct[j]
+						}
+					}
+					if l > 0 {
+						prev := make([]float64, len(acts[l]))
+						for j := range prev {
+							var s float64
+							for o := range m.weights[l] {
+								s += m.weights[l][o][j] * delta[o]
+							}
+							if zs[l-1][j] <= 0 { // ReLU'
+								s = 0
+							}
+							prev[j] = s
+						}
+						delta = prev
+					}
+				}
+			}
+			bs := float64(end - start)
+			for l := 0; l < layers; l++ {
+				for o := range m.weights[l] {
+					for j := range m.weights[l][o] {
+						vel[l][o][j] = mom*vel[l][o][j] - lr*gradW[l][o][j]/bs
+						m.weights[l][o][j] += vel[l][o][j]
+					}
+					velB[l][o] = mom*velB[l][o] - lr*gradB[l][o]/bs
+					m.biases[l][o] += velB[l][o]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forward returns the activations entering each layer (acts[l] feeds layer
+// l) and the pre-activations of each layer.
+func (m *MLP) forward(x []float64) (acts [][]float64, zs [][]float64) {
+	layers := len(m.weights)
+	acts = make([][]float64, layers)
+	zs = make([][]float64, layers)
+	cur := x
+	for l := 0; l < layers; l++ {
+		acts[l] = cur
+		z := make([]float64, len(m.weights[l]))
+		for o := range m.weights[l] {
+			s := m.biases[l][o]
+			for j, v := range cur {
+				s += m.weights[l][o][j] * v
+			}
+			z[o] = s
+		}
+		zs[l] = z
+		if l < layers-1 {
+			a := make([]float64, len(z))
+			for i, v := range z {
+				if v > 0 {
+					a[i] = v
+				}
+			}
+			cur = a
+		}
+	}
+	return acts, zs
+}
+
+func softmax(z []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range z {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(z))
+	var sum float64
+	for i, v := range z {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	if len(m.weights) == 0 {
+		return out
+	}
+	for i, row := range X {
+		_, zs := m.forward(row)
+		out[i] = argmax(zs[len(zs)-1])
+	}
+	return out
+}

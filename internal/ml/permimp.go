@@ -1,0 +1,74 @@
+package ml
+
+import "math/rand"
+
+// PermutationImportance measures each feature's contribution by shuffling
+// its values across samples and recording the metric drop, repeated and
+// averaged — the paper's §4.3 procedure ("we iterate 50 times for each
+// feature to get reliable results"). The classifier must already be fitted;
+// X/y are the evaluation set.
+func PermutationImportance(c Classifier, X [][]float64, y []int,
+	metric func(yTrue, yPred []int) float64, repeats int, seed int64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	if repeats <= 0 {
+		repeats = 50
+	}
+	d := len(X[0])
+	baseline := metric(y, c.Predict(X))
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, d)
+	n := len(X)
+	// Work on a column-shuffleable copy.
+	work := make([][]float64, n)
+	for i, row := range X {
+		work[i] = append([]float64(nil), row...)
+	}
+	col := make([]float64, n)
+	for f := 0; f < d; f++ {
+		var drop float64
+		for r := 0; r < repeats; r++ {
+			for i := range work {
+				col[i] = work[i][f]
+			}
+			rng.Shuffle(n, func(a, b int) {
+				work[a][f], work[b][f] = work[b][f], work[a][f]
+			})
+			drop += baseline - metric(y, c.Predict(work))
+			for i := range work {
+				work[i][f] = col[i]
+			}
+		}
+		out[f] = drop / float64(repeats)
+	}
+	return out
+}
+
+// RankFeatures pairs importances with names and orders them descending.
+type RankedFeature struct {
+	Name       string
+	Importance float64
+}
+
+// Rank sorts features by importance, descending, with a stable name
+// tiebreak for deterministic output.
+func Rank(names []string, importances []float64) []RankedFeature {
+	out := make([]RankedFeature, 0, len(importances))
+	for i, imp := range importances {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, RankedFeature{Name: name, Importance: imp})
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Importance > out[i].Importance ||
+				(out[j].Importance == out[i].Importance && out[j].Name < out[i].Name) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package ml
+
+import "math"
+
+// StandardScaler centers features to zero mean and scales them to unit
+// variance, matching the paper's pre-processing ("scaling all the features
+// to unit variance before training and testing"). Constant features are
+// centered but left unscaled.
+type StandardScaler struct {
+	Mean, Scale []float64
+	fitted      bool
+}
+
+// Fit learns per-feature mean and standard deviation.
+func (s *StandardScaler) Fit(X [][]float64) error {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return ErrEmpty
+	}
+	d := len(X[0])
+	s.Mean = make([]float64, d)
+	s.Scale = make([]float64, d)
+	n := float64(len(X))
+	for _, row := range X {
+		if len(row) != d {
+			return ErrShape
+		}
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Scale[j] += dv * dv
+		}
+	}
+	for j := range s.Scale {
+		sd := math.Sqrt(s.Scale[j] / n)
+		if sd == 0 {
+			sd = 1
+		}
+		s.Scale[j] = sd
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform returns a scaled copy of X.
+func (s *StandardScaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			if s.fitted && j < len(s.Mean) {
+				r[j] = (v - s.Mean[j]) / s.Scale[j]
+			} else {
+				r[j] = v
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// FitTransform fits on X and returns its scaled copy.
+func (s *StandardScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := s.Fit(X); err != nil {
+		return nil, err
+	}
+	return s.Transform(X), nil
+}

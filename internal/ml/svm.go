@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"math/rand"
+)
+
+// LinearSVC is a linear support-vector classifier trained with stochastic
+// subgradient descent on the L2-regularized hinge loss (Pegasos-style),
+// one-vs-rest for multi-class.
+type LinearSVC struct {
+	// Epochs is the number of passes over the data (default 50).
+	Epochs int
+	// Lambda is the L2 regularization strength (default 1e-3).
+	Lambda float64
+	// Seed drives shuffling.
+	Seed int64
+
+	weights [][]float64 // per class: d weights + bias at the end
+	classes int
+}
+
+// Fit trains one binary SVM per class.
+func (s *LinearSVC) Fit(X [][]float64, y []int) error {
+	d, k, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 50
+	}
+	lambda := s.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	s.classes = k
+	s.weights = make([][]float64, k)
+	n := len(X)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for c := 0; c < k; c++ {
+		w := make([]float64, d+1)
+		rng := rand.New(rand.NewSource(s.Seed + int64(c)*101 + 13))
+		step := 0
+		for e := 0; e < epochs; e++ {
+			rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+			for _, i := range order {
+				step++
+				eta := 1 / (lambda * float64(step+1))
+				target := -1.0
+				if y[i] == c {
+					target = 1
+				}
+				margin := w[d] // bias
+				for j, v := range X[i] {
+					margin += w[j] * v
+				}
+				margin *= target
+				for j := 0; j < d; j++ {
+					w[j] -= eta * lambda * w[j]
+				}
+				if margin < 1 {
+					for j, v := range X[i] {
+						w[j] += eta * target * v
+					}
+					w[d] += eta * target
+				}
+			}
+		}
+		s.weights[c] = w
+	}
+	return nil
+}
+
+// Predict implements Classifier: highest one-vs-rest margin wins.
+func (s *LinearSVC) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	if len(s.weights) == 0 {
+		return out
+	}
+	for i, row := range X {
+		scores := make([]float64, s.classes)
+		for c := 0; c < s.classes; c++ {
+			w := s.weights[c]
+			if w == nil {
+				scores[c] = -1e18
+				continue
+			}
+			d := len(w) - 1
+			m := w[d]
+			for j, v := range row {
+				if j >= d {
+					break
+				}
+				m += w[j] * v
+			}
+			scores[c] = m
+		}
+		out[i] = argmax(scores)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DecisionTree is a CART classifier splitting on weighted Gini impurity. It
+// supports sample weights (for AdaBoost), per-split feature subsampling (for
+// random forests), and a depth bound (the paper's humanness validator is a
+// 9-layer tree; the traffic tree selection found depth 3 best).
+type DecisionTree struct {
+	// MaxDepth bounds the tree height (<=0 means unbounded).
+	MaxDepth int
+	// MinSamplesSplit is the smallest node eligible for splitting
+	// (default 2).
+	MinSamplesSplit int
+	// MaxFeatures caps the features considered per split (<=0: all).
+	MaxFeatures int
+	// Seed drives feature subsampling.
+	Seed int64
+
+	root    *treeNode
+	classes int
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	leaf        bool
+	class       int
+}
+
+// Fit trains with uniform sample weights.
+func (t *DecisionTree) Fit(X [][]float64, y []int) error {
+	w := make([]float64, len(X))
+	for i := range w {
+		w[i] = 1
+	}
+	return t.FitWeighted(X, y, w)
+}
+
+// FitWeighted trains with explicit sample weights.
+func (t *DecisionTree) FitWeighted(X [][]float64, y []int, w []float64) error {
+	d, k, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if len(w) != len(X) {
+		return ErrShape
+	}
+	t.classes = k
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(t.Seed + 1))
+	t.root = t.build(X, y, w, idx, d, 0, rng)
+	return nil
+}
+
+func (t *DecisionTree) build(X [][]float64, y []int, w []float64, idx []int, d, depth int, rng *rand.Rand) *treeNode {
+	minSplit := t.MinSamplesSplit
+	if minSplit < 2 {
+		minSplit = 2
+	}
+	maj := t.weightedMajority(y, w, idx)
+	if len(idx) < minSplit || (t.MaxDepth > 0 && depth >= t.MaxDepth) || t.pure(y, idx) {
+		return &treeNode{leaf: true, class: maj}
+	}
+	feat, thr, ok := t.bestSplit(X, y, w, idx, d, rng)
+	if !ok {
+		return &treeNode{leaf: true, class: maj}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &treeNode{leaf: true, class: maj}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.build(X, y, w, left, d, depth+1, rng),
+		right:     t.build(X, y, w, right, d, depth+1, rng),
+	}
+}
+
+func (t *DecisionTree) pure(y []int, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *DecisionTree) weightedMajority(y []int, w []float64, idx []int) int {
+	sums := make([]float64, t.classes)
+	for _, i := range idx {
+		sums[y[i]] += w[i]
+	}
+	return argmax(sums)
+}
+
+// bestSplit scans candidate features for the threshold minimizing weighted
+// Gini impurity of the children.
+func (t *DecisionTree) bestSplit(X [][]float64, y []int, w []float64, idx []int, d int, rng *rand.Rand) (int, float64, bool) {
+	feats := make([]int, d)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < d {
+		rng.Shuffle(d, func(a, b int) { feats[a], feats[b] = feats[b], feats[a] })
+		feats = feats[:t.MaxFeatures]
+	}
+	bestGini := math.Inf(1)
+	bestFeat, bestThr := -1, 0.0
+	type fv struct {
+		v float64
+		i int
+	}
+	vals := make([]fv, len(idx))
+	for _, f := range feats {
+		for vi, i := range idx {
+			vals[vi] = fv{v: X[i][f], i: i}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		// Prefix class-weight sums enable O(1) impurity per threshold.
+		leftW := make([]float64, t.classes)
+		rightW := make([]float64, t.classes)
+		var leftTotal, rightTotal float64
+		for _, e := range vals {
+			rightW[y[e.i]] += w[e.i]
+			rightTotal += w[e.i]
+		}
+		for vi := 0; vi < len(vals)-1; vi++ {
+			e := vals[vi]
+			leftW[y[e.i]] += w[e.i]
+			leftTotal += w[e.i]
+			rightW[y[e.i]] -= w[e.i]
+			rightTotal -= w[e.i]
+			if vals[vi].v == vals[vi+1].v {
+				continue // no threshold between equal values
+			}
+			g := weightedGini(leftW, leftTotal)*leftTotal + weightedGini(rightW, rightTotal)*rightTotal
+			if g < bestGini {
+				bestGini = g
+				bestFeat = f
+				bestThr = (vals[vi].v + vals[vi+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, false
+	}
+	return bestFeat, bestThr, true
+}
+
+func weightedGini(classW []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	g := 1.0
+	for _, cw := range classW {
+		p := cw / total
+		g -= p * p
+	}
+	return g
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	if t.root == nil {
+		return out
+	}
+	for i, row := range X {
+		out[i] = t.predictOne(row)
+	}
+	return out
+}
+
+func (t *DecisionTree) predictOne(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Depth returns the fitted tree height (0 for a stump/leaf-only tree).
+func (t *DecisionTree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// NodeCount returns the number of nodes in the fitted tree.
+func (t *DecisionTree) NodeCount() int { return countNodes(t.root) }
+
+func countNodes(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.left) + countNodes(n.right)
+}

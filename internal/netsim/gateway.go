@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"fiat/internal/intercept"
+	"fiat/internal/packet"
+)
+
+// Gateway is the home router: it bridges the LAN to the cloud locations.
+// Outbound frames addressed to it at L2 are re-addressed to the cloud node
+// owning the destination IP; inbound cloud frames are re-addressed into the
+// LAN using the gateway's ARP table — which an ARP spoofer can poison, the
+// paper's interception vector.
+type Gateway struct {
+	Node *Node
+	ARP  *intercept.ARPTable
+	nw   *Network
+}
+
+// NewGateway attaches a gateway to the network.
+func NewGateway(nw *Network, name string, mac packet.MAC, ip netip.Addr) *Gateway {
+	g := &Gateway{ARP: intercept.NewARPTable(), nw: nw}
+	g.Node = &Node{Name: name, MAC: mac, IP: ip, Loc: LocLAN, Recv: g.recv}
+	nw.Attach(g.Node)
+	return g
+}
+
+func (g *Gateway) recv(self *Node, frame []byte, now time.Time) {
+	p := packet.Decode(frame, packet.CaptureInfo{Timestamp: now})
+	if p.ARP() != nil {
+		g.ARP.Observe(p)
+		return
+	}
+	ip := p.IPv4()
+	if ip == nil {
+		return
+	}
+	if dst, ok := g.nw.NodeByIP(ip.DstIP); ok && dst.Loc != LocLAN {
+		// LAN -> WAN: forward toward the cloud node.
+		g.forward(frame, self.MAC, dst.MAC)
+		return
+	}
+	// WAN -> LAN (or LAN -> LAN routed through us): resolve via ARP.
+	if mac, ok := g.ARP.Lookup(ip.DstIP); ok {
+		g.forward(frame, self.MAC, mac)
+	}
+}
+
+func (g *Gateway) forward(frame []byte, srcMAC, dstMAC packet.MAC) {
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	copy(out[0:6], dstMAC[:])
+	copy(out[6:12], srcMAC[:])
+	g.nw.SendFrame(out)
+}

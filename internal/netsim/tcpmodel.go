@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"time"
+)
+
+// TCPModel simulates the sender-side retransmission behavior FIAT relies on
+// in §6: when the proxy holds packets awaiting a verdict, the IoT cloud's
+// TCP stack treats the silence as loss and retransmits with exponential
+// backoff; once the verdict releases the flow, the exchange completes. The
+// command fails only if the companion app's own response timeout fires
+// first. This turns the paper's closing experiment ("how slow can FIAT
+// afford to be") into a mechanism rather than an assumption.
+type TCPModel struct {
+	// InitialRTO is the first retransmission timeout (RFC 6298 floor 1 s).
+	InitialRTO time.Duration
+	// MaxRetries bounds the retransmissions before the connection aborts.
+	MaxRetries int
+	// RTT is the path round-trip time.
+	RTT time.Duration
+}
+
+// DefaultTCPModel returns RFC-typical parameters for a WAN path.
+func DefaultTCPModel(rtt time.Duration) TCPModel {
+	return TCPModel{InitialRTO: time.Second, MaxRetries: 6, RTT: rtt}
+}
+
+// DeliveryOutcome summarizes one held-then-released exchange.
+type DeliveryOutcome struct {
+	// Delivered reports whether TCP recovered the exchange at all.
+	Delivered bool
+	// CompletionTime is when the receiver finally has the data, measured
+	// from the original send.
+	CompletionTime time.Duration
+	// Retransmits counts the sender's retransmissions.
+	Retransmits int
+}
+
+// DeliverWithHold computes the outcome when the network (FIAT's verdict
+// queue) holds the first copy and all retransmissions for holdFor, then
+// releases them. Releases are modeled at the instant the verdict arrives:
+// every copy sent before the release is delivered together at
+// release+RTT/2; a copy sent after the release arrives normally.
+func (m TCPModel) DeliverWithHold(holdFor time.Duration) DeliveryOutcome {
+	rto := m.InitialRTO
+	if rto <= 0 {
+		rto = time.Second
+	}
+	// Send schedule: original at 0, retransmissions with doubling RTO
+	// (Karn's algorithm); the sender aborts one final RTO after the last
+	// retransmission if still unacknowledged.
+	sendTimes := []time.Duration{0}
+	t := time.Duration(0)
+	for i := 0; i < m.MaxRetries; i++ {
+		t += rto
+		sendTimes = append(sendTimes, t)
+		rto *= 2
+	}
+	abortAt := t + rto
+
+	oneWay := m.RTT / 2
+	// The first copy reaches the receiver once the verdict releases the
+	// flow (or immediately when there is no hold); its ACK returns one
+	// more one-way later.
+	arrival := oneWay
+	if holdFor > 0 {
+		arrival = holdFor + oneWay
+	}
+	ackAt := arrival + oneWay
+	if ackAt > abortAt {
+		return DeliveryOutcome{Delivered: false, Retransmits: m.MaxRetries}
+	}
+	// Retransmissions keep firing until the ACK lands.
+	retrans := 0
+	for _, sent := range sendTimes[1:] {
+		if sent < ackAt {
+			retrans++
+		}
+	}
+	return DeliveryOutcome{Delivered: true, CompletionTime: arrival, Retransmits: retrans}
+}
+
+// CommandSucceeds reports whether an IoT command survives a verdict hold of
+// holdFor given the controlling app's response timeout.
+func (m TCPModel) CommandSucceeds(holdFor, appTimeout time.Duration) bool {
+	out := m.DeliverWithHold(holdFor)
+	return out.Delivered && out.CompletionTime+m.RTT <= appTimeout
+}

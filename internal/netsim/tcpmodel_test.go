@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNoHoldDeliversImmediately(t *testing.T) {
+	m := DefaultTCPModel(30 * time.Millisecond)
+	out := m.DeliverWithHold(0)
+	if !out.Delivered || out.Retransmits != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.CompletionTime != 15*time.Millisecond {
+		t.Fatalf("completion = %v, want one-way 15ms", out.CompletionTime)
+	}
+}
+
+func TestShortHoldAbsorbedWithoutRetransmit(t *testing.T) {
+	// A hold shorter than the first RTO completes before any retransmit.
+	m := DefaultTCPModel(30 * time.Millisecond)
+	out := m.DeliverWithHold(800 * time.Millisecond)
+	if !out.Delivered {
+		t.Fatal("not delivered")
+	}
+	if out.Retransmits != 0 {
+		t.Fatalf("retransmits = %d, want 0 (ACK returns before RTO)", out.Retransmits)
+	}
+	if out.CompletionTime != 800*time.Millisecond+15*time.Millisecond {
+		t.Fatalf("completion = %v", out.CompletionTime)
+	}
+}
+
+func TestTwoSecondHoldCostsRetransmits(t *testing.T) {
+	m := DefaultTCPModel(30 * time.Millisecond)
+	out := m.DeliverWithHold(2 * time.Second)
+	if !out.Delivered {
+		t.Fatal("not delivered")
+	}
+	if out.Retransmits < 1 {
+		t.Fatalf("retransmits = %d, want >= 1 for a 2 s hold with 1 s RTO", out.Retransmits)
+	}
+	if out.CompletionTime < 2*time.Second {
+		t.Fatalf("completion %v before the hold ended", out.CompletionTime)
+	}
+}
+
+func TestCompletionMonotoneInHold(t *testing.T) {
+	m := DefaultTCPModel(30 * time.Millisecond)
+	prev := time.Duration(0)
+	for hold := time.Duration(0); hold <= 10*time.Second; hold += 250 * time.Millisecond {
+		out := m.DeliverWithHold(hold)
+		if !out.Delivered {
+			t.Fatalf("hold %v: not delivered (within backoff budget)", hold)
+		}
+		if out.CompletionTime < prev {
+			t.Fatalf("completion not monotone at hold %v", hold)
+		}
+		prev = out.CompletionTime
+	}
+}
+
+func TestHoldBeyondBackoffBudgetAborts(t *testing.T) {
+	m := TCPModel{InitialRTO: time.Second, MaxRetries: 2, RTT: 30 * time.Millisecond}
+	// Retransmits at 1s, 3s; a hold past the last send + its flight.
+	out := m.DeliverWithHold(time.Hour)
+	if out.Delivered {
+		t.Fatalf("delivered despite hold exceeding all retransmissions: %+v", out)
+	}
+}
+
+func TestCommandSucceedsMatchesPaperTwoSeconds(t *testing.T) {
+	// §6: all devices tolerate 2 s extra delay; the tightest app timeouts
+	// in our testbed are ~2.8 s.
+	m := DefaultTCPModel(30 * time.Millisecond)
+	if !m.CommandSucceeds(2*time.Second, 2800*time.Millisecond) {
+		t.Fatal("2 s hold should survive a 2.8 s app timeout")
+	}
+	if m.CommandSucceeds(3*time.Second, 2800*time.Millisecond) {
+		t.Fatal("3 s hold should break a 2.8 s app timeout")
+	}
+	if !m.CommandSucceeds(3*time.Second, 6*time.Second) {
+		t.Fatal("3 s hold should survive a 6 s app timeout")
+	}
+}

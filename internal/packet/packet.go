@@ -1,0 +1,217 @@
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// CaptureInfo carries per-packet capture metadata, matching the shape pcap
+// readers produce.
+type CaptureInfo struct {
+	// Timestamp is when the packet crossed the capture point.
+	Timestamp time.Time
+	// CaptureLength is how many bytes were captured.
+	CaptureLength int
+	// Length is the original wire length (>= CaptureLength).
+	Length int
+}
+
+// Packet is a decoded frame: its raw bytes, capture metadata, and the layer
+// stack the decoder recognized.
+type Packet struct {
+	Data   []byte
+	Info   CaptureInfo
+	layers []Layer
+	err    error
+}
+
+// Decode parses data starting at the Ethernet layer. Decoding is
+// best-effort: a malformed inner layer leaves the outer layers intact and
+// records the error (retrievable via ErrorLayer), mirroring gopacket.
+func Decode(data []byte, info CaptureInfo) *Packet {
+	p := &Packet{Data: data, Info: info}
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(data); err != nil {
+		p.err = err
+		return p
+	}
+	p.layers = append(p.layers, &eth)
+	switch eth.EtherType {
+	case EtherTypeARP:
+		var arp ARP
+		if err := arp.DecodeFromBytes(eth.LayerPayload()); err != nil {
+			p.err = err
+			return p
+		}
+		p.layers = append(p.layers, &arp)
+	case EtherTypeIPv4:
+		var ip IPv4
+		if err := ip.DecodeFromBytes(eth.LayerPayload()); err != nil {
+			p.err = err
+			return p
+		}
+		p.layers = append(p.layers, &ip)
+		p.decodeTransport(&ip)
+	default:
+		p.layers = append(p.layers, Payload(eth.LayerPayload()))
+	}
+	return p
+}
+
+func (p *Packet) decodeTransport(ip *IPv4) {
+	switch ip.Protocol {
+	case IPProtoTCP:
+		var tcp TCP
+		if err := tcp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+			p.err = err
+			return
+		}
+		p.layers = append(p.layers, &tcp)
+		p.decodeApp(tcp.LayerPayload())
+	case IPProtoUDP:
+		var udp UDP
+		if err := udp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+			p.err = err
+			return
+		}
+		p.layers = append(p.layers, &udp)
+		if len(udp.LayerPayload()) > 0 {
+			p.layers = append(p.layers, Payload(udp.LayerPayload()))
+		}
+	default:
+		if len(ip.LayerPayload()) > 0 {
+			p.layers = append(p.layers, Payload(ip.LayerPayload()))
+		}
+	}
+}
+
+func (p *Packet) decodeApp(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	var rec TLSRecord
+	if err := rec.DecodeFromBytes(data); err == nil {
+		p.layers = append(p.layers, &rec)
+		return
+	}
+	p.layers = append(p.layers, Payload(data))
+}
+
+// Layers returns the decoded layer stack, outermost first.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// Ethernet returns the link layer, or nil.
+func (p *Packet) Ethernet() *Ethernet {
+	if l := p.Layer(LayerTypeEthernet); l != nil {
+		return l.(*Ethernet)
+	}
+	return nil
+}
+
+// IPv4 returns the network layer, or nil.
+func (p *Packet) IPv4() *IPv4 {
+	if l := p.Layer(LayerTypeIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}
+
+// TCP returns the TCP layer, or nil.
+func (p *Packet) TCP() *TCP {
+	if l := p.Layer(LayerTypeTCP); l != nil {
+		return l.(*TCP)
+	}
+	return nil
+}
+
+// UDP returns the UDP layer, or nil.
+func (p *Packet) UDP() *UDP {
+	if l := p.Layer(LayerTypeUDP); l != nil {
+		return l.(*UDP)
+	}
+	return nil
+}
+
+// ARP returns the ARP layer, or nil.
+func (p *Packet) ARP() *ARP {
+	if l := p.Layer(LayerTypeARP); l != nil {
+		return l.(*ARP)
+	}
+	return nil
+}
+
+// TLS returns the first TLS record layer, or nil.
+func (p *Packet) TLS() *TLSRecord {
+	if l := p.Layer(LayerTypeTLS); l != nil {
+		return l.(*TLSRecord)
+	}
+	return nil
+}
+
+// ErrorLayer returns the decode error encountered, if any.
+func (p *Packet) ErrorLayer() error { return p.err }
+
+// TransportProto returns "tcp", "udp" or "" for the packet.
+func (p *Packet) TransportProto() string {
+	switch {
+	case p.TCP() != nil:
+		return "tcp"
+	case p.UDP() != nil:
+		return "udp"
+	default:
+		return ""
+	}
+}
+
+// NetworkFlow returns the IPv4 flow, or the zero Flow when absent.
+func (p *Packet) NetworkFlow() Flow {
+	if ip := p.IPv4(); ip != nil {
+		return ip.Flow()
+	}
+	return Flow{}
+}
+
+// TransportFlow returns the TCP/UDP flow, or the zero Flow when absent.
+func (p *Packet) TransportFlow() Flow {
+	if t := p.TCP(); t != nil {
+		return t.Flow()
+	}
+	if u := p.UDP(); u != nil {
+		return u.Flow()
+	}
+	return Flow{}
+}
+
+// String renders a one-line summary, e.g.
+// "IPv4 10.0.0.2:5353 -> 52.1.2.3:443 tcp 87B".
+func (p *Packet) String() string {
+	ip := p.IPv4()
+	if ip == nil {
+		if a := p.ARP(); a != nil {
+			op := "request"
+			if a.Operation == ARPReply {
+				op = "reply"
+			}
+			return fmt.Sprintf("ARP %s %s -> %s", op, a.SenderIP, a.TargetIP)
+		}
+		return fmt.Sprintf("frame %dB", len(p.Data))
+	}
+	var sport, dport uint16
+	if t := p.TCP(); t != nil {
+		sport, dport = t.SrcPort, t.DstPort
+	} else if u := p.UDP(); u != nil {
+		sport, dport = u.SrcPort, u.DstPort
+	}
+	return fmt.Sprintf("IPv4 %s:%d -> %s:%d %s %dB",
+		ip.SrcIP, sport, ip.DstIP, dport, p.TransportProto(), p.Info.Length)
+}

@@ -1,0 +1,237 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fiat/internal/packet"
+)
+
+func sampleFrames(t *testing.T, n int) ([]packet.CaptureInfo, [][]byte) {
+	t.Helper()
+	var b packet.Builder
+	src := netip.MustParseAddr("10.0.0.2")
+	dst := netip.MustParseAddr("34.5.6.7")
+	infos := make([]packet.CaptureInfo, n)
+	frames := make([][]byte, n)
+	base := time.Date(2022, 6, 1, 12, 0, 0, 123456000, time.UTC)
+	for i := 0; i < n; i++ {
+		raw := b.TCPPacket(packet.TCPSpec{
+			SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: src, DstIP: dst, SrcPort: uint16(1000 + i), DstPort: 443,
+			Flags: packet.TCPFlagACK, Payload: bytes.Repeat([]byte{byte(i)}, i+1),
+		})
+		frames[i] = raw
+		infos[i] = packet.CaptureInfo{
+			Timestamp:     base.Add(time.Duration(i) * time.Second),
+			CaptureLength: len(raw),
+			Length:        len(raw),
+		}
+	}
+	return infos, frames
+}
+
+func roundTrip(t *testing.T, opts ...WriterOption) ([]packet.CaptureInfo, [][]byte, *Reader) {
+	t.Helper()
+	infos, frames := sampleFrames(t, 5)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		if err := w.WritePacket(infos[i], frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return infos, frames, r
+}
+
+func TestRoundTripMicro(t *testing.T) {
+	infos, frames, r := roundTrip(t)
+	for i := range frames {
+		info, data, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(data, frames[i]) {
+			t.Fatalf("record %d: bytes differ", i)
+		}
+		// Microsecond precision truncates to µs.
+		want := infos[i].Timestamp.Truncate(time.Microsecond)
+		if !info.Timestamp.Equal(want) {
+			t.Fatalf("record %d: ts = %v, want %v", i, info.Timestamp, want)
+		}
+	}
+	if _, _, err := r.ReadPacket(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundTripNano(t *testing.T) {
+	infos, frames, r := roundTrip(t, WithNanosecondPrecision())
+	for i := range frames {
+		info, data, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(data, frames[i]) {
+			t.Fatalf("record %d: bytes differ", i)
+		}
+		if !info.Timestamp.Equal(infos[i].Timestamp) {
+			t.Fatalf("record %d: ts = %v, want %v", i, info.Timestamp, infos[i].Timestamp)
+		}
+	}
+}
+
+func TestReadAllDecodes(t *testing.T) {
+	_, frames, r := roundTrip(t)
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != len(frames) {
+		t.Fatalf("ReadAll = %d packets, want %d", len(pkts), len(frames))
+	}
+	for i, p := range pkts {
+		if p.TCP() == nil {
+			t.Fatalf("packet %d: no TCP layer", i)
+		}
+		if p.TCP().SrcPort != uint16(1000+i) {
+			t.Fatalf("packet %d: src port %d", i, p.TCP().SrcPort)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadLinkType(t *testing.T) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.LittleEndian.PutUint32(hdr[20:24], 101) // raw IP
+	if _, err := NewReader(bytes.NewReader(hdr[:])); err != ErrBadLink {
+		t.Fatalf("err = %v, want ErrBadLink", err)
+	}
+}
+
+func TestTruncatedRecordBody(t *testing.T) {
+	infos, frames := sampleFrames(t, 1)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(infos[0], frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPacket(); err != ErrShortPkt {
+		t.Fatalf("err = %v, want ErrShortPkt", err)
+	}
+}
+
+func TestSnaplenEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithSnaplen(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(packet.CaptureInfo{}, make([]byte, 11)); err == nil {
+		t.Fatal("expected snaplen error")
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-build a big-endian file with one 4-byte record.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:4], 1654084800)
+	binary.BigEndian.PutUint32(rec[4:8], 42)
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec[:])
+	buf.Write([]byte{1, 2, 3, 4})
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{1, 2, 3, 4}) {
+		t.Fatalf("data = %v", data)
+	}
+	if info.Timestamp.Unix() != 1654084800 || info.Timestamp.Nanosecond() != 42000 {
+		t.Fatalf("ts = %v", info.Timestamp)
+	}
+}
+
+func TestPropertyRoundTripArbitraryPayloads(t *testing.T) {
+	f := func(payloads [][]byte, secs uint32) bool {
+		if len(payloads) > 20 {
+			payloads = payloads[:20]
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, WithNanosecondPrecision())
+		if err != nil {
+			return false
+		}
+		for i, p := range payloads {
+			if len(p) > 2000 {
+				p = p[:2000]
+			}
+			info := packet.CaptureInfo{
+				Timestamp:     time.Unix(int64(secs), int64(i)).UTC(),
+				CaptureLength: len(p),
+				Length:        len(p),
+			}
+			if err := w.WritePacket(info, p); err != nil {
+				return false
+			}
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i, p := range payloads {
+			if len(p) > 2000 {
+				p = p[:2000]
+			}
+			_, data, err := r.ReadPacket()
+			if err != nil || !bytes.Equal(data, p) {
+				return false
+			}
+			_ = i
+		}
+		_, _, err = r.ReadPacket()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

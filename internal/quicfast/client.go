@@ -1,0 +1,233 @@
+package quicfast
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Client is the phone-side endpoint: one session to the proxy. It is not
+// safe for concurrent Sends (FIAT's app sends one attestation at a time).
+type Client struct {
+	conn   net.PacketConn
+	remote net.Addr
+	psk    []byte
+	rand   io.Reader
+
+	keys    *sessionKeys
+	connID  [connIDLen]byte
+	pktNum  uint32
+	timeout time.Duration
+	retries int
+
+	// Resumption state enabling 0-RTT on later sessions.
+	ticketID   []byte
+	resumption []byte
+	zeroPkt    uint32
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithClientRand overrides the entropy source (tests).
+func WithClientRand(r io.Reader) ClientOption {
+	return func(c *Client) { c.rand = r }
+}
+
+// WithTimeout sets the per-attempt ack timeout (default 500 ms).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries sets the retransmit count (default 3).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// NewClient wraps conn targeting remote, authenticated by the pairing PSK.
+func NewClient(conn net.PacketConn, remote net.Addr, psk []byte, opts ...ClientOption) *Client {
+	c := &Client{
+		conn:    conn,
+		remote:  remote,
+		psk:     append([]byte(nil), psk...),
+		rand:    rand.Reader,
+		timeout: 500 * time.Millisecond,
+		retries: 3,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Handshake performs the 1-RTT exchange, establishing keys and collecting a
+// session ticket for future 0-RTT sends.
+func (c *Client) Handshake() error {
+	priv, err := newX25519(c.rand)
+	if err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(c.rand, c.connID[:]); err != nil {
+		return fmt.Errorf("quicfast: conn id: %w", err)
+	}
+	crandom := make([]byte, randomLen)
+	if _, err := io.ReadFull(c.rand, crandom); err != nil {
+		return fmt.Errorf("quicfast: client random: %w", err)
+	}
+	cpub := priv.PublicKey().Bytes()
+	init := make([]byte, 0, 128)
+	init = append(init, ptInitial)
+	init = append(init, c.connID[:]...)
+	init = append(init, cpub...)
+	init = append(init, crandom...)
+	init = append(init, pskMAC(c.psk, []byte("init"), c.connID[:], cpub, crandom)...)
+
+	reply, err := c.exchange(init, ptReply, c.connID[:])
+	if err != nil {
+		return err
+	}
+	minLen := 1 + connIDLen + pubKeyLen + randomLen + macLen
+	if len(reply) < minLen {
+		return ErrMalformed
+	}
+	spubRaw := reply[1+connIDLen : 1+connIDLen+pubKeyLen]
+	srandom := reply[1+connIDLen+pubKeyLen : 1+connIDLen+pubKeyLen+randomLen]
+	mac := reply[minLen-macLen : minLen]
+	if !hmacEqual(pskMAC(c.psk, []byte("reply"), c.connID[:], spubRaw, srandom, crandom), mac) {
+		return ErrAuth
+	}
+	spub, err := ecdh.X25519().NewPublicKey(spubRaw)
+	if err != nil {
+		return ErrMalformed
+	}
+	shared, err := priv.ECDH(spub)
+	if err != nil {
+		return ErrMalformed
+	}
+	salt := append(append([]byte(nil), crandom...), srandom...)
+	keys, err := deriveKeys(shared, salt)
+	if err != nil {
+		return err
+	}
+	ticketPlain, err := keys.serverAEAD.Open(nil, nonceFor(keys.serverIV, 0), reply[minLen:], reply[:1+connIDLen])
+	if err != nil {
+		return ErrAuth
+	}
+	if len(ticketPlain) != ticketIDLen+secretLen {
+		return ErrMalformed
+	}
+	c.keys = keys
+	c.pktNum = 0
+	c.ticketID = append([]byte(nil), ticketPlain[:ticketIDLen]...)
+	c.resumption = append([]byte(nil), ticketPlain[ticketIDLen:]...)
+	c.zeroPkt = 0
+	return nil
+}
+
+// Send transmits payload over the established 1-RTT session, blocking until
+// the server's ack (with retransmits).
+func (c *Client) Send(payload []byte) error {
+	if c.keys == nil {
+		return fmt.Errorf("quicfast: Send before Handshake")
+	}
+	c.pktNum++
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, ptData)
+	hdr = append(hdr, c.connID[:]...)
+	var num [4]byte
+	binary.BigEndian.PutUint32(num[:], c.pktNum)
+	hdr = append(hdr, num[:]...)
+	pkt := append(hdr, c.keys.clientAEAD.Seal(nil, nonceFor(c.keys.clientIV, c.pktNum), payload, hdr)...)
+	_, err := c.exchange(pkt, ptAck, append(c.connID[:], num[:]...))
+	return err
+}
+
+// CanZeroRTT reports whether a ticket from a previous handshake is cached.
+func (c *Client) CanZeroRTT() bool { return len(c.ticketID) == ticketIDLen }
+
+// SendZeroRTT transmits payload as early data under the cached ticket — no
+// handshake round trip. Each send uses a fresh packet number, so capturing
+// and replaying the datagram verbatim is rejected by the server.
+func (c *Client) SendZeroRTT(payload []byte) error {
+	if !c.CanZeroRTT() {
+		return ErrUnknownTicket
+	}
+	aead, iv, err := zeroRTTKeys(c.resumption)
+	if err != nil {
+		return err
+	}
+	c.zeroPkt++
+	hdr := make([]byte, 0, 32)
+	hdr = append(hdr, ptZeroRTT)
+	hdr = append(hdr, c.ticketID...)
+	var num [4]byte
+	binary.BigEndian.PutUint32(num[:], c.zeroPkt)
+	hdr = append(hdr, num[:]...)
+	pkt := append(hdr, aead.Seal(nil, nonceFor(iv, c.zeroPkt), payload, hdr)...)
+	_, err = c.exchange(pkt, ptZeroAck, append(c.ticketID, num[:]...))
+	return err
+}
+
+// RawZeroRTTDatagram builds (without sending) a 0-RTT packet — used by the
+// attack examples to model an eavesdropper capturing and replaying the
+// exact bytes.
+func (c *Client) RawZeroRTTDatagram(payload []byte) ([]byte, error) {
+	if !c.CanZeroRTT() {
+		return nil, ErrUnknownTicket
+	}
+	aead, iv, err := zeroRTTKeys(c.resumption)
+	if err != nil {
+		return nil, err
+	}
+	c.zeroPkt++
+	hdr := make([]byte, 0, 32)
+	hdr = append(hdr, ptZeroRTT)
+	hdr = append(hdr, c.ticketID...)
+	var num [4]byte
+	binary.BigEndian.PutUint32(num[:], c.zeroPkt)
+	hdr = append(hdr, num[:]...)
+	return append(hdr, aead.Seal(nil, nonceFor(iv, c.zeroPkt), payload, hdr)...), nil
+}
+
+// Inject writes a pre-built datagram (attack simulation helper).
+func (c *Client) Inject(pkt []byte) error {
+	_, err := c.conn.WriteTo(pkt, c.remote)
+	return err
+}
+
+// exchange sends pkt and waits for a response of wantType whose header
+// starts with wantPrefix after the type byte, retransmitting on timeout.
+func (c *Client) exchange(pkt []byte, wantType byte, wantPrefix []byte) ([]byte, error) {
+	buf := make([]byte, 65535)
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.WriteTo(pkt, c.remote); err != nil {
+			return nil, fmt.Errorf("quicfast: write: %w", err)
+		}
+		deadline := time.Now().Add(c.timeout)
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, _, err := c.conn.ReadFrom(buf)
+			if err != nil {
+				break // timeout: retransmit
+			}
+			if n < 1+len(wantPrefix) || buf[0] != wantType {
+				continue
+			}
+			if !hmacEqual(buf[1:1+len(wantPrefix)], wantPrefix) {
+				continue
+			}
+			out := make([]byte, n)
+			copy(out, buf[:n])
+			_ = c.conn.SetReadDeadline(time.Time{})
+			return out, nil
+		}
+	}
+	_ = c.conn.SetReadDeadline(time.Time{})
+	return nil, ErrTimeout
+}

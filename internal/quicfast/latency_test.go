@@ -1,0 +1,99 @@
+package quicfast
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func udpPair(t *testing.T) (a, b net.PacketConn) {
+	t.Helper()
+	a, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestLatencyConnAddsDelay(t *testing.T) {
+	a, b := udpPair(t)
+	defer b.Close()
+	lc := &LatencyConn{PacketConn: a, Delay: 50 * time.Millisecond, Seed: 1}
+	defer lc.Close()
+
+	start := time.Now()
+	if _, err := lc.WriteTo([]byte("delayed"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	n, _, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if string(buf[:n]) != "delayed" {
+		t.Fatalf("payload = %q", buf[:n])
+	}
+	if elapsed < 45*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~50ms", elapsed)
+	}
+}
+
+func TestLatencyConnZeroDelayPassthrough(t *testing.T) {
+	a, b := udpPair(t)
+	defer b.Close()
+	lc := &LatencyConn{PacketConn: a}
+	defer lc.Close()
+	start := time.Now()
+	if _, err := lc.WriteTo([]byte("now"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := b.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatalf("zero-delay path took %v", time.Since(start))
+	}
+}
+
+func TestLatencyConnLossDropsAll(t *testing.T) {
+	a, b := udpPair(t)
+	defer b.Close()
+	lc := &LatencyConn{PacketConn: a, Loss: 1.0, Seed: 2}
+	defer lc.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := lc.WriteTo([]byte("gone"), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	_ = b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, _, err := b.ReadFrom(buf); err == nil {
+		t.Fatal("packet delivered despite 100% loss")
+	}
+}
+
+func TestLatencyConnCloseWaitsForInFlight(t *testing.T) {
+	a, b := udpPair(t)
+	defer b.Close()
+	lc := &LatencyConn{PacketConn: a, Delay: 30 * time.Millisecond, Seed: 3}
+	if _, err := lc.WriteTo([]byte("late"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Close(); err != nil { // must block until the delayed send fires
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	_ = b.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	n, _, err := b.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "late" {
+		t.Fatalf("in-flight packet lost on Close: %v %q", err, buf[:n])
+	}
+}

@@ -1,0 +1,325 @@
+package quicfast
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+var testPSK = []byte("0123456789abcdef0123456789abcdef")
+
+type collected struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (c *collected) add(m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := append([]byte(nil), m.Payload...)
+	m.Payload = p
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collected) wait(t *testing.T, n int) []Message {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		if len(c.msgs) >= n {
+			out := append([]Message(nil), c.msgs...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d messages", n)
+	return nil
+}
+
+// pair starts a server and returns a connected client plus the sink.
+func pair(t *testing.T, psk []byte) (*Client, *Server, *collected) {
+	t.Helper()
+	sconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collected{}
+	srv := NewServer(sconn, testPSK, sink.add, WithServerRand(rand.New(rand.NewSource(1))))
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	cconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cconn.Close() })
+	cli := NewClient(cconn, sconn.LocalAddr(), psk,
+		WithClientRand(rand.New(rand.NewSource(2))), WithTimeout(300*time.Millisecond))
+	return cli, srv, sink
+}
+
+func TestHandshakeAndSend(t *testing.T) {
+	cli, srv, sink := pair(t, testPSK)
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send([]byte("attestation-1")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := sink.wait(t, 1)
+	if string(msgs[0].Payload) != "attestation-1" || msgs[0].ZeroRTT {
+		t.Fatalf("msg = %+v", msgs[0])
+	}
+	if srv.Stats.Handshakes != 1 {
+		t.Fatalf("handshakes = %d", srv.Stats.Handshakes)
+	}
+}
+
+func TestMultipleSendsDistinctPayloads(t *testing.T) {
+	cli, _, sink := pair(t, testPSK)
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cli.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := sink.wait(t, 5)
+	for i, m := range msgs {
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("message %d payload = %v", i, m.Payload)
+		}
+	}
+}
+
+func TestZeroRTTAfterHandshake(t *testing.T) {
+	cli, srv, sink := pair(t, testPSK)
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	if !cli.CanZeroRTT() {
+		t.Fatal("no ticket after handshake")
+	}
+	if err := cli.SendZeroRTT([]byte("early-data")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := sink.wait(t, 1)
+	if !msgs[0].ZeroRTT || string(msgs[0].Payload) != "early-data" {
+		t.Fatalf("msg = %+v", msgs[0])
+	}
+	if srv.Stats.ZeroRTT != 1 {
+		t.Fatalf("zero-rtt count = %d", srv.Stats.ZeroRTT)
+	}
+}
+
+func TestZeroRTTWithoutTicketFails(t *testing.T) {
+	cli, _, _ := pair(t, testPSK)
+	if err := cli.SendZeroRTT([]byte("x")); err != ErrUnknownTicket {
+		t.Fatalf("err = %v, want ErrUnknownTicket", err)
+	}
+}
+
+func TestWrongPSKRejectedAtHandshake(t *testing.T) {
+	cli, srv, _ := pair(t, []byte("wrong-psk-wrong-psk-wrong-psk-00"))
+	err := cli.Handshake()
+	if err == nil {
+		t.Fatal("handshake succeeded with wrong PSK")
+	}
+	if srv.Stats.AuthFailures == 0 {
+		t.Fatal("server did not count the auth failure")
+	}
+	if srv.Stats.Handshakes != 0 {
+		t.Fatal("server completed a handshake for an unauthorized client")
+	}
+}
+
+func TestReplayedZeroRTTDatagramRejected(t *testing.T) {
+	cli, srv, sink := pair(t, testPSK)
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := cli.RawZeroRTTDatagram([]byte("open-garage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Inject(pkt); err != nil {
+		t.Fatal(err)
+	}
+	sink.wait(t, 1)
+	// The attacker replays the identical bytes.
+	for i := 0; i < 3; i++ {
+		if err := cli.Inject(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && srv.Replays() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Replays() != 3 {
+		t.Fatalf("replays rejected = %d, want 3", srv.Replays())
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.msgs) != 1 {
+		t.Fatalf("handler saw %d messages, want 1", len(sink.msgs))
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	cli, srv, sink := pair(t, testPSK)
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := cli.RawZeroRTTDatagram([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt[len(pkt)-1] ^= 0xff
+	if err := cli.Inject(pkt); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && srv.Stats.AuthFailures == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Stats.AuthFailures == 0 {
+		t.Fatal("tampered packet not rejected")
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.msgs) != 0 {
+		t.Fatal("tampered packet delivered")
+	}
+}
+
+func TestDataSurvivesPacketLoss(t *testing.T) {
+	sconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collected{}
+	srv := NewServer(sconn, testPSK, sink.add, WithServerRand(rand.New(rand.NewSource(3))))
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := &LatencyConn{PacketConn: raw, Delay: time.Millisecond, Loss: 0.3, Seed: 5}
+	t.Cleanup(func() { _ = lossy.Close() })
+	cli := NewClient(lossy, sconn.LocalAddr(), testPSK,
+		WithClientRand(rand.New(rand.NewSource(4))), WithTimeout(150*time.Millisecond), WithRetries(10))
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send([]byte("resilient")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := sink.wait(t, 1)
+	if string(msgs[0].Payload) != "resilient" {
+		t.Fatalf("payload = %q", msgs[0].Payload)
+	}
+}
+
+func TestZeroRTTFasterThanHandshakePlusSend(t *testing.T) {
+	// With a 20 ms one-way path, 1-RTT handshake + send costs >= 2 RTTs
+	// while 0-RTT costs 1 RTT. This is the crux of Table 7.
+	const oneWay = 20 * time.Millisecond
+	sconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collected{}
+	srvSide := &LatencyConn{PacketConn: sconn, Delay: oneWay, Seed: 6}
+	srv := NewServer(srvSide, testPSK, sink.add, WithServerRand(rand.New(rand.NewSource(7))))
+	go func() { _ = srv.Serve() }()
+	defer func() { _ = srv.Close() }()
+
+	raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliSide := &LatencyConn{PacketConn: raw, Delay: oneWay, Seed: 8}
+	defer func() { _ = cliSide.Close() }()
+	cli := NewClient(cliSide, sconn.LocalAddr(), testPSK,
+		WithClientRand(rand.New(rand.NewSource(9))), WithTimeout(2*time.Second))
+
+	start := time.Now()
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send([]byte("cold")); err != nil {
+		t.Fatal(err)
+	}
+	coldPath := time.Since(start)
+
+	start = time.Now()
+	if err := cli.SendZeroRTT([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	warmPath := time.Since(start)
+
+	if warmPath >= coldPath*2/3 {
+		t.Fatalf("0-RTT (%v) not clearly faster than handshake+send (%v)", warmPath, coldPath)
+	}
+}
+
+func TestSendBeforeHandshakeFails(t *testing.T) {
+	cli, _, _ := pair(t, testPSK)
+	if err := cli.Send([]byte("x")); err == nil {
+		t.Fatal("Send before Handshake succeeded")
+	}
+}
+
+func TestSecondHandshakeRotatesTicket(t *testing.T) {
+	cli, _, _ := pair(t, testPSK)
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := append([]byte(nil), cli.ticketID...)
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(t1, cli.ticketID) {
+		t.Fatal("ticket not rotated across handshakes")
+	}
+}
+
+func TestKeyScheduleDirectionSeparation(t *testing.T) {
+	ks, err := deriveKeys([]byte("shared"), []byte("salt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	aad := []byte("h")
+	c := ks.clientAEAD.Seal(nil, nonceFor(ks.clientIV, 1), msg, aad)
+	if _, err := ks.serverAEAD.Open(nil, nonceFor(ks.serverIV, 1), c, aad); err == nil {
+		t.Fatal("server key opened client ciphertext")
+	}
+	if _, err := ks.clientAEAD.Open(nil, nonceFor(ks.clientIV, 2), c, aad); err == nil {
+		t.Fatal("wrong packet number accepted")
+	}
+	if pt, err := ks.clientAEAD.Open(nil, nonceFor(ks.clientIV, 1), c, aad); err != nil || string(pt) != "m" {
+		t.Fatalf("round trip failed: %v %q", err, pt)
+	}
+}
+
+func TestNonceForDistinctPerPacket(t *testing.T) {
+	var iv [12]byte
+	seen := map[string]bool{}
+	for i := uint32(0); i < 1000; i++ {
+		n := string(nonceFor(iv, i))
+		if seen[n] {
+			t.Fatal("nonce reuse")
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,105 @@
+package quicfast
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesGarbage floods the server with random datagrams, valid
+// type bytes with junk bodies, and truncated packets: nothing may panic,
+// nothing may be delivered to the handler, and a legitimate client must
+// still work afterwards.
+func TestServerSurvivesGarbage(t *testing.T) {
+	sconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	srv := NewServer(sconn, testPSK, func(Message) { delivered++ },
+		WithServerRand(rand.New(rand.NewSource(1))))
+	go func() { _ = srv.Serve() }()
+	defer srv.Close()
+
+	attacker, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(300)
+		pkt := make([]byte, n)
+		rng.Read(pkt)
+		if n > 0 && i%3 == 0 {
+			// Force a known type byte so the typed handlers also run.
+			types := []byte{ptInitial, ptReply, ptZeroRTT, ptData, ptAck}
+			pkt[0] = types[rng.Intn(len(types))]
+		}
+		if _, err := attacker.WriteTo(pkt, sconn.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if delivered != 0 {
+		t.Fatalf("garbage delivered %d messages", delivered)
+	}
+
+	// The server still serves real clients.
+	cconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cconn.Close()
+	cli := NewClient(cconn, sconn.LocalAddr(), testPSK,
+		WithClientRand(rand.New(rand.NewSource(3))), WithTimeout(500*time.Millisecond))
+	if err := cli.Handshake(); err != nil {
+		t.Fatalf("handshake after garbage flood: %v", err)
+	}
+	if err := cli.Send([]byte("still-alive")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && delivered == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if delivered != 1 {
+		t.Fatalf("legitimate message not delivered after flood (delivered=%d)", delivered)
+	}
+}
+
+// TestClientIgnoresForgedAcks checks the client does not accept an ack of
+// the wrong type or with the wrong prefix.
+func TestClientIgnoresForgedAcks(t *testing.T) {
+	sconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sconn.Close()
+	// A fake "server" that answers every datagram with garbage acks.
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, addr, err := sconn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			_ = n
+			junk := make([]byte, 64)
+			junk[0] = ptAck
+			_, _ = sconn.WriteTo(junk, addr)
+		}
+	}()
+	cconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cconn.Close()
+	cli := NewClient(cconn, sconn.LocalAddr(), testPSK,
+		WithClientRand(rand.New(rand.NewSource(4))),
+		WithTimeout(100*time.Millisecond), WithRetries(1))
+	if err := cli.Handshake(); err == nil {
+		t.Fatal("handshake succeeded against a garbage server")
+	}
+}

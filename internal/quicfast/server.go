@@ -1,0 +1,302 @@
+package quicfast
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message is one decrypted application payload delivered to the server.
+type Message struct {
+	// Payload is the plaintext application data.
+	Payload []byte
+	// ZeroRTT reports whether it arrived as early data.
+	ZeroRTT bool
+	// Session identifies the sending session (connection or ticket ID).
+	Session string
+}
+
+// Server is the proxy-side endpoint. It accepts PSK-authenticated
+// handshakes, issues session tickets, decrypts 1-RTT and 0-RTT payloads,
+// enforces anti-replay, and hands messages to the configured handler.
+type Server struct {
+	conn    net.PacketConn
+	psk     []byte
+	rand    io.Reader
+	handler func(Message)
+
+	mu       sync.Mutex
+	sessions map[string]*serverSession // by connID
+	tickets  map[string]*ticketState   // by ticketID
+	closed   bool
+
+	// Stats counts protocol events, exported for tests and the harness.
+	Stats struct {
+		Handshakes, Messages, ZeroRTT, Replays, AuthFailures int
+	}
+}
+
+type serverSession struct {
+	keys    *sessionKeys
+	highPkt uint32
+}
+
+type ticketState struct {
+	resumption []byte
+	highPkt    uint32 // strictly increasing packet numbers defeat replay
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithServerRand overrides the entropy source (tests).
+func WithServerRand(r io.Reader) ServerOption {
+	return func(s *Server) { s.rand = r }
+}
+
+// NewServer wraps conn. The handler runs on the read loop goroutine; keep it
+// fast or dispatch. Start the loop with Serve.
+func NewServer(conn net.PacketConn, psk []byte, handler func(Message), opts ...ServerOption) *Server {
+	s := &Server{
+		conn:     conn,
+		psk:      append([]byte(nil), psk...),
+		rand:     rand.Reader,
+		handler:  handler,
+		sessions: make(map[string]*serverSession),
+		tickets:  make(map[string]*ticketState),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Serve reads datagrams until the connection closes. Run it in a goroutine.
+func (s *Server) Serve() error {
+	buf := make([]byte, 65535)
+	for {
+		n, addr, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.handlePacket(pkt, addr)
+	}
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}
+
+func (s *Server) handlePacket(pkt []byte, addr net.Addr) {
+	if len(pkt) < 1 {
+		return
+	}
+	switch pkt[0] {
+	case ptInitial:
+		s.handleInitial(pkt, addr)
+	case ptData:
+		s.handleData(pkt, addr)
+	case ptZeroRTT:
+		s.handleZeroRTT(pkt, addr)
+	}
+}
+
+// handleInitial processes [type][connID][cpub][crandom][mac] and answers
+// with [type][connID][spub][srandom][mac][sealed ticket].
+func (s *Server) handleInitial(pkt []byte, addr net.Addr) {
+	want := 1 + connIDLen + pubKeyLen + randomLen + macLen
+	if len(pkt) != want {
+		return
+	}
+	connID := pkt[1 : 1+connIDLen]
+	cpubRaw := pkt[1+connIDLen : 1+connIDLen+pubKeyLen]
+	crandom := pkt[1+connIDLen+pubKeyLen : 1+connIDLen+pubKeyLen+randomLen]
+	mac := pkt[len(pkt)-macLen:]
+	if !hmacEqual(pskMAC(s.psk, []byte("init"), connID, cpubRaw, crandom), mac) {
+		s.mu.Lock()
+		s.Stats.AuthFailures++
+		s.mu.Unlock()
+		return
+	}
+	cpub, err := ecdh.X25519().NewPublicKey(cpubRaw)
+	if err != nil {
+		return
+	}
+	spriv, err := newX25519(s.rand)
+	if err != nil {
+		return
+	}
+	shared, err := spriv.ECDH(cpub)
+	if err != nil {
+		return
+	}
+	srandom := make([]byte, randomLen)
+	if _, err := io.ReadFull(s.rand, srandom); err != nil {
+		return
+	}
+	salt := append(append([]byte(nil), crandom...), srandom...)
+	keys, err := deriveKeys(shared, salt)
+	if err != nil {
+		return
+	}
+	// Mint a resumption ticket and protect it under the server AEAD so
+	// only this client learns it.
+	ticketID := make([]byte, ticketIDLen)
+	resumption := make([]byte, secretLen)
+	if _, err := io.ReadFull(s.rand, ticketID); err != nil {
+		return
+	}
+	if _, err := io.ReadFull(s.rand, resumption); err != nil {
+		return
+	}
+	ticketPlain := append(append([]byte(nil), ticketID...), resumption...)
+
+	reply := make([]byte, 0, 256)
+	reply = append(reply, ptReply)
+	reply = append(reply, connID...)
+	spubRaw := spriv.PublicKey().Bytes()
+	reply = append(reply, spubRaw...)
+	reply = append(reply, srandom...)
+	reply = append(reply, pskMAC(s.psk, []byte("reply"), connID, spubRaw, srandom, crandom)...)
+	box := keys.serverAEAD.Seal(nil, nonceFor(keys.serverIV, 0), ticketPlain, reply[:1+connIDLen])
+	reply = append(reply, box...)
+
+	s.mu.Lock()
+	s.sessions[string(connID)] = &serverSession{keys: keys}
+	s.tickets[string(ticketID)] = &ticketState{resumption: resumption}
+	s.Stats.Handshakes++
+	s.mu.Unlock()
+
+	_, _ = s.conn.WriteTo(reply, addr)
+}
+
+// handleData processes a 1-RTT application packet and acks it.
+func (s *Server) handleData(pkt []byte, addr net.Addr) {
+	hdr := 1 + connIDLen + 4
+	if len(pkt) < hdr {
+		return
+	}
+	connID := pkt[1 : 1+connIDLen]
+	pktNum := binary.BigEndian.Uint32(pkt[1+connIDLen : hdr])
+	s.mu.Lock()
+	sess, ok := s.sessions[string(connID)]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	plain, err := sess.keys.clientAEAD.Open(nil, nonceFor(sess.keys.clientIV, pktNum), pkt[hdr:], pkt[:hdr])
+	if err != nil {
+		s.mu.Lock()
+		s.Stats.AuthFailures++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	if pktNum <= sess.highPkt {
+		s.Stats.Replays++
+		s.mu.Unlock()
+		return
+	}
+	sess.highPkt = pktNum
+	s.Stats.Messages++
+	s.mu.Unlock()
+
+	ack := make([]byte, 0, 64)
+	ack = append(ack, ptAck)
+	ack = append(ack, connID...)
+	var num [4]byte
+	binary.BigEndian.PutUint32(num[:], pktNum)
+	ack = append(ack, num[:]...)
+	ack = append(ack, sess.keys.serverAEAD.Seal(nil, nonceFor(sess.keys.serverIV, pktNum), []byte("ack"), ack[:1+connIDLen+4])...)
+	_, _ = s.conn.WriteTo(ack, addr)
+
+	if s.handler != nil {
+		s.handler(Message{Payload: plain, Session: hex.EncodeToString(connID)})
+	}
+}
+
+// handleZeroRTT processes [type][ticketID][pktnum][box]. Packet numbers
+// must strictly increase per ticket: an exact replay reuses a number and is
+// dropped.
+func (s *Server) handleZeroRTT(pkt []byte, addr net.Addr) {
+	hdr := 1 + ticketIDLen + 4
+	if len(pkt) < hdr {
+		return
+	}
+	ticketID := pkt[1 : 1+ticketIDLen]
+	pktNum := binary.BigEndian.Uint32(pkt[1+ticketIDLen : hdr])
+	s.mu.Lock()
+	tk, ok := s.tickets[string(ticketID)]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	aead, iv, err := zeroRTTKeys(tk.resumption)
+	if err != nil {
+		return
+	}
+	plain, err := aead.Open(nil, nonceFor(iv, pktNum), pkt[hdr:], pkt[:hdr])
+	if err != nil {
+		s.mu.Lock()
+		s.Stats.AuthFailures++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	if pktNum <= tk.highPkt {
+		s.Stats.Replays++
+		s.mu.Unlock()
+		return
+	}
+	tk.highPkt = pktNum
+	s.Stats.Messages++
+	s.Stats.ZeroRTT++
+	s.mu.Unlock()
+
+	ack := make([]byte, 0, 64)
+	ack = append(ack, ptZeroAck)
+	ack = append(ack, ticketID...)
+	var num [4]byte
+	binary.BigEndian.PutUint32(num[:], pktNum)
+	ack = append(ack, num[:]...)
+	ack = append(ack, aead.Seal(nil, nonceFor(iv, pktNum^0x80000000), []byte("ack"), ack[:hdr])...)
+	_, _ = s.conn.WriteTo(ack, addr)
+
+	if s.handler != nil {
+		s.handler(Message{Payload: plain, ZeroRTT: true, Session: hex.EncodeToString(ticketID)})
+	}
+}
+
+// Replays reports the replay-rejection counter.
+func (s *Server) Replays() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Stats.Replays
+}
+
+func hmacEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

@@ -1,0 +1,80 @@
+// Package report renders experiment results as a single self-contained
+// HTML page — the artifact a reproduction hand-off wants: every regenerated
+// table and figure, its key metrics, and the run parameters, viewable
+// without tooling.
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+	"time"
+
+	"fiat/internal/experiments"
+)
+
+// Meta describes the run being reported.
+type Meta struct {
+	Title     string
+	Scale     string
+	Seed      int64
+	Generated time.Time
+	// PaperRef cites the reproduced paper.
+	PaperRef string
+}
+
+// HTML renders the results into one page.
+func HTML(meta Meta, results []experiments.Result) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(meta.Title))
+	b.WriteString(`<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { border-bottom: 3px solid #1a1a2e; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; }
+pre { background: #f6f6f8; border: 1px solid #ddd; border-radius: 6px; padding: 1rem; overflow-x: auto; font-size: .82rem; line-height: 1.35; }
+.meta { color: #555; font-size: .9rem; }
+.metrics { font-size: .82rem; color: #333; background: #eef3ee; border-radius: 6px; padding: .6rem 1rem; }
+.metrics code { background: none; }
+nav ul { columns: 3; list-style: none; padding-left: 0; }
+nav a { text-decoration: none; color: #0b5394; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(meta.Title))
+	fmt.Fprintf(&b, "<p class=\"meta\">%s<br>scale=%s seed=%d · generated %s</p>\n",
+		html.EscapeString(meta.PaperRef), html.EscapeString(meta.Scale), meta.Seed,
+		meta.Generated.UTC().Format(time.RFC3339))
+
+	b.WriteString("<nav><ul>\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "<li><a href=\"#%s\">%s — %s</a></li>\n",
+			html.EscapeString(r.ID), html.EscapeString(r.ID), html.EscapeString(r.Title))
+	}
+	b.WriteString("</ul></nav>\n")
+
+	for _, r := range results {
+		fmt.Fprintf(&b, "<h2 id=%q>%s — %s</h2>\n",
+			html.EscapeString(r.ID), html.EscapeString(r.ID), html.EscapeString(r.Title))
+		fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(r.Text))
+		if len(r.Metrics) > 0 {
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString("<p class=\"metrics\">")
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteString(" · ")
+				}
+				fmt.Fprintf(&b, "<code>%s=%.4g</code>", html.EscapeString(k), r.Metrics[k])
+			}
+			b.WriteString("</p>\n")
+		}
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}

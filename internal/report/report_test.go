@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fiat/internal/experiments"
+)
+
+func sample() []experiments.Result {
+	return []experiments.Result{
+		{ID: "fig1b", Title: "CDF <figure>", Text: "line1\nline2 & more\n",
+			Metrics: map[string]float64{"b_metric": 0.5, "a_metric": 1}},
+		{ID: "table6", Title: "Accuracy", Text: "rows\n"},
+	}
+}
+
+func TestHTMLStructure(t *testing.T) {
+	out := HTML(Meta{
+		Title: "FIAT reproduction", Scale: "full", Seed: 7,
+		Generated: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		PaperRef:  "Xiao & Varvello, CoNEXT 2022",
+	}, sample())
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<h1>FIAT reproduction</h1>",
+		"scale=full seed=7",
+		`id="fig1b"`,
+		`href="#table6"`,
+		"CDF &lt;figure&gt;", // titles are escaped
+		"line2 &amp; more",   // bodies are escaped
+		"<code>a_metric=1</code>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Metrics render sorted: a_metric before b_metric.
+	if strings.Index(out, "a_metric") > strings.Index(out, "b_metric") {
+		t.Fatal("metrics not sorted")
+	}
+}
+
+func TestHTMLEmptyResults(t *testing.T) {
+	out := HTML(Meta{Title: "x"}, nil)
+	if !strings.Contains(out, "</html>") {
+		t.Fatal("incomplete document")
+	}
+}

@@ -1,0 +1,246 @@
+// Package routines models the automation layer that generates the paper's
+// "automated" traffic class: IFTTT-style rules ("turn on the heat at 6pm",
+// "when the camera sees motion, blink the light") scheduled on the virtual
+// clock. Each firing produces the device interactions whose traffic the
+// proxy must learn to admit without a human present — and, for
+// device-to-device rules, the DAG entries the Discussion's "Complex
+// Scenarios" section calls for.
+package routines
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fiat/internal/simclock"
+)
+
+// Trigger decides when a routine fires.
+type Trigger interface {
+	// Next returns the first firing instant strictly after now, or false
+	// when the trigger never fires again.
+	Next(now time.Time) (time.Time, bool)
+	// Describe renders the trigger for rule listings.
+	Describe() string
+}
+
+// DailyAt fires every day at a fixed clock offset.
+type DailyAt struct {
+	// Offset is the time of day, as a duration from midnight UTC.
+	Offset time.Duration
+}
+
+// Next implements Trigger.
+func (d DailyAt) Next(now time.Time) (time.Time, bool) {
+	day := now.Truncate(24 * time.Hour)
+	at := day.Add(d.Offset)
+	if !at.After(now) {
+		at = at.Add(24 * time.Hour)
+	}
+	return at, true
+}
+
+// Describe implements Trigger.
+func (d DailyAt) Describe() string {
+	h := int(d.Offset.Hours())
+	m := int(d.Offset.Minutes()) % 60
+	return fmt.Sprintf("every day at %02d:%02d", h, m)
+}
+
+// Every fires at a fixed interval.
+type Every struct {
+	Interval time.Duration
+}
+
+// Next implements Trigger.
+func (e Every) Next(now time.Time) (time.Time, bool) {
+	if e.Interval <= 0 {
+		return time.Time{}, false
+	}
+	return now.Add(e.Interval), true
+}
+
+// Describe implements Trigger.
+func (e Every) Describe() string { return "every " + e.Interval.String() }
+
+// Once fires a single time.
+type Once struct {
+	At time.Time
+}
+
+// Next implements Trigger.
+func (o Once) Next(now time.Time) (time.Time, bool) {
+	if o.At.After(now) {
+		return o.At, true
+	}
+	return time.Time{}, false
+}
+
+// Describe implements Trigger.
+func (o Once) Describe() string { return "once at " + o.At.Format(time.RFC3339) }
+
+// Action is one device command a routine performs.
+type Action struct {
+	// Device receives the command.
+	Device string
+	// Command is the operation name ("turn-on", "clean-room", ...).
+	Command string
+	// Source names the commanding peer for device-to-device actions
+	// ("Alexa" telling the light); empty means the vendor cloud.
+	Source string
+}
+
+// Rule is one automation.
+type Rule struct {
+	// Name identifies the rule.
+	Name string
+	// Trigger schedules it.
+	Trigger Trigger
+	// Actions run, in order, at each firing.
+	Actions []Action
+}
+
+// Firing reports one executed action, delivered to the engine's sink.
+type Firing struct {
+	Rule   string
+	Action Action
+	At     time.Time
+}
+
+// Engine schedules rules on a virtual clock and emits Firings — the
+// simulation's IFTTT. Wire the sink to a traffic generator (each firing
+// produces an automated event) and, for device-to-device actions, install
+// the matching proxy DAG edges.
+type Engine struct {
+	clock *simclock.VirtualClock
+
+	mu      sync.Mutex
+	rules   map[string]*scheduledRule
+	sink    func(Firing)
+	history []Firing
+}
+
+type scheduledRule struct {
+	rule   Rule
+	cancel func()
+	active bool
+}
+
+// ErrDuplicateRule is returned when a rule name is reused.
+var ErrDuplicateRule = errors.New("routines: rule already exists")
+
+// NewEngine builds an engine on the clock; sink receives every firing
+// (nil keeps history only).
+func NewEngine(clock *simclock.VirtualClock, sink func(Firing)) *Engine {
+	return &Engine{clock: clock, rules: make(map[string]*scheduledRule), sink: sink}
+}
+
+// Add installs and schedules a rule.
+func (e *Engine) Add(r Rule) error {
+	if r.Name == "" || r.Trigger == nil || len(r.Actions) == 0 {
+		return fmt.Errorf("routines: rule needs a name, a trigger, and actions")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.rules[r.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateRule, r.Name)
+	}
+	sr := &scheduledRule{rule: r, active: true}
+	e.rules[r.Name] = sr
+	e.scheduleLocked(sr, e.clock.Now())
+	return nil
+}
+
+// Remove cancels and deletes a rule.
+func (e *Engine) Remove(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sr, ok := e.rules[name]; ok {
+		sr.active = false
+		if sr.cancel != nil {
+			sr.cancel()
+		}
+		delete(e.rules, name)
+	}
+}
+
+// Rules lists the installed automations, sorted by name.
+func (e *Engine) Rules() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.rules))
+	for name, sr := range e.rules {
+		out = append(out, fmt.Sprintf("%s: %s -> %d action(s)", name, sr.rule.Trigger.Describe(), len(sr.rule.Actions)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// History returns all firings so far.
+func (e *Engine) History() []Firing {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Firing(nil), e.history...)
+}
+
+// DeviceEdges returns the (source, device) pairs of all device-to-device
+// actions — exactly the allow edges the proxy's DAG needs.
+func (e *Engine) DeviceEdges() [][2]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	seen := map[[2]string]bool{}
+	var out [][2]string
+	for _, sr := range e.rules {
+		for _, a := range sr.rule.Actions {
+			if a.Source == "" {
+				continue
+			}
+			edge := [2]string{a.Source, a.Device}
+			if !seen[edge] {
+				seen[edge] = true
+				out = append(out, edge)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// scheduleLocked arms the rule's next firing. Callers hold e.mu.
+func (e *Engine) scheduleLocked(sr *scheduledRule, now time.Time) {
+	next, ok := sr.rule.Trigger.Next(now)
+	if !ok {
+		return
+	}
+	sr.cancel = e.clock.AfterFunc(next.Sub(now), func(at time.Time) {
+		e.fire(sr, at)
+	})
+}
+
+func (e *Engine) fire(sr *scheduledRule, at time.Time) {
+	e.mu.Lock()
+	if !sr.active {
+		e.mu.Unlock()
+		return
+	}
+	firings := make([]Firing, 0, len(sr.rule.Actions))
+	for _, a := range sr.rule.Actions {
+		firings = append(firings, Firing{Rule: sr.rule.Name, Action: a, At: at})
+	}
+	e.history = append(e.history, firings...)
+	sink := e.sink
+	e.scheduleLocked(sr, at)
+	e.mu.Unlock()
+	if sink != nil {
+		for _, f := range firings {
+			sink(f)
+		}
+	}
+}

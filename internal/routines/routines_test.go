@@ -1,0 +1,171 @@
+package routines
+
+import (
+	"testing"
+	"time"
+
+	"fiat/internal/simclock"
+)
+
+func TestDailyAtFiresEveryDay(t *testing.T) {
+	clock := simclock.NewVirtual()
+	var fired []Firing
+	e := NewEngine(clock, func(f Firing) { fired = append(fired, f) })
+	err := e.Add(Rule{
+		Name:    "heat-at-6pm",
+		Trigger: DailyAt{Offset: 18 * time.Hour},
+		Actions: []Action{{Device: "Nest-E", Command: "turn-on"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(3 * 24 * time.Hour)
+	if len(fired) != 3 {
+		t.Fatalf("firings = %d, want 3 over three days", len(fired))
+	}
+	for i, f := range fired {
+		if f.At.Hour() != 18 || f.At.Minute() != 0 {
+			t.Fatalf("firing %d at %v, want 18:00", i, f.At)
+		}
+		if f.Action.Device != "Nest-E" {
+			t.Fatalf("firing %d device %q", i, f.Action.Device)
+		}
+	}
+}
+
+func TestEveryInterval(t *testing.T) {
+	clock := simclock.NewVirtual()
+	count := 0
+	e := NewEngine(clock, func(Firing) { count++ })
+	if err := e.Add(Rule{
+		Name:    "hourly-check",
+		Trigger: Every{Interval: time.Hour},
+		Actions: []Action{{Device: "WyzeCam", Command: "snapshot"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5*time.Hour + time.Minute)
+	if count != 5 {
+		t.Fatalf("firings = %d, want 5", count)
+	}
+}
+
+func TestOnceFiresOnce(t *testing.T) {
+	clock := simclock.NewVirtual()
+	count := 0
+	e := NewEngine(clock, func(Firing) { count++ })
+	if err := e.Add(Rule{
+		Name:    "one-shot",
+		Trigger: Once{At: simclock.Epoch.Add(time.Hour)},
+		Actions: []Action{{Device: "SP10", Command: "turn-off"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(48 * time.Hour)
+	if count != 1 {
+		t.Fatalf("firings = %d, want 1", count)
+	}
+}
+
+func TestMultiActionOrderAndHistory(t *testing.T) {
+	clock := simclock.NewVirtual()
+	e := NewEngine(clock, nil)
+	if err := e.Add(Rule{
+		Name:    "goodnight",
+		Trigger: Once{At: simclock.Epoch.Add(time.Minute)},
+		Actions: []Action{
+			{Device: "WP3", Command: "turn-off"},
+			{Device: "light", Command: "turn-off", Source: "Alexa"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Minute)
+	h := e.History()
+	if len(h) != 2 {
+		t.Fatalf("history = %d entries", len(h))
+	}
+	if h[0].Action.Device != "WP3" || h[1].Action.Device != "light" {
+		t.Fatalf("action order: %+v", h)
+	}
+}
+
+func TestRemoveCancelsSchedule(t *testing.T) {
+	clock := simclock.NewVirtual()
+	count := 0
+	e := NewEngine(clock, func(Firing) { count++ })
+	if err := e.Add(Rule{Name: "r", Trigger: Every{Interval: time.Minute},
+		Actions: []Action{{Device: "d", Command: "c"}}}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2*time.Minute + time.Second)
+	e.Remove("r")
+	clock.Advance(time.Hour)
+	if count != 2 {
+		t.Fatalf("firings after Remove = %d, want 2", count)
+	}
+	if len(e.Rules()) != 0 {
+		t.Fatal("rule still listed after Remove")
+	}
+}
+
+func TestDuplicateAndInvalidRules(t *testing.T) {
+	e := NewEngine(simclock.NewVirtual(), nil)
+	r := Rule{Name: "x", Trigger: Every{Interval: time.Hour},
+		Actions: []Action{{Device: "d", Command: "c"}}}
+	if err := e.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(r); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := e.Add(Rule{Name: "no-trigger", Actions: r.Actions}); err == nil {
+		t.Fatal("rule without trigger accepted")
+	}
+	if err := e.Add(Rule{Name: "no-actions", Trigger: r.Trigger}); err == nil {
+		t.Fatal("rule without actions accepted")
+	}
+}
+
+func TestDeviceEdgesFeedTheDAG(t *testing.T) {
+	e := NewEngine(simclock.NewVirtual(), nil)
+	_ = e.Add(Rule{Name: "a", Trigger: Every{Interval: time.Hour}, Actions: []Action{
+		{Device: "light", Command: "on", Source: "Alexa"},
+		{Device: "plug", Command: "on"}, // cloud-sourced: no edge
+	}})
+	_ = e.Add(Rule{Name: "b", Trigger: Every{Interval: time.Hour}, Actions: []Action{
+		{Device: "light", Command: "off", Source: "Alexa"}, // duplicate edge
+		{Device: "blinds", Command: "close", Source: "HomeMini"},
+	}})
+	edges := e.DeviceEdges()
+	want := [][2]string{{"Alexa", "light"}, {"HomeMini", "blinds"}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestRulesListing(t *testing.T) {
+	e := NewEngine(simclock.NewVirtual(), nil)
+	_ = e.Add(Rule{Name: "z", Trigger: DailyAt{Offset: 6 * time.Hour},
+		Actions: []Action{{Device: "d", Command: "c"}}})
+	_ = e.Add(Rule{Name: "a", Trigger: Every{Interval: time.Minute},
+		Actions: []Action{{Device: "d", Command: "c"}}})
+	rules := e.Rules()
+	if len(rules) != 2 || rules[0][0] != 'a' || rules[1][0] != 'z' {
+		t.Fatalf("Rules = %v", rules)
+	}
+}
+
+func TestTriggerDescriptions(t *testing.T) {
+	if (DailyAt{Offset: 18*time.Hour + 30*time.Minute}).Describe() != "every day at 18:30" {
+		t.Fatal("DailyAt description")
+	}
+	if (Every{Interval: 5 * time.Minute}).Describe() != "every 5m0s" {
+		t.Fatal("Every description")
+	}
+}

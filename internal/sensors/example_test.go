@@ -1,0 +1,36 @@
+package sensors_test
+
+import (
+	"fmt"
+
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+)
+
+// The humanness gate in three steps: train the 9-layer tree on synthetic
+// windows, then validate a real touch and a spyware-driven (resting-device)
+// window.
+func ExampleValidator() {
+	validator, gen, err := sensors.DefaultValidator(9)
+	if err != nil {
+		panic(err)
+	}
+	gen.GentleTouchProb = 0 // a deliberate firm tap
+	gen.BumpProb = 0        // a quiet table
+	touch := gen.Human()
+	spyware := gen.NonHuman()
+	fmt.Printf("firm touch validates: %v\n", validator.ValidateWindow(touch))
+	fmt.Printf("spyware window validates: %v\n", validator.ValidateWindow(spyware))
+	// Output:
+	// firm touch validates: true
+	// spyware window validates: false
+}
+
+// Windows carry 48 statistical features over both sensors' three axes.
+func ExampleFeatures() {
+	gen := sensors.NewGenerator(simclock.NewRNG(1))
+	v := sensors.Features(gen.Human())
+	fmt.Printf("%d features (%s, %s, ...)\n", len(v),
+		sensors.FeatureNames()[0], sensors.FeatureNames()[1])
+	// Output: 48 features (accel-x-mean, accel-x-std, ...)
+}

@@ -1,0 +1,95 @@
+package sensors
+
+import (
+	"fmt"
+	"math"
+)
+
+// FeatureDim is the humanness feature vector length: 2 sensors x 3 axes x 8
+// statistics = 48, the paper's input width ("48 features extracted from the
+// gyroscope and accelerometer").
+const FeatureDim = 48
+
+// statNames are the 8 per-axis statistics.
+var statNames = []string{"mean", "std", "min", "max", "range", "rms", "jerk", "zcr"}
+
+// FeatureNames returns the 48 names in vector order.
+func FeatureNames() []string {
+	out := make([]string, 0, FeatureDim)
+	for _, sensor := range []string{"accel", "gyro"} {
+		for _, axis := range []string{"x", "y", "z"} {
+			for _, s := range statNames {
+				out = append(out, fmt.Sprintf("%s-%s-%s", sensor, axis, s))
+			}
+		}
+	}
+	return out
+}
+
+// Features computes the 48-dimensional statistical vector for a window.
+func Features(w Window) []float64 {
+	out := make([]float64, 0, FeatureDim)
+	for sensor := 0; sensor < 2; sensor++ {
+		for axis := 0; axis < 3; axis++ {
+			series := make([]float64, len(w.Samples))
+			for i, s := range w.Samples {
+				if sensor == 0 {
+					series[i] = s.Accel[axis]
+				} else {
+					series[i] = s.Gyro[axis]
+				}
+			}
+			out = append(out, axisStats(series)...)
+		}
+	}
+	return out
+}
+
+func axisStats(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return make([]float64, len(statNames))
+	}
+	var sum float64
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		sum += v
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	mean := sum / float64(n)
+	var varSum, sq float64
+	for _, v := range x {
+		d := v - mean
+		varSum += d * d
+		sq += v * v
+	}
+	std := math.Sqrt(varSum / float64(n))
+	rms := math.Sqrt(sq / float64(n))
+	// Mean absolute first difference ("jerk" proxy).
+	var jerk float64
+	for i := 1; i < n; i++ {
+		jerk += math.Abs(x[i] - x[i-1])
+	}
+	if n > 1 {
+		jerk /= float64(n - 1)
+	}
+	// Zero-crossing rate of the mean-removed signal.
+	var zc float64
+	prev := x[0] - mean
+	for i := 1; i < n; i++ {
+		cur := x[i] - mean
+		if (prev < 0 && cur >= 0) || (prev >= 0 && cur < 0) {
+			zc++
+		}
+		prev = cur
+	}
+	if n > 1 {
+		zc /= float64(n - 1)
+	}
+	return []float64{mean, std, minV, maxV, maxV - minV, rms, jerk, zc}
+}

@@ -1,0 +1,68 @@
+package simclock
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source shared by the simulators. It wraps
+// math/rand with the distributions the traffic and sensor models need, so
+// every experiment is reproducible from a single seed.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream keyed by label, so sub-simulators do not
+// perturb each other's sequences when one consumes more draws.
+func (r *RNG) Fork(label string) *RNG {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(r.Int63() ^ int64(h))
+}
+
+// Normal draws from N(mean, stddev).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// LogNormal draws from a log-normal with the given underlying mu/sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Exponential draws from Exp(1/mean).
+func (r *RNG) Exponential(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// IntBetween returns a uniform integer in [lo, hi] inclusive.
+func (r *RNG) IntBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Jitter returns v perturbed by a uniform factor in [1-frac, 1+frac].
+func (r *RNG) Jitter(v, frac float64) float64 {
+	return v * (1 + frac*(2*r.Float64()-1))
+}
+
+// Pick returns a uniformly random element index for a slice of length n.
+func (r *RNG) Pick(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return r.Intn(n)
+}

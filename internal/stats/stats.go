@@ -1,0 +1,198 @@
+// Package stats provides the small statistics and text-rendering toolkit
+// the evaluation harness uses to print paper-style tables and CDF figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation; input need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CDF is an empirical distribution over sorted values.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples.
+func NewCDF(xs []float64) CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the value at cumulative probability q in [0,1].
+func (c CDF) Quantile(q float64) float64 {
+	return Percentile(c.sorted, q*100)
+}
+
+// Len returns the sample count.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// Series pairs a label with samples, for multi-line CDF figures.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// RenderCDF prints an ASCII CDF chart of the series over [xmin, xmax] with
+// the given number of columns — the harness's stand-in for the paper's
+// figure panels. Each row is one series; each cell is the CDF value at that
+// x position rendered as a density glyph.
+func RenderCDF(sb *strings.Builder, series []Series, xmin, xmax float64, cols int, xlabel string) {
+	if cols < 10 {
+		cols = 10
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	fmt.Fprintf(sb, "  CDF vs %s  [%.3g .. %.3g]\n", xlabel, xmin, xmax)
+	for _, s := range series {
+		cdf := NewCDF(s.Values)
+		row := make([]rune, cols)
+		for i := 0; i < cols; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/float64(cols-1)
+			v := cdf.At(x)
+			gi := int(v * float64(len(glyphs)-1))
+			if gi < 0 {
+				gi = 0
+			}
+			if gi >= len(glyphs) {
+				gi = len(glyphs) - 1
+			}
+			row[i] = glyphs[gi]
+		}
+		fmt.Fprintf(sb, "  %-24s |%s|\n", s.Label, string(row))
+	}
+	fmt.Fprintf(sb, "  %-24s  p10=%s p50=%s p90=%s\n", "(quantile key)", "10%", "50%", "90%")
+	for _, s := range series {
+		cdf := NewCDF(s.Values)
+		fmt.Fprintf(sb, "  %-24s  p10=%.3g p50=%.3g p90=%.3g\n",
+			s.Label, cdf.Quantile(0.10), cdf.Quantile(0.50), cdf.Quantile(0.90))
+	}
+}
+
+// Table renders aligned text tables in the style of the paper's tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, stringifying each cell.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// FormatPct renders a fraction as a percentage string.
+func FormatPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Std(xs) != 2 {
+		t.Fatalf("Std = %v", Std(xs))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty input not zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 25: 2, 50: 3, 75: 4, 100: 5}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if got := Percentile(xs, 10); math.Abs(got-1.4) > 1e-12 {
+		t.Fatalf("P10 = %v, want 1.4 (interpolated)", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.At(0) != 0 {
+		t.Fatalf("At(0) = %v", c.At(0))
+	}
+	if c.At(2) != 0.5 {
+		t.Fatalf("At(2) = %v", c.At(2))
+	}
+	if c.At(10) != 1 {
+		t.Fatalf("At(10) = %v", c.At(10))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		c := NewCDF(raw)
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFQuantileInverse(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0.5); got != 30 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	var sb strings.Builder
+	RenderCDF(&sb, []Series{
+		{Label: "PortLess", Values: []float64{0.9, 0.95, 0.99}},
+		{Label: "Classic", Values: []float64{0.5, 0.6, 0.7}},
+	}, 0, 1, 40, "predictable fraction")
+	out := sb.String()
+	if !strings.Contains(out, "PortLess") || !strings.Contains(out, "Classic") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "p50=") {
+		t.Fatalf("quantile key missing:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"Device", "Precision", "Recall"}}
+	tb.Add("Echo Dot 4", 0.942, 0.98)
+	tb.Add("WyzeCam", 1.0, 1.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Device") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "Echo Dot 4") || !strings.Contains(lines[3], "WyzeCam") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+	// Columns align: "Precision" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "Precision")
+	if !strings.HasPrefix(lines[2][idx:], "0.942") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if FormatPct(0.057) != "5.7%" {
+		t.Fatalf("FormatPct = %q", FormatPct(0.057))
+	}
+}

@@ -1,0 +1,15 @@
+package tcpchan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+)
+
+// newGCM builds an AES-256-GCM AEAD from 32 key bytes.
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

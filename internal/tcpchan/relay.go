@@ -1,0 +1,84 @@
+package tcpchan
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// DelayRelay is a TCP relay adding one-way latency in each direction —
+// netem for the loopback latency experiments. Dial the relay's address
+// instead of the real server's.
+type DelayRelay struct {
+	ln     net.Listener
+	target string
+	oneWay time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewDelayRelay listens on a loopback port and forwards every connection
+// to target with the given one-way delay applied to both directions.
+func NewDelayRelay(target string, oneWay time.Duration) (*DelayRelay, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r := &DelayRelay{ln: ln, target: target, oneWay: oneWay}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the relay's dialable address.
+func (r *DelayRelay) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the relay.
+func (r *DelayRelay) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return r.ln.Close()
+}
+
+func (r *DelayRelay) acceptLoop() {
+	for {
+		client, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.handle(client)
+	}
+}
+
+func (r *DelayRelay) handle(client net.Conn) {
+	// The client's TCP connect completed against the local relay, hiding
+	// the path's SYN/SYN-ACK round trip; charge it here before any bytes
+	// flow so connection setup costs what it would on the real path.
+	time.Sleep(2 * r.oneWay)
+	server, err := net.Dial("tcp", r.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	pipe := func(dst, src net.Conn) {
+		defer dst.Close()
+		defer src.Close()
+		buf := make([]byte, 4096)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				time.Sleep(r.oneWay)
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+	}
+	go pipe(server, client)
+	go pipe(client, server)
+}

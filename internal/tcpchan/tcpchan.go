@@ -1,0 +1,303 @@
+// Package tcpchan is the attestation channel FIAT deliberately did not
+// choose: TCP plus a TLS-style handshake. It exists so the transport
+// ablation can measure — on real sockets — the extra round trip QUIC 0-RTT
+// removes. The protocol is the PSK-authenticated X25519 handshake of
+// quicfast, reframed over a stream: TCP's own SYN/SYN-ACK costs one RTT,
+// the hello exchange costs another, and only then does application data
+// flow. Length-prefixed frames, AES-256-GCM, same key schedule.
+package tcpchan
+
+import (
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"fiat/internal/cryptoutil"
+)
+
+// Channel errors.
+var (
+	ErrAuth      = errors.New("tcpchan: authentication failed")
+	ErrMalformed = errors.New("tcpchan: malformed frame")
+)
+
+const (
+	pubLen    = 32
+	randomLen = 16
+	macLen    = 32
+)
+
+// frame I/O: 2-byte big-endian length prefix.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > 0xffff {
+		return ErrMalformed
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(hdr[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func mac(psk []byte, parts ...[]byte) []byte {
+	m := hmac.New(sha256.New, psk)
+	for _, p := range parts {
+		m.Write(p)
+	}
+	return m.Sum(nil)
+}
+
+func deriveAEAD(shared, salt []byte, info string) (cipher.AEAD, []byte, error) {
+	keyMat, err := cryptoutil.HKDF(shared, salt, []byte(info), 32+12)
+	if err != nil {
+		return nil, nil, err
+	}
+	aead, err := newGCM(keyMat[:32])
+	return aead, keyMat[32:], err
+}
+
+// Conn is an established channel.
+type Conn struct {
+	c        net.Conn
+	sendAEAD cipher.AEAD
+	sendIV   []byte
+	recvAEAD cipher.AEAD
+	recvIV   []byte
+	sendSeq  uint64
+	recvSeq  uint64
+}
+
+// Dial connects and completes the handshake as the client: write
+// [cpub|crandom|mac], read [spub|srandom|mac]. On an otherwise idle
+// connection this costs one application round trip on top of TCP's own.
+func Dial(network, addr string, psk []byte) (*Conn, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	crandom := make([]byte, randomLen)
+	if _, err := io.ReadFull(rand.Reader, crandom); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	cpub := priv.PublicKey().Bytes()
+	hello := append(append([]byte{}, cpub...), crandom...)
+	hello = append(hello, mac(psk, []byte("tcp-hello"), cpub, crandom)...)
+	if err := writeFrame(nc, hello); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	reply, err := readFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if len(reply) != pubLen+randomLen+macLen {
+		nc.Close()
+		return nil, ErrMalformed
+	}
+	spubRaw := reply[:pubLen]
+	srandom := reply[pubLen : pubLen+randomLen]
+	if !hmac.Equal(mac(psk, []byte("tcp-reply"), spubRaw, srandom, crandom), reply[pubLen+randomLen:]) {
+		nc.Close()
+		return nil, ErrAuth
+	}
+	spub, err := ecdh.X25519().NewPublicKey(spubRaw)
+	if err != nil {
+		nc.Close()
+		return nil, ErrMalformed
+	}
+	shared, err := priv.ECDH(spub)
+	if err != nil {
+		nc.Close()
+		return nil, ErrMalformed
+	}
+	salt := append(append([]byte{}, crandom...), srandom...)
+	c2s, c2sIV, err := deriveAEAD(shared, salt, "tcpchan c2s")
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	s2c, s2cIV, err := deriveAEAD(shared, salt, "tcpchan s2c")
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return &Conn{c: nc, sendAEAD: c2s, sendIV: c2sIV, recvAEAD: s2c, recvIV: s2cIV}, nil
+}
+
+// Server accepts channels and delivers decrypted messages.
+type Server struct {
+	ln  net.Listener
+	psk []byte
+}
+
+// Listen starts a server on addr.
+func Listen(network, addr string, psk []byte) (*Server, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{ln: ln, psk: append([]byte(nil), psk...)}, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Serve accepts connections and calls handler with each received message
+// until the listener closes.
+func (s *Server) Serve(handler func(payload []byte)) error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return nil //nolint:nilerr // closed listener ends Serve cleanly
+		}
+		go func() {
+			conn, err := s.handshake(nc)
+			if err != nil {
+				nc.Close()
+				return
+			}
+			defer nc.Close()
+			for {
+				msg, err := conn.Receive()
+				if err != nil {
+					return
+				}
+				if handler != nil {
+					handler(msg)
+				}
+				// Application-level ack, mirroring quicfast's behaviour
+				// so latency comparisons measure the same contract.
+				if err := conn.Send([]byte("ack")); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (s *Server) handshake(nc net.Conn) (*Conn, error) {
+	hello, err := readFrame(nc)
+	if err != nil {
+		return nil, err
+	}
+	if len(hello) != pubLen+randomLen+macLen {
+		return nil, ErrMalformed
+	}
+	cpubRaw := hello[:pubLen]
+	crandom := hello[pubLen : pubLen+randomLen]
+	if !hmac.Equal(mac(s.psk, []byte("tcp-hello"), cpubRaw, crandom), hello[pubLen+randomLen:]) {
+		return nil, ErrAuth
+	}
+	cpub, err := ecdh.X25519().NewPublicKey(cpubRaw)
+	if err != nil {
+		return nil, ErrMalformed
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	srandom := make([]byte, randomLen)
+	if _, err := io.ReadFull(rand.Reader, srandom); err != nil {
+		return nil, err
+	}
+	spub := priv.PublicKey().Bytes()
+	reply := append(append([]byte{}, spub...), srandom...)
+	reply = append(reply, mac(s.psk, []byte("tcp-reply"), spub, srandom, crandom)...)
+	if err := writeFrame(nc, reply); err != nil {
+		return nil, err
+	}
+	shared, err := priv.ECDH(cpub)
+	if err != nil {
+		return nil, ErrMalformed
+	}
+	salt := append(append([]byte{}, crandom...), srandom...)
+	c2s, c2sIV, err := deriveAEAD(shared, salt, "tcpchan c2s")
+	if err != nil {
+		return nil, err
+	}
+	s2c, s2cIV, err := deriveAEAD(shared, salt, "tcpchan s2c")
+	if err != nil {
+		return nil, err
+	}
+	// The server receives on c2s and sends on s2c.
+	return &Conn{c: nc, sendAEAD: s2c, sendIV: s2cIV, recvAEAD: c2s, recvIV: c2sIV}, nil
+}
+
+// Send encrypts and writes one message, then waits for nothing (the caller
+// pairs it with Receive for acks).
+func (c *Conn) Send(payload []byte) error {
+	c.sendSeq++
+	ct := c.sendAEAD.Seal(nil, nonce(c.sendIV, c.sendSeq), payload, nil)
+	return writeFrame(c.c, ct)
+}
+
+// Receive reads and decrypts one message.
+func (c *Conn) Receive() ([]byte, error) {
+	ct, err := readFrame(c.c)
+	if err != nil {
+		return nil, err
+	}
+	c.recvSeq++
+	pt, err := c.recvAEAD.Open(nil, nonce(c.recvIV, c.recvSeq), ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	return pt, nil
+}
+
+// SendWithAck sends and blocks for the server's application ack — the
+// operation the latency harness times.
+func (c *Conn) SendWithAck(payload []byte) error {
+	if err := c.Send(payload); err != nil {
+		return err
+	}
+	ack, err := c.Receive()
+	if err != nil {
+		return err
+	}
+	if string(ack) != "ack" {
+		return ErrMalformed
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+func nonce(iv []byte, seq uint64) []byte {
+	n := make([]byte, 12)
+	copy(n, iv)
+	binary.BigEndian.PutUint64(n[4:], binary.BigEndian.Uint64(n[4:])^seq)
+	return n
+}
