@@ -14,15 +14,19 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"fiat/internal/core"
 	"fiat/internal/dataset"
 	"fiat/internal/devices"
 	"fiat/internal/events"
 	"fiat/internal/experiments"
 	"fiat/internal/features"
 	"fiat/internal/flows"
+	"fiat/internal/keystore"
 	"fiat/internal/ml"
 	"fiat/internal/sensors"
 	"fiat/internal/simclock"
@@ -304,4 +308,119 @@ func ExampleNewSystem() {
 
 func BenchmarkAblationHumanness(b *testing.B) {
 	runExperiment(b, experiments.AblationHumanness, "random-forest-human")
+}
+
+// Sharded engine throughput.
+
+// benchHumanValidator trains the humanness model once for every sharded
+// throughput sub-benchmark; the training cost is setup, not engine work.
+var benchHumanValidator = struct {
+	sync.Once
+	v   *sensors.Validator
+	err error
+}{}
+
+func benchValidator(b *testing.B) *sensors.Validator {
+	b.Helper()
+	benchHumanValidator.Do(func() {
+		benchHumanValidator.v, _, benchHumanValidator.err = sensors.DefaultValidator(1)
+	})
+	if benchHumanValidator.err != nil {
+		b.Fatal(benchHumanValidator.err)
+	}
+	return benchHumanValidator.v
+}
+
+// benchShardedProxy measures the engine's steady-state rule-hit path: every
+// iteration advances the virtual clock one heartbeat period and decides one
+// batch carrying a periodic heartbeat per device. With shards=1 ProcessBatch
+// takes the sequential fallback, so the 1-vs-GOMAXPROCS pair is exactly the
+// sequential/sharded comparison; speedup needs real cores (on a single-CPU
+// runner the sharded rows only pay fan-out overhead).
+func benchShardedProxy(b *testing.B, nDev, shards int) {
+	clock := simclock.NewVirtual()
+	ks, err := keystore.New(rand.New(rand.NewSource(7)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	proxy := core.NewProxy(clock, ks, benchValidator(b), core.Config{
+		Bootstrap: 10 * time.Minute, Shards: shards,
+	})
+	cloud := netip.MustParseAddr("52.1.1.1")
+	names := make([]string, nDev)
+	for i := range names {
+		names[i] = fmt.Sprintf("dev%02d", i)
+		if err := proxy.AddDevice(core.DeviceConfig{
+			Name: names[i], Classifier: core.RuleClassifier{NotificationSize: 235}, GraceN: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hb := func(name string, at time.Time) core.PacketIn {
+		return core.PacketIn{Device: name, Rec: flows.Record{
+			Time: at, Size: 128, Proto: "tcp", Dir: flows.DirOutbound,
+			RemoteIP: cloud, RemoteDomain: "cloud.example",
+			LocalPort: 40000, RemotePort: 443, Category: flows.CategoryControl,
+		}}
+	}
+	// Learn a one-second heartbeat period through the bootstrap window.
+	for tick := 0; tick < 30; tick++ {
+		batch := make([]core.PacketIn, nDev)
+		for i, name := range names {
+			batch[i] = hb(name, clock.Now())
+		}
+		proxy.ProcessBatch(batch)
+		clock.Advance(time.Second)
+	}
+	clock.Advance(10 * time.Minute) // past the bootstrap window
+	// Steady state: each iteration decides one batch of perDev on-period
+	// heartbeats per device, then advances the clock past the batch.
+	const perDev = 32
+	batch := make([]core.PacketIn, 0, nDev*perDev)
+	feed := func() []core.Decision {
+		batch = batch[:0]
+		base := clock.Now()
+		for k := 0; k < perDev; k++ {
+			at := base.Add(time.Duration(k) * time.Second)
+			for _, name := range names {
+				batch = append(batch, hb(name, at))
+			}
+		}
+		return proxy.ProcessBatch(batch)
+	}
+	warm := feed() // resynchronizes each bucket's period clock, then verify
+	clock.Advance(perDev * time.Second)
+	for i, d := range feed() {
+		if d.Reason != core.ReasonRuleHit {
+			b.Fatalf("steady state not on the rule-hit path: packet %d: %+v", i, d)
+		}
+	}
+	_ = warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(perDev * time.Second)
+		feed()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N*nDev*perDev)/s, "packets/s")
+	}
+}
+
+// BenchmarkProxyShardedThroughput sweeps fleet size against shard count:
+// shards=1 is the sequential baseline, shards=GOMAXPROCS the parallel
+// engine. Compare packets/s within a device count.
+func BenchmarkProxyShardedThroughput(b *testing.B) {
+	shardCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, nDev := range []int{1, 4, 8, 16} {
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("devices=%d/shards=%d", nDev, shards), func(b *testing.B) {
+				benchShardedProxy(b, nDev, shards)
+			})
+		}
+	}
 }

@@ -34,6 +34,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7844", "UDP address for attestations")
 	codeHex := flag.String("code", "", "pairing code (hex); generated when empty")
 	bootstrap := flag.Duration("bootstrap", 5*time.Second, "rule-learning window (paper: 20m)")
+	nDevices := flag.Int("devices", 4, "simulated plug devices fed to the engine as one batch per tick")
+	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 	duration := flag.Duration("duration", time.Minute, "how long to run the demo feed")
 	attackEvery := flag.Duration("attack-every", 10*time.Second, "injected command cadence")
 	mudOut := flag.String("mud", "", "export learned rules as an RFC 8520 MUD profile on exit")
@@ -71,14 +73,27 @@ func main() {
 		fatal(err)
 	}
 	clock := simclock.RealClock{}
-	proxy := core.NewProxy(clock, ks, validator, core.Config{Bootstrap: *bootstrap})
-	if err := proxy.AddDevice(core.DeviceConfig{
-		Name:       "plug",
-		Classifier: core.RuleClassifier{NotificationSize: 235},
-		GraceN:     1,
-	}); err != nil {
-		fatal(err)
+	proxy := core.NewProxy(clock, ks, validator, core.Config{Bootstrap: *bootstrap, Shards: *shards})
+	if *nDevices < 1 {
+		*nDevices = 1
 	}
+	// The first device keeps the name "plug" so fiat-app's attestations
+	// target it; the rest pad out the per-tick batch.
+	names := make([]string, *nDevices)
+	for i := range names {
+		names[i] = "plug"
+		if i > 0 {
+			names[i] = fmt.Sprintf("plug%d", i+1)
+		}
+		if err := proxy.AddDevice(core.DeviceConfig{
+			Name:       names[i],
+			Classifier: core.RuleClassifier{NotificationSize: 235},
+			GraceN:     1,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("fiat-proxy: %d devices on %d engine shards\n", len(names), proxy.ShardCount())
 
 	conn, err := net.ListenPacket("udp", *listen)
 	if err != nil {
@@ -104,8 +119,9 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("fiat-proxy: listening on %s; bootstrap %s\n", *listen, *bootstrap)
 
-	// Demo feed: a heartbeat every 500 ms; an injected on/off command every
-	// attack-every. Run fiat-app to authorize one.
+	// Demo feed: every tick each device heartbeats, and the whole tick is
+	// decided as one ProcessBatch fan-out across the shards; an injected
+	// on/off command every attack-every. Run fiat-app to authorize one.
 	cloud := netip.MustParseAddr("52.1.1.1")
 	heartbeat := func() flows.Record {
 		return flows.Record{
@@ -130,16 +146,21 @@ func main() {
 	for {
 		select {
 		case <-hb.C:
-			d := proxy.Process("plug", heartbeat(), "")
-			if proxy.Bootstrapped() && d.Reason != core.ReasonRuleHit {
-				fmt.Printf("[heartbeat] %s (%s)\n", d.Verdict, d.Reason)
+			batch := make([]core.PacketIn, len(names))
+			for i, name := range names {
+				batch[i] = core.PacketIn{Device: name, Rec: heartbeat()}
+			}
+			for i, d := range proxy.ProcessBatch(batch) {
+				if proxy.Bootstrapped() && d.Reason != core.ReasonRuleHit {
+					fmt.Printf("[heartbeat] %s: %s (%s)\n", names[i], d.Verdict, d.Reason)
+				}
 			}
 		case <-atk.C:
 			d := proxy.Process("plug", command(), "")
 			fmt.Printf("[command ] turn on/off -> %s (%s)\n", d.Verdict, d.Reason)
 			proxy.FlushEvent("plug")
 		case <-end:
-			s := proxy.Stats
+			s := proxy.StatsSnapshot()
 			fmt.Printf("fiat-proxy: done. packets=%d allowed=%d dropped=%d rule-hits=%d attestations=%d\n",
 				s.Packets, s.Allowed, s.Dropped, s.RuleHits, s.AttestationsOK)
 			if *mudOut != "" {

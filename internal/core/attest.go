@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"fiat/internal/keystore"
@@ -121,8 +122,12 @@ func DecodeAttestationAliases(payload []byte, ks *keystore.Store, aliases ...str
 // window the Discussion describes.
 const ValidationTTL = 10 * time.Second
 
-// validationStore remembers the proxy's recent humanness verdicts.
+// validationStore remembers the proxy's recent humanness verdicts. It is
+// read-mostly shared state on the sharded hot path: every shard worker reads
+// it under RLock while deciding manual events, and only HandleAttestation
+// writes.
 type validationStore struct {
+	mu       sync.RWMutex
 	byDevice map[string][]validation
 }
 
@@ -137,6 +142,8 @@ func newValidationStore() *validationStore {
 
 // add records a verdict and prunes expired entries.
 func (s *validationStore) add(device string, at time.Time, human bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	list := s.byDevice[device]
 	keep := list[:0]
 	for _, v := range list {
@@ -150,6 +157,8 @@ func (s *validationStore) add(device string, at time.Time, human bool) {
 // humanRecently reports whether a verified-human interaction for device is
 // live at now.
 func (s *validationStore) humanRecently(device string, now time.Time) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, v := range s.byDevice[device] {
 		if v.human && now.Sub(v.at) < ValidationTTL && !v.at.After(now.Add(time.Second)) {
 			return true

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"fiat/internal/flows"
+)
+
+// PacketIn is one packet submitted to the batched engine: the owning device,
+// its flow record, and the LAN peer ("" for WAN traffic).
+type PacketIn struct {
+	Device string
+	Rec    flows.Record
+	Peer   string
+}
+
+// indexedEntry tags an audit entry with its packet's batch index so the
+// merged log reproduces the sequential append order exactly.
+type indexedEntry struct {
+	idx   int
+	entry LogEntry
+}
+
+// ProcessBatch runs a batch of packets through the pipeline, fanning out to
+// one worker per shard with work and merging the results in input order.
+//
+// Determinism contract: ProcessBatch(batch) returns exactly the decisions —
+// and appends exactly the audit entries, in the same order, with the same
+// stats — that calling Process on each packet in batch order would produce
+// while the clock does not advance during the batch. The timestamp is
+// sampled once at batch entry; packets of one device are processed in input
+// order by the one shard that owns the device, and devices on different
+// shards share no mutable pipeline state. The differential test in
+// engine_test.go checks this decision-for-decision across shard counts.
+//
+// When ExtraVerdictDelay is configured the §6 delay experiment's serial
+// sleep semantics matter more than throughput, so the batch degrades to the
+// sequential path.
+func (p *Proxy) ProcessBatch(batch []PacketIn) []Decision {
+	if len(batch) == 0 {
+		return nil
+	}
+	if p.cfg.ExtraVerdictDelay > 0 || len(p.shards) == 1 {
+		return p.processBatchSequential(batch)
+	}
+
+	now := p.clock.Now()
+	out := make([]Decision, len(batch))
+
+	// Partition packet indices by owning shard, preserving input order
+	// within each shard.
+	perShard := make([][]int, len(p.shards))
+	for i, pk := range batch {
+		s := p.shardIndex(pk.Device)
+		perShard[s] = append(perShard[s], i)
+	}
+
+	type shardResult struct {
+		entries []indexedEntry
+		delta   statDelta
+	}
+	results := make([]shardResult, len(p.shards))
+
+	run := func(si int, idxs []int) {
+		sh := p.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		res := &results[si]
+		for _, i := range idxs {
+			o := p.processLocked(sh, batch[i].Device, batch[i].Rec, batch[i].Peer, now)
+			out[i] = o.d
+			if o.entry != nil {
+				res.entries = append(res.entries, indexedEntry{idx: i, entry: *o.entry})
+			}
+			res.delta.add(o.delta)
+		}
+	}
+
+	// Fan out one worker per shard with work; a single busy shard runs
+	// inline to skip the goroutine round trip.
+	busy := 0
+	last := -1
+	for si, idxs := range perShard {
+		if len(idxs) > 0 {
+			busy++
+			last = si
+		}
+	}
+	if busy == 1 {
+		run(last, perShard[last])
+	} else {
+		var wg sync.WaitGroup
+		for si, idxs := range perShard {
+			if len(idxs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(si int, idxs []int) {
+				defer wg.Done()
+				run(si, idxs)
+			}(si, idxs)
+		}
+		wg.Wait()
+	}
+
+	// Merge: audit entries sorted back into packet order (each packet
+	// contributes at most one entry, so this reproduces the sequential
+	// log bit-for-bit), stat deltas summed.
+	var merged []indexedEntry
+	var delta statDelta
+	for si := range results {
+		merged = append(merged, results[si].entries...)
+		delta.add(results[si].delta)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].idx < merged[b].idx })
+	p.mu.Lock()
+	for _, ie := range merged {
+		p.log = append(p.log, ie.entry)
+	}
+	p.applyDeltaLocked(delta)
+	p.mu.Unlock()
+	return out
+}
+
+// processBatchSequential is the shards=1 / delay-experiment fallback: the
+// plain sequential path with the batch's single timestamp.
+func (p *Proxy) processBatchSequential(batch []PacketIn) []Decision {
+	out := make([]Decision, len(batch))
+	for i, pk := range batch {
+		out[i] = p.Process(pk.Device, pk.Rec, pk.Peer)
+	}
+	return out
+}
+
+// FrameGate adapts ProcessBatch to a frame-level batch inspector — the shape
+// netsim.Gateway feeds (it satisfies netsim's BatchInspector interface
+// structurally, keeping core free of a netsim dependency). Resolve maps one
+// raw frame to its device, flow record, and LAN peer; frames it cannot
+// resolve are not FIAT-protected and fail open, mirroring the NFQUEUE
+// bypass policy.
+type FrameGate struct {
+	Proxy *Proxy
+	// Resolve maps a frame observed at `at` to the pipeline inputs.
+	Resolve func(frame []byte, at time.Time) (device string, rec flows.Record, peer string, ok bool)
+}
+
+// InspectBatch decides a batch of frames; out[i] reports whether frame i may
+// be forwarded.
+func (g *FrameGate) InspectBatch(frames [][]byte, now time.Time) []bool {
+	allow := make([]bool, len(frames))
+	pkts := make([]PacketIn, 0, len(frames))
+	backrefs := make([]int, 0, len(frames))
+	for i, f := range frames {
+		device, rec, peer, ok := g.Resolve(f, now)
+		if !ok {
+			allow[i] = true
+			continue
+		}
+		pkts = append(pkts, PacketIn{Device: device, Rec: rec, Peer: peer})
+		backrefs = append(backrefs, i)
+	}
+	for j, d := range g.Proxy.ProcessBatch(pkts) {
+		allow[backrefs[j]] = d.Verdict == Allow
+	}
+	return allow
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -83,6 +84,11 @@ type Config struct {
 	// ExtraVerdictDelay artificially delays every verdict — the §6 "how
 	// slow can FIAT afford to be" experiment.
 	ExtraVerdictDelay time.Duration
+	// Shards is the number of per-device state shards the engine runs
+	// (default GOMAXPROCS). Devices are hash-assigned to shards;
+	// ProcessBatch fans a batch out to one worker per shard. Shards = 1
+	// reproduces the fully serialized engine.
+	Shards int
 }
 
 func (c *Config) defaults() {
@@ -98,48 +104,54 @@ func (c *Config) defaults() {
 	if c.LockoutWindow <= 0 {
 		c.LockoutWindow = time.Minute
 	}
-}
-
-// Proxy is FIAT's server-side component.
-type Proxy struct {
-	clock simclock.Clock
-	cfg   Config
-	ks    *keystore.Store
-	human *sensors.Validator
-
-	mu          sync.Mutex
-	started     time.Time
-	aliases     []string
-	devices     map[string]*deviceState
-	validations *validationStore
-	dag         *DeviceDAG
-	log         []LogEntry
-
-	// Stats counts pipeline outcomes.
-	Stats struct {
-		Packets, Allowed, Dropped int
-		RuleHits, EventsManual    int
-		EventsNonManual           int
-		AttestationsOK            int
-		AttestationsBad           int
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
 	}
 }
 
-type deviceState struct {
-	cfg     DeviceConfig
-	rules   *flows.RuleTable
-	grouper *events.Grouper
-	// current event decision state
-	evPackets  int
-	evDecision *Decision
-	drops      []time.Time
-	locked     bool
+// Proxy is FIAT's server-side component. Per-device pipeline state lives in
+// hash-assigned shards so packets of different devices are processed
+// concurrently (see ProcessBatch); cross-cutting state is either internally
+// synchronized and read-mostly (validations, DAG) or committed under p.mu in
+// a deterministic merge order (audit log, stats).
+type Proxy struct {
+	clock   simclock.Clock
+	cfg     Config
+	ks      *keystore.Store
+	human   *sensors.Validator
+	started time.Time
+
+	shards      []*shard
+	validations *validationStore
+	dag         *DeviceDAG
+
+	mu      sync.Mutex // guards aliases, log, Stats
+	aliases []string
+	log     []LogEntry
+
+	// Stats counts pipeline outcomes. Read it only when no Process /
+	// ProcessBatch / HandleAttestation call is in flight, or use
+	// StatsSnapshot.
+	Stats ProxyStats
+}
+
+// ProxyStats are the pipeline outcome counters.
+type ProxyStats struct {
+	Packets, Allowed, Dropped int
+	RuleHits, EventsManual    int
+	EventsNonManual           int
+	AttestationsOK            int
+	AttestationsBad           int
 }
 
 // NewProxy builds a proxy. ks must hold the pairing key (see
 // keystore.NewPairingOffer); human is the trained humanness validator.
 func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator, cfg Config) *Proxy {
 	cfg.defaults()
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		shards[i] = &shard{devices: make(map[string]*deviceState)}
+	}
 	return &Proxy{
 		clock:       clock,
 		cfg:         cfg,
@@ -147,11 +159,14 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 		human:       human,
 		started:     clock.Now(),
 		aliases:     []string{keystore.PairingAlias},
-		devices:     make(map[string]*deviceState),
+		shards:      shards,
 		validations: newValidationStore(),
 		dag:         NewDeviceDAG(),
 	}
 }
+
+// ShardCount reports how many shards the engine runs.
+func (p *Proxy) ShardCount() int { return len(p.shards) }
 
 // AddDevice registers a device. GraceN defaults to 5.
 func (p *Proxy) AddDevice(cfg DeviceConfig) error {
@@ -161,12 +176,13 @@ func (p *Proxy) AddDevice(cfg DeviceConfig) error {
 	if cfg.GraceN <= 0 {
 		cfg.GraceN = 5
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.devices[cfg.Name]; ok {
+	sh := p.shardFor(cfg.Name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.devices[cfg.Name]; ok {
 		return fmt.Errorf("core: device %q already registered", cfg.Name)
 	}
-	p.devices[cfg.Name] = &deviceState{
+	sh.devices[cfg.Name] = &deviceState{
 		cfg:     cfg,
 		rules:   flows.NewRuleTable(p.cfg.Mode),
 		grouper: events.NewGrouper(p.cfg.EventGap),
@@ -206,9 +222,10 @@ func (p *Proxy) HandleAttestation(payload []byte) (human bool, err error) {
 		return false, err
 	}
 	human = p.human.Validate(a.Features)
+	now := p.clock.Now()
+	p.validations.add(a.Device, now, human)
 	p.mu.Lock()
 	p.Stats.AttestationsOK++
-	p.validations.add(a.Device, p.clock.Now(), human)
 	p.mu.Unlock()
 	return human, nil
 }
@@ -227,140 +244,72 @@ func (p *Proxy) Process(device string, rec flows.Record, peer string) Decision {
 			s.Sleep(p.cfg.ExtraVerdictDelay)
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.Stats.Packets++
-	ds, ok := p.devices[device]
-	if !ok {
-		// Unknown devices are not FIAT-protected; fail open like the
-		// NFQUEUE bypass policy.
-		p.Stats.Allowed++
-		return Decision{Verdict: Allow, Reason: ReasonBootstrap}
-	}
-	now := p.clock.Now()
-
-	// Bootstrap: allow everything, learn rules.
-	if now.Sub(p.started) < p.cfg.Bootstrap {
-		ds.rules.Learn(rec)
-		p.Stats.Allowed++
-		return Decision{Verdict: Allow, Reason: ReasonBootstrap}
-	}
-	if !ds.rules.Frozen() {
-		ds.rules.Freeze()
-	}
-
-	// Device-to-device DAG rules bypass the pipeline.
-	if peer != "" && p.dag.Allowed(peer, device) {
-		p.Stats.Allowed++
-		return Decision{Verdict: Allow, Reason: ReasonDAGAllowed}
-	}
-
-	// Stage 1: predictable?
-	if ds.rules.Match(rec) {
-		p.Stats.RuleHits++
-		p.Stats.Allowed++
-		return Decision{Verdict: Allow, Reason: ReasonRuleHit}
-	}
-
-	// Stage 2: event grouping.
-	if done := ds.grouper.Add(rec); done != nil || ds.grouper.Current().Len() == 1 {
-		// A new event started: reset the per-event decision state.
-		ds.evPackets = 0
-		ds.evDecision = nil
-	}
-	ds.evPackets++
-
-	// Stage 3/4 happen once, at the decision point (the N-th packet, or
-	// the first when the event is already classifiable).
-	if ds.evDecision == nil {
-		if ds.evPackets < ds.cfg.GraceN {
-			p.Stats.Allowed++
-			return Decision{Verdict: Allow, Reason: ReasonGraceN}
-		}
-		d := p.decideEventLocked(ds, now)
-		ds.evDecision = &d
-		return d
-	}
-
-	// Later packets follow the event's verdict.
-	d := *ds.evDecision
-	d.Reason = ReasonEventFollow
-	p.count(d.Verdict)
-	return d
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	o := p.processLocked(sh, device, rec, peer, p.clock.Now())
+	// Commit while holding the shard lock so a device's audit entries land
+	// in its decision order even under concurrent callers.
+	p.commit(o)
+	sh.mu.Unlock()
+	return o.d
 }
 
 // FlushEvent finalizes a device's in-progress event early (e.g. at the end
 // of a trace or when the gap elapses without traffic); events shorter than
 // GraceN still need a verdict for accounting.
 func (p *Proxy) FlushEvent(device string) *Decision {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ds, ok := p.devices[device]
-	if !ok || ds.grouper.Current() == nil {
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds, ok := sh.devices[device]
+	if !ok {
 		return nil
 	}
-	if ds.evDecision == nil {
-		d := p.decideEventLocked(ds, p.clock.Now())
-		ds.evDecision = &d
+	o, d := p.flushLocked(ds, p.clock.Now())
+	if d == nil {
+		return nil
 	}
-	d := *ds.evDecision
-	ds.grouper.Flush()
-	ds.evPackets = 0
-	ds.evDecision = nil
-	return &d
-}
-
-// decideEventLocked classifies the current event and applies the humanness
-// gate. Callers hold p.mu.
-func (p *Proxy) decideEventLocked(ds *deviceState, now time.Time) Decision {
-	ev := ds.grouper.Current()
-	if ev == nil {
-		return Decision{Verdict: Allow, Reason: ReasonNonManual}
-	}
-	if ds.locked {
-		d := Decision{Verdict: Drop, Reason: ReasonLocked}
-		p.note(ds, now, d, ev.Len())
-		p.count(d.Verdict)
-		return d
-	}
-	manual := ds.cfg.Classifier != nil && ds.cfg.Classifier.IsManual(ev)
-	var d Decision
-	if !manual {
-		p.Stats.EventsNonManual++
-		d = Decision{Verdict: Allow, Reason: ReasonNonManual}
-	} else {
-		p.Stats.EventsManual++
-		if p.validations.humanRecently(ds.cfg.Name, now) {
-			d = Decision{Verdict: Allow, Reason: ReasonHumanOK}
-		} else {
-			d = Decision{Verdict: Drop, Reason: ReasonNoHuman}
-			p.registerDropLocked(ds, now)
-		}
-	}
-	p.note(ds, now, d, ev.Len())
-	p.count(d.Verdict)
+	p.commit(o)
 	return d
 }
 
-func (p *Proxy) registerDropLocked(ds *deviceState, now time.Time) {
-	keep := ds.drops[:0]
-	for _, t := range ds.drops {
-		if now.Sub(t) < p.cfg.LockoutWindow {
-			keep = append(keep, t)
-		}
+// commit applies one outcome's global side effects (audit entry, stats)
+// under p.mu.
+func (p *Proxy) commit(o outcome) {
+	p.mu.Lock()
+	if o.entry != nil {
+		p.log = append(p.log, *o.entry)
 	}
-	ds.drops = append(keep, now)
-	if len(ds.drops) >= p.cfg.LockoutThreshold {
-		ds.locked = true
-	}
+	p.applyDeltaLocked(o.delta)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) applyDeltaLocked(d statDelta) {
+	p.Stats.Packets += d.packets
+	p.Stats.Allowed += d.allowed
+	p.Stats.Dropped += d.dropped
+	p.Stats.RuleHits += d.ruleHits
+	p.Stats.EventsManual += d.eventsManual
+	p.Stats.EventsNonManual += d.eventsNonManual
+	p.Stats.AttestationsOK += d.attestationsOK
+	p.Stats.AttestationsBad += d.attestationsBad
+}
+
+// StatsSnapshot returns a consistent copy of the outcome counters, safe to
+// call while packets are in flight.
+func (p *Proxy) StatsSnapshot() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Stats
 }
 
 // Rules exposes a device's learned rule table (for inspection and RFC 8520
 // export).
 func (p *Proxy) Rules(device string) (*flows.RuleTable, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ds, ok := p.devices[device]
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds, ok := sh.devices[device]
 	if !ok {
 		return nil, false
 	}
@@ -369,17 +318,19 @@ func (p *Proxy) Rules(device string) (*flows.RuleTable, bool) {
 
 // Locked reports whether the device is disconnected pending review.
 func (p *Proxy) Locked(device string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ds, ok := p.devices[device]
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds, ok := sh.devices[device]
 	return ok && ds.locked
 }
 
 // Unlock clears a lockout after the user manually verifies activity.
 func (p *Proxy) Unlock(device string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if ds, ok := p.devices[device]; ok {
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ds, ok := sh.devices[device]; ok {
 		ds.locked = false
 		ds.drops = nil
 	}
@@ -403,18 +354,4 @@ func (p *Proxy) SealedLog() ([]byte, error) {
 	}
 	p.mu.Unlock()
 	return p.ks.Seal(entries, []byte("fiat-audit-log"))
-}
-
-func (p *Proxy) note(ds *deviceState, now time.Time, d Decision, packets int) {
-	p.log = append(p.log, LogEntry{
-		Time: now, Device: ds.cfg.Name, Reason: d.Reason, Verdict: d.Verdict, Packets: packets,
-	})
-}
-
-func (p *Proxy) count(v Verdict) {
-	if v == Allow {
-		p.Stats.Allowed++
-	} else {
-		p.Stats.Dropped++
-	}
 }

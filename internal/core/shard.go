@@ -1,0 +1,231 @@
+package core
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/flows"
+)
+
+// shard owns the state of the devices hash-assigned to it. All per-device
+// mutation — rule learning and matching, event grouping, grace counting,
+// lockout bookkeeping — happens under sh.mu, so devices on different shards
+// proceed in parallel with no shared mutable state. Cross-cutting reads
+// (attestation freshness, the device DAG) go through structures with their
+// own synchronization; cross-cutting writes (audit log, stats) are returned
+// as an outcome and committed by the caller.
+type shard struct {
+	mu      sync.Mutex
+	devices map[string]*deviceState
+}
+
+// deviceState is one protected device's pipeline state, owned by exactly one
+// shard.
+type deviceState struct {
+	cfg     DeviceConfig
+	rules   *flows.RuleTable
+	grouper *events.Grouper
+	// current event decision state
+	evPackets  int
+	evDecision *Decision
+	drops      []time.Time
+	locked     bool
+}
+
+// statDelta accumulates the stats produced by packets before they are merged
+// into Proxy.Stats. All counters are sums, so shard-local accumulation and a
+// single merge is arithmetically identical to the sequential path.
+type statDelta struct {
+	packets, allowed, dropped    int
+	ruleHits, eventsManual       int
+	eventsNonManual              int
+	attestationsOK, attestationsBad int
+}
+
+func (d *statDelta) add(o statDelta) {
+	d.packets += o.packets
+	d.allowed += o.allowed
+	d.dropped += o.dropped
+	d.ruleHits += o.ruleHits
+	d.eventsManual += o.eventsManual
+	d.eventsNonManual += o.eventsNonManual
+	d.attestationsOK += o.attestationsOK
+	d.attestationsBad += o.attestationsBad
+}
+
+func (d *statDelta) count(v Verdict) {
+	if v == Allow {
+		d.allowed++
+	} else {
+		d.dropped++
+	}
+}
+
+// outcome is the result of one packet (or event flush) through the pipeline:
+// the decision plus the global side effects it produced, to be committed by
+// the caller in a deterministic order.
+type outcome struct {
+	d     Decision
+	entry *LogEntry
+	delta statDelta
+}
+
+// shardIndex hash-assigns a device name to a shard (FNV-1a). The assignment
+// is stable across runs and independent of registration order, so replays
+// partition identically.
+func (p *Proxy) shardIndex(device string) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(device))
+	return int(h.Sum64() % uint64(len(p.shards)))
+}
+
+func (p *Proxy) shardFor(device string) *shard {
+	return p.shards[p.shardIndex(device)]
+}
+
+// processLocked runs one packet through the Fig 4 pipeline. The caller holds
+// sh.mu; now is the verdict timestamp (sampled once per batch on the batched
+// path — see ProcessBatch's determinism contract).
+func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer string, now time.Time) outcome {
+	var o outcome
+	o.delta.packets++
+	ds, ok := sh.devices[device]
+	if !ok {
+		// Unknown devices are not FIAT-protected; fail open like the
+		// NFQUEUE bypass policy.
+		o.delta.allowed++
+		o.d = Decision{Verdict: Allow, Reason: ReasonBootstrap}
+		return o
+	}
+
+	// Bootstrap: allow everything, learn rules.
+	if now.Sub(p.started) < p.cfg.Bootstrap {
+		ds.rules.Learn(rec)
+		o.delta.allowed++
+		o.d = Decision{Verdict: Allow, Reason: ReasonBootstrap}
+		return o
+	}
+	if !ds.rules.Frozen() {
+		ds.rules.Freeze()
+	}
+
+	// Device-to-device DAG rules bypass the pipeline.
+	if peer != "" && p.dag.Allowed(peer, device) {
+		o.delta.allowed++
+		o.d = Decision{Verdict: Allow, Reason: ReasonDAGAllowed}
+		return o
+	}
+
+	// Stage 1: predictable?
+	if ds.rules.Match(rec) {
+		o.delta.ruleHits++
+		o.delta.allowed++
+		o.d = Decision{Verdict: Allow, Reason: ReasonRuleHit}
+		return o
+	}
+
+	// Stage 2: event grouping.
+	if done := ds.grouper.Add(rec); done != nil || ds.grouper.Current().Len() == 1 {
+		// A new event started: reset the per-event decision state.
+		ds.evPackets = 0
+		ds.evDecision = nil
+	}
+	ds.evPackets++
+
+	// Stage 3/4 happen once, at the decision point (the N-th packet, or
+	// the first when the event is already classifiable).
+	if ds.evDecision == nil {
+		if ds.evPackets < ds.cfg.GraceN {
+			o.delta.allowed++
+			o.d = Decision{Verdict: Allow, Reason: ReasonGraceN}
+			return o
+		}
+		d := p.decideEvent(ds, now, &o)
+		ds.evDecision = &d
+		o.d = d
+		return o
+	}
+
+	// Later packets follow the event's verdict.
+	d := *ds.evDecision
+	d.Reason = ReasonEventFollow
+	o.delta.count(d.Verdict)
+	o.d = d
+	return o
+}
+
+// decideEvent classifies the current event and applies the humanness gate,
+// recording the audit entry and stat counts into o. The caller holds the
+// owning shard's mutex.
+func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome) Decision {
+	ev := ds.grouper.Current()
+	if ev == nil {
+		return Decision{Verdict: Allow, Reason: ReasonNonManual}
+	}
+	if ds.locked {
+		d := Decision{Verdict: Drop, Reason: ReasonLocked}
+		o.note(ds, now, d, ev.Len())
+		o.delta.count(d.Verdict)
+		return d
+	}
+	manual := ds.cfg.Classifier != nil && ds.cfg.Classifier.IsManual(ev)
+	var d Decision
+	if !manual {
+		o.delta.eventsNonManual++
+		d = Decision{Verdict: Allow, Reason: ReasonNonManual}
+	} else {
+		o.delta.eventsManual++
+		if p.validations.humanRecently(ds.cfg.Name, now) {
+			d = Decision{Verdict: Allow, Reason: ReasonHumanOK}
+		} else {
+			d = Decision{Verdict: Drop, Reason: ReasonNoHuman}
+			p.registerDrop(ds, now)
+		}
+	}
+	o.note(ds, now, d, ev.Len())
+	o.delta.count(d.Verdict)
+	return d
+}
+
+// flushLocked finalizes a device's in-progress event. The caller holds the
+// owning shard's mutex; the outcome's entry/delta must still be committed.
+func (p *Proxy) flushLocked(ds *deviceState, now time.Time) (outcome, *Decision) {
+	var o outcome
+	if ds.grouper.Current() == nil {
+		return o, nil
+	}
+	if ds.evDecision == nil {
+		d := p.decideEvent(ds, now, &o)
+		ds.evDecision = &d
+	}
+	d := *ds.evDecision
+	ds.grouper.Flush()
+	ds.evPackets = 0
+	ds.evDecision = nil
+	o.d = d
+	return o, &d
+}
+
+func (p *Proxy) registerDrop(ds *deviceState, now time.Time) {
+	keep := ds.drops[:0]
+	for _, t := range ds.drops {
+		if now.Sub(t) < p.cfg.LockoutWindow {
+			keep = append(keep, t)
+		}
+	}
+	ds.drops = append(keep, now)
+	if len(ds.drops) >= p.cfg.LockoutThreshold {
+		ds.locked = true
+	}
+}
+
+func (o *outcome) note(ds *deviceState, now time.Time, d Decision, packets int) {
+	o.entry = &LogEntry{
+		Time: now, Device: ds.cfg.Name, Reason: d.Reason, Verdict: d.Verdict, Packets: packets,
+	}
+}

@@ -1,0 +1,87 @@
+package dnssim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// fuzzSeedMessages builds a corpus of well-formed messages covering every
+// record type the codec speaks, so the fuzzer starts from valid structure
+// and mutates toward the edges (truncation, pointer loops, long labels).
+func fuzzSeedMessages(f *testing.F) {
+	msgs := []*Message{
+		{ID: 1, Questions: []Question{{Name: "plug.cloud.example", Type: TypeA, Class: ClassIN}}},
+		{
+			ID: 2, Response: true,
+			Questions: []Question{{Name: "plug.cloud.example", Type: TypeA, Class: ClassIN}},
+			Answers: []ResourceRecord{{
+				Name: "plug.cloud.example", Type: TypeA, Class: ClassIN, TTL: 300,
+				Addr: netip.MustParseAddr("52.1.1.1"),
+			}},
+		},
+		{
+			ID: 3, Response: true,
+			Questions: []Question{{Name: "1.1.1.52.in-addr.arpa", Type: TypePTR, Class: ClassIN}},
+			Answers: []ResourceRecord{{
+				Name: "1.1.1.52.in-addr.arpa", Type: TypePTR, Class: ClassIN, TTL: 60,
+				Target: "plug.cloud.example",
+			}},
+		},
+		{ID: 4, Response: true, RCode: 3, Questions: []Question{{Name: "gone.example", Type: TypeA, Class: ClassIN}}},
+		{ID: 5}, // empty header-only message
+	}
+	for _, m := range msgs {
+		b, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Hand-built nasties: a compression pointer to the header, a pointer
+	// loop, and a bare truncated header.
+	f.Add([]byte{0, 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 0x00, 0, 1, 0, 1})
+	f.Add([]byte{0, 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 0x0c, 0, 1, 0, 1})
+	f.Add([]byte{0, 1, 0, 0, 0, 0})
+}
+
+// FuzzDecodeMessage fuzzes the DNS wire-format parser for crashes and for
+// re-encode stability: DecodeMessage may accept liberally (it is a parser of
+// hostile input), but whatever it accepts and Encode can express must
+// round-trip — decode(enc) succeeds and re-encodes to the identical bytes.
+// A parse discrepancy here is exactly the class of bug that would let two
+// observers (resolver vs rule table) disagree about a PortLess flow key.
+func FuzzDecodeMessage(f *testing.F) {
+	fuzzSeedMessages(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return // rejected input is fine; panics/hangs are the bug
+		}
+		enc, err := m.Encode()
+		if err != nil {
+			// Decode is more liberal than Encode (unknown record
+			// types, names only expressible with compression).
+			return
+		}
+		m2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("decode(encode(m)) failed: %v\nencoded: %x", err, enc)
+		}
+		enc2, err := m2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not stable across a decode round trip:\nfirst:  %x\nsecond: %x", enc, enc2)
+		}
+		// Spot-check semantic stability of the fields the resolver keys
+		// on.
+		if m2.ID != m.ID || m2.Response != m.Response || m2.RCode != m.RCode {
+			t.Fatalf("header fields drifted: %+v vs %+v", m, m2)
+		}
+		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) {
+			t.Fatalf("section counts drifted: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package events
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+	"fiat/internal/simclock"
+)
+
+// randTimestamps draws a monotone timestamp sequence whose inter-arrivals
+// straddle the gap threshold: mostly sub-gap bursts with occasional
+// above-gap silences, plus the adversarial exact-boundary value.
+func randTimestamps(rng *rand.Rand, n int, gap time.Duration) []time.Time {
+	out := make([]time.Time, n)
+	at := simclock.Epoch
+	for i := range out {
+		out[i] = at
+		var step time.Duration
+		switch rng.Intn(10) {
+		case 0, 1: // silence: new event
+			step = gap + time.Duration(rng.Int63n(int64(10*gap)))
+		case 2: // exactly the threshold: must start a new event
+			step = gap
+		case 3: // one nanosecond under: must extend the event
+			step = gap - time.Nanosecond
+		default: // burst
+			step = time.Duration(rng.Int63n(int64(gap)))
+		}
+		at = at.Add(step)
+	}
+	return out
+}
+
+func recsAt(times []time.Time) []flows.Record {
+	recs := make([]flows.Record, len(times))
+	for i, ts := range times {
+		recs[i] = flows.Record{Time: ts, Size: 100 + i%7, Proto: "tcp", Category: flows.CategoryAutomated}
+	}
+	return recs
+}
+
+// TestGroupingInvariants asserts the §3.2 grouping invariants over
+// randomized timestamp sequences: packet count conserved in order, no
+// intra-event gap >= EventGap, and consecutive events separated by >= the
+// gap.
+func TestGroupingInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 200; trial++ {
+		gap := time.Duration(1+rng.Intn(10)) * time.Second
+		n := 1 + rng.Intn(300)
+		recs := recsAt(randTimestamps(rng, n, gap))
+		evs := Group(recs, gap)
+
+		total := 0
+		for ei, e := range evs {
+			if e.Len() == 0 {
+				t.Fatalf("trial %d: empty event %d", trial, ei)
+			}
+			if !e.Start.Equal(e.Packets[0].Time) || !e.End.Equal(e.Packets[e.Len()-1].Time) {
+				t.Fatalf("trial %d: event %d bounds [%v,%v] disagree with members", trial, ei, e.Start, e.End)
+			}
+			for j := 1; j < e.Len(); j++ {
+				if d := e.Packets[j].Time.Sub(e.Packets[j-1].Time); d >= gap {
+					t.Fatalf("trial %d: event %d has intra-event gap %v >= %v", trial, ei, d, gap)
+				}
+			}
+			if ei > 0 {
+				if d := e.Start.Sub(evs[ei-1].End); d < gap {
+					t.Fatalf("trial %d: events %d,%d separated by %v < %v", trial, ei-1, ei, d, gap)
+				}
+			}
+			// Conservation with order: members are exactly the next
+			// slice of the input.
+			for j, p := range e.Packets {
+				if !p.Time.Equal(recs[total+j].Time) || p.Size != recs[total+j].Size {
+					t.Fatalf("trial %d: event %d reordered or altered packet %d", trial, ei, j)
+				}
+			}
+			total += e.Len()
+		}
+		if total != n {
+			t.Fatalf("trial %d: %d packets grouped, want %d", trial, total, n)
+		}
+	}
+}
+
+// TestGrouperMatchesBatchGroup checks the streaming Grouper (the proxy's
+// form) emits exactly the events of the batch Group over the same randomized
+// sequences — the equivalence the sharded engine's per-device groupers rely
+// on.
+func TestGrouperMatchesBatchGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(54321))
+	for trial := 0; trial < 100; trial++ {
+		gap := time.Duration(1+rng.Intn(8)) * time.Second
+		n := 1 + rng.Intn(200)
+		recs := recsAt(randTimestamps(rng, n, gap))
+
+		want := Group(recs, gap)
+		g := NewGrouper(gap)
+		var got []*Event
+		for _, r := range recs {
+			if done := g.Add(r); done != nil {
+				got = append(got, done)
+			}
+		}
+		if done := g.Flush(); done != nil {
+			got = append(got, done)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: streaming produced %d events, batch %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Len() != want[i].Len() || !got[i].Start.Equal(want[i].Start) ||
+				!got[i].End.Equal(want[i].End) || got[i].Category != want[i].Category {
+				t.Fatalf("trial %d: event %d differs: streaming {len %d %v..%v %v} batch {len %d %v..%v %v}",
+					trial, i,
+					got[i].Len(), got[i].Start, got[i].End, got[i].Category,
+					want[i].Len(), want[i].Start, want[i].End, want[i].Category)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fiat/internal/packet"
+	"fiat/internal/simclock"
+)
+
+// recordingInspector logs batch sizes and drops frames whose UDP payload
+// starts with '!' — a stand-in for the proxy's verdict.
+type recordingInspector struct {
+	batches []int
+}
+
+func (ri *recordingInspector) InspectBatch(frames [][]byte, now time.Time) []bool {
+	ri.batches = append(ri.batches, len(frames))
+	out := make([]bool, len(frames))
+	for i, f := range frames {
+		p := packet.Decode(f, packet.CaptureInfo{Timestamp: now})
+		udp := p.UDP()
+		out[i] = udp == nil || len(udp.LayerPayload()) == 0 || udp.LayerPayload()[0] != '!'
+	}
+	return out
+}
+
+// TestGatewayBatchesSameInstantFrames drives frames through an inspected
+// gateway: same-instant arrivals are decided as one batch, later arrivals
+// flush the previous batch first, dropped verdicts never reach the WAN, and
+// the trailing batch drains on Flush.
+func TestGatewayBatchesSameInstantFrames(t *testing.T) {
+	nw := New(simclock.NewVirtual(), simclock.NewRNG(1))
+	// Deterministic arrival instants: no jitter on either leg.
+	nw.SetProfile(LocLAN, LocLAN, PathProfile{OneWay: time.Millisecond})
+	nw.SetProfile(LocLAN, LocCloudUS, PathProfile{OneWay: 10 * time.Millisecond})
+
+	gw := NewGateway(nw, "gw", gwMAC, gwIP)
+	insp := &recordingInspector{}
+	gw.SetInspector(insp, 64)
+
+	var cloudGot [][]byte
+	nw.Attach(&Node{Name: "dev", MAC: devMAC, IP: devIP, Loc: LocLAN})
+	nw.Attach(&Node{Name: "cloud", MAC: cloudMAC, IP: cloudIP, Loc: LocCloudUS,
+		Recv: func(_ *Node, f []byte, _ time.Time) { cloudGot = append(cloudGot, f) }})
+
+	var b packet.Builder
+	send := func(payload string) {
+		nw.SendFrame(b.UDPPacket(packet.UDPSpec{SrcMAC: devMAC, DstMAC: gwMAC,
+			SrcIP: devIP, DstIP: cloudIP, SrcPort: 4000, DstPort: 53,
+			Payload: []byte(payload)}))
+	}
+
+	// Three frames sent at t0 arrive at the gateway at the same instant.
+	send("a")
+	send("!drop-me")
+	send("c")
+	nw.Clock.Advance(time.Millisecond)
+	if len(insp.batches) != 0 {
+		t.Fatalf("batch flushed with no later frame or Flush: %v", insp.batches)
+	}
+
+	// Two more at t1: their arrival flushes the t0 batch of 3.
+	send("d")
+	send("e")
+	nw.Clock.Advance(time.Millisecond)
+	if len(insp.batches) != 1 || insp.batches[0] != 3 {
+		t.Fatalf("t0 batch = %v, want [3]", insp.batches)
+	}
+
+	// Explicit flush drains the t1 batch of 2.
+	gw.Flush()
+	if len(insp.batches) != 2 || insp.batches[1] != 2 {
+		t.Fatalf("batches = %v, want [3 2]", insp.batches)
+	}
+
+	// Deliver the forwarded frames to the cloud: 4 of 5 (one dropped).
+	nw.Clock.Advance(time.Second)
+	if len(cloudGot) != 4 {
+		t.Fatalf("cloud received %d frames, want 4 (one dropped by verdict)", len(cloudGot))
+	}
+	for _, f := range cloudGot {
+		p := packet.Decode(f, packet.CaptureInfo{})
+		if udp := p.UDP(); udp != nil && len(udp.LayerPayload()) > 0 && udp.LayerPayload()[0] == '!' {
+			t.Fatal("dropped frame leaked to the WAN")
+		}
+	}
+	if gw.BatchStats.Frames != 5 || gw.BatchStats.Dropped != 1 || gw.BatchStats.Batches != 2 {
+		t.Fatalf("BatchStats = %+v", gw.BatchStats)
+	}
+}
+
+// TestGatewayMaxBatchForcesFlush checks the size bound: the batch flushes as
+// soon as maxBatch same-instant frames accumulate.
+func TestGatewayMaxBatchForcesFlush(t *testing.T) {
+	nw := New(simclock.NewVirtual(), simclock.NewRNG(1))
+	nw.SetProfile(LocLAN, LocLAN, PathProfile{OneWay: time.Millisecond})
+	nw.SetProfile(LocLAN, LocCloudUS, PathProfile{OneWay: 10 * time.Millisecond})
+	gw := NewGateway(nw, "gw", gwMAC, gwIP)
+	insp := &recordingInspector{}
+	gw.SetInspector(insp, 2)
+	nw.Attach(&Node{Name: "dev", MAC: devMAC, IP: devIP, Loc: LocLAN})
+	nw.Attach(&Node{Name: "cloud", MAC: cloudMAC, IP: cloudIP, Loc: LocCloudUS})
+
+	var b packet.Builder
+	for i := 0; i < 5; i++ {
+		nw.SendFrame(b.UDPPacket(packet.UDPSpec{SrcMAC: devMAC, DstMAC: gwMAC,
+			SrcIP: devIP, DstIP: cloudIP, SrcPort: 4000, DstPort: 53, Payload: []byte{byte('a' + i)}}))
+	}
+	nw.Clock.Advance(time.Millisecond)
+	if len(insp.batches) != 2 || insp.batches[0] != 2 || insp.batches[1] != 2 {
+		t.Fatalf("size-bounded batches = %v, want [2 2] with 1 pending", insp.batches)
+	}
+	gw.Flush()
+	if len(insp.batches) != 3 || insp.batches[2] != 1 {
+		t.Fatalf("after Flush batches = %v, want [2 2 1]", insp.batches)
+	}
+}
+
+// TestGatewayWithoutInspectorForwardsImmediately guards the default path:
+// no inspector, no buffering.
+func TestGatewayWithoutInspectorForwardsImmediately(t *testing.T) {
+	nw := New(simclock.NewVirtual(), simclock.NewRNG(1))
+	nw.SetProfile(LocLAN, LocLAN, PathProfile{OneWay: time.Millisecond})
+	nw.SetProfile(LocLAN, LocCloudUS, PathProfile{OneWay: 10 * time.Millisecond})
+	gw := NewGateway(nw, "gw", gwMAC, gwIP)
+	got := 0
+	nw.Attach(&Node{Name: "dev", MAC: devMAC, IP: devIP, Loc: LocLAN})
+	nw.Attach(&Node{Name: "cloud", MAC: cloudMAC, IP: cloudIP, Loc: LocCloudUS,
+		Recv: func(*Node, []byte, time.Time) { got++ }})
+	var b packet.Builder
+	nw.SendFrame(b.UDPPacket(packet.UDPSpec{SrcMAC: devMAC, DstMAC: gwMAC,
+		SrcIP: devIP, DstIP: cloudIP, SrcPort: 1, DstPort: 2}))
+	nw.Clock.Advance(time.Second)
+	if got != 1 {
+		t.Fatalf("cloud received %d frames, want 1", got)
+	}
+	if gw.BatchStats.Batches != 0 {
+		t.Fatalf("uninspected gateway counted batches: %+v", gw.BatchStats)
+	}
+}

@@ -75,8 +75,8 @@ func TestHandshakeAndSend(t *testing.T) {
 	if string(msgs[0].Payload) != "attestation-1" || msgs[0].ZeroRTT {
 		t.Fatalf("msg = %+v", msgs[0])
 	}
-	if srv.Stats.Handshakes != 1 {
-		t.Fatalf("handshakes = %d", srv.Stats.Handshakes)
+	if n := srv.StatsSnapshot().Handshakes; n != 1 {
+		t.Fatalf("handshakes = %d", n)
 	}
 }
 
@@ -113,8 +113,8 @@ func TestZeroRTTAfterHandshake(t *testing.T) {
 	if !msgs[0].ZeroRTT || string(msgs[0].Payload) != "early-data" {
 		t.Fatalf("msg = %+v", msgs[0])
 	}
-	if srv.Stats.ZeroRTT != 1 {
-		t.Fatalf("zero-rtt count = %d", srv.Stats.ZeroRTT)
+	if n := srv.StatsSnapshot().ZeroRTT; n != 1 {
+		t.Fatalf("zero-rtt count = %d", n)
 	}
 }
 
@@ -131,10 +131,10 @@ func TestWrongPSKRejectedAtHandshake(t *testing.T) {
 	if err == nil {
 		t.Fatal("handshake succeeded with wrong PSK")
 	}
-	if srv.Stats.AuthFailures == 0 {
+	if srv.StatsSnapshot().AuthFailures == 0 {
 		t.Fatal("server did not count the auth failure")
 	}
-	if srv.Stats.Handshakes != 0 {
+	if srv.StatsSnapshot().Handshakes != 0 {
 		t.Fatal("server completed a handshake for an unauthorized client")
 	}
 }
@@ -186,10 +186,10 @@ func TestTamperedCiphertextRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(time.Second)
-	for time.Now().Before(deadline) && srv.Stats.AuthFailures == 0 {
+	for time.Now().Before(deadline) && srv.StatsSnapshot().AuthFailures == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	if srv.Stats.AuthFailures == 0 {
+	if srv.StatsSnapshot().AuthFailures == 0 {
 		t.Fatal("tampered packet not rejected")
 	}
 	sink.mu.Lock()

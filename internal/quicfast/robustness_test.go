@@ -3,6 +3,7 @@ package quicfast
 import (
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -16,8 +17,8 @@ func TestServerSurvivesGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delivered := 0
-	srv := NewServer(sconn, testPSK, func(Message) { delivered++ },
+	var delivered atomic.Int64
+	srv := NewServer(sconn, testPSK, func(Message) { delivered.Add(1) },
 		WithServerRand(rand.New(rand.NewSource(1))))
 	go func() { _ = srv.Serve() }()
 	defer srv.Close()
@@ -42,8 +43,8 @@ func TestServerSurvivesGarbage(t *testing.T) {
 		}
 	}
 	time.Sleep(100 * time.Millisecond)
-	if delivered != 0 {
-		t.Fatalf("garbage delivered %d messages", delivered)
+	if n := delivered.Load(); n != 0 {
+		t.Fatalf("garbage delivered %d messages", n)
 	}
 
 	// The server still serves real clients.
@@ -61,11 +62,11 @@ func TestServerSurvivesGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(time.Second)
-	for time.Now().Before(deadline) && delivered == 0 {
+	for time.Now().Before(deadline) && delivered.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	if delivered != 1 {
-		t.Fatalf("legitimate message not delivered after flood (delivered=%d)", delivered)
+	if n := delivered.Load(); n != 1 {
+		t.Fatalf("legitimate message not delivered after flood (delivered=%d)", n)
 	}
 }
 

@@ -34,10 +34,14 @@ type Server struct {
 	tickets  map[string]*ticketState   // by ticketID
 	closed   bool
 
-	// Stats counts protocol events, exported for tests and the harness.
-	Stats struct {
-		Handshakes, Messages, ZeroRTT, Replays, AuthFailures int
-	}
+	// Stats counts protocol events; it is guarded by mu. Read it via
+	// StatsSnapshot while Serve is running.
+	Stats ServerStats
+}
+
+// ServerStats are the protocol event counters.
+type ServerStats struct {
+	Handshakes, Messages, ZeroRTT, Replays, AuthFailures int
 }
 
 type serverSession struct {
@@ -288,6 +292,14 @@ func (s *Server) Replays() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.Stats.Replays
+}
+
+// StatsSnapshot returns a consistent copy of the counters, safe to read
+// while Serve runs.
+func (s *Server) StatsSnapshot() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Stats
 }
 
 func hmacEqual(a, b []byte) bool {
