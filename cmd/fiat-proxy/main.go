@@ -39,6 +39,8 @@ func main() {
 	duration := flag.Duration("duration", time.Minute, "how long to run the demo feed")
 	attackEvery := flag.Duration("attack-every", 10*time.Second, "injected command cadence")
 	mudOut := flag.String("mud", "", "export learned rules as an RFC 8520 MUD profile on exit")
+	pendingWindow := flag.Duration("pending-window", 0, "degraded mode: hold unattested manual events this long awaiting a late attestation (0 = strict)")
+	pendingMax := flag.Int("pending-max", 0, "degraded mode: held-decision queue bound (0 = default 64)")
 	flag.Parse()
 
 	code := make([]byte, 32)
@@ -73,7 +75,10 @@ func main() {
 		fatal(err)
 	}
 	clock := simclock.RealClock{}
-	proxy := core.NewProxy(clock, ks, validator, core.Config{Bootstrap: *bootstrap, Shards: *shards})
+	proxy := core.NewProxy(clock, ks, validator, core.Config{
+		Bootstrap: *bootstrap, Shards: *shards,
+		PendingWindow: *pendingWindow, PendingMax: *pendingMax,
+	})
 	if *nDevices < 1 {
 		*nDevices = 1
 	}
@@ -142,9 +147,15 @@ func main() {
 	defer hb.Stop()
 	atk := time.NewTicker(*attackEvery)
 	defer atk.Stop()
+	sweep := time.NewTicker(time.Second)
+	defer sweep.Stop()
 	end := time.After(*duration)
 	for {
 		select {
+		case <-sweep.C:
+			if n := proxy.SweepPending(); n > 0 {
+				fmt.Printf("[pending ] %d held decision(s) expired unattested\n", n)
+			}
 		case <-hb.C:
 			batch := make([]core.PacketIn, len(names))
 			for i, name := range names {

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fiat/internal/core"
+	"fiat/internal/netsim"
+)
+
+// burst30 is the ~30% mean-loss Gilbert–Elliott channel the acceptance
+// scenario calls for (MeanLoss ≈ 0.30).
+func burst30() *netsim.GilbertElliott {
+	return &netsim.GilbertElliott{PGoodBad: 0.15, PBadGood: 0.35, LossGood: 0.05, LossBad: 0.8}
+}
+
+// TestFaultFreeShardedMatchesSequential is the determinism invariant: with
+// faults disabled, the sharded engine must produce a byte-identical decision
+// stream and audit log to the sequential engine on the same seeded scenario.
+func TestFaultFreeShardedMatchesSequential(t *testing.T) {
+	base := Scenario{
+		Seed:          7,
+		Duration:      60 * time.Second,
+		ManualAt:      []time.Duration{10 * time.Second, 40 * time.Second},
+		PendingWindow: 25 * time.Second,
+	}
+	seq := base
+	seq.Shards = 1
+	sharded := base
+	sharded.Shards = 4
+
+	rSeq, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSh, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSeq.DecisionTrace() != rSh.DecisionTrace() {
+		t.Fatalf("decision streams diverge:\n--- shards=1 ---\n%s\n--- shards=4 ---\n%s",
+			rSeq.DecisionTrace(), rSh.DecisionTrace())
+	}
+	if rSeq.LogTrace() != rSh.LogTrace() {
+		t.Fatalf("audit logs diverge:\n--- shards=1 ---\n%s\n--- shards=4 ---\n%s",
+			rSeq.LogTrace(), rSh.LogTrace())
+	}
+
+	// Sanity on the fault-free baseline itself: attestations beat their
+	// commands, so both interactions are plain HumanOK, nothing is held,
+	// nothing locks, and the command frames reach the plug.
+	if !rSeq.HasReason(core.ReasonHumanOK) {
+		t.Fatal("fault-free manual interaction not admitted as HumanOK")
+	}
+	if rSeq.HasReason(core.ReasonPendingHold) || rSeq.Stats.PendingHeld != 0 {
+		t.Fatalf("fault-free run held decisions: %+v", rSeq.Stats)
+	}
+	if rSeq.Locked {
+		t.Fatal("fault-free run locked the device")
+	}
+	if rSeq.AttestationsDelivered != 2 {
+		t.Fatalf("AttestationsDelivered = %d, want 2", rSeq.AttestationsDelivered)
+	}
+	if rSeq.DeviceFramesDelivered == 0 {
+		t.Fatal("no command frames reached the device")
+	}
+	if f := rSeq.Fault; f != (netsim.FaultStats{}) {
+		t.Fatalf("fault-free run counted faults: %+v", f)
+	}
+}
+
+// TestDeterministicReplay: the same scenario twice gives the same bytes.
+func TestDeterministicReplay(t *testing.T) {
+	s := Scenario{
+		Seed:          3,
+		Shards:        4,
+		Duration:      90 * time.Second,
+		ManualAt:      []time.Duration{22 * time.Second, 60 * time.Second},
+		PendingWindow: 25 * time.Second,
+		Burst:         burst30(),
+		CorruptProb:   0.05,
+		PartitionAt:   20 * time.Second,
+		PartitionFor:  10 * time.Second,
+	}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DecisionTrace() != b.DecisionTrace() || a.LogTrace() != b.LogTrace() {
+		t.Fatal("seeded chaos run is not reproducible")
+	}
+	if a.Fault != b.Fault {
+		t.Fatalf("fault schedules diverge: %+v vs %+v", a.Fault, b.Fault)
+	}
+}
+
+// TestPartitionHealLateAdmission is the acceptance scenario: ~30% burst loss
+// plus a 10 s phone⇄proxy partition across the user's interaction. The
+// attestation must eventually get through after the heal, the held event
+// must be retroactively admitted, and the device must not be locked out.
+func TestPartitionHealLateAdmission(t *testing.T) {
+	r, err := Run(Scenario{
+		Seed:          3,
+		Shards:        4,
+		Duration:      90 * time.Second,
+		ManualAt:      []time.Duration{22 * time.Second, 60 * time.Second},
+		PendingWindow: 25 * time.Second,
+		Burst:         burst30(),
+		CorruptProb:   0.05,
+		PartitionAt:   20 * time.Second, // covers the first interaction
+		PartitionFor:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fault.OutageDropped == 0 {
+		t.Fatal("partition never dropped a frame; scenario mis-wired")
+	}
+	if r.Fault.BurstDropped == 0 {
+		t.Fatal("burst channel never dropped a frame; scenario mis-wired")
+	}
+	// Both attestations eventually land despite the weather.
+	if r.AttestationsDelivered != 2 {
+		t.Fatalf("AttestationsDelivered = %d, want 2 (sent %d)", r.AttestationsDelivered, r.AttestationsSent)
+	}
+	// The partitioned interaction was first held, then admitted late.
+	if !r.HasReason(core.ReasonPendingHold) {
+		t.Fatal("no decision was held during the partition")
+	}
+	if r.Stats.LateAdmitted == 0 || !r.HasReason(core.ReasonLateAttest) {
+		t.Fatalf("held event never admitted after heal: %+v", r.Stats)
+	}
+	// Zero false lockouts: the outage is weather, not an attack.
+	if r.Locked {
+		t.Fatal("device locked out by a network partition")
+	}
+	if r.Stats.PendingExpired != 0 {
+		t.Fatalf("pending windows expired as attacks during an outage: %+v", r.Stats)
+	}
+	// The healthy second interaction proceeds normally.
+	if !r.HasReason(core.ReasonHumanOK) {
+		t.Fatal("post-heal interaction not admitted as HumanOK")
+	}
+	// Benign telemetry kept flowing the whole time (the LAN path carries
+	// no fault plan).
+	if !strings.Contains(r.DecisionTrace(), string(core.ReasonRuleHit)) {
+		t.Fatal("no rule-hit heartbeats in the decision stream")
+	}
+}
+
+// TestOutageCoveringWindowIsExcused: when the partition outlives the whole
+// pending window, the expiry must be excused from lockout accounting —
+// the phone could not have delivered.
+func TestOutageCoveringWindowIsExcused(t *testing.T) {
+	r, err := Run(Scenario{
+		Seed:          5,
+		Shards:        2,
+		Duration:      60 * time.Second,
+		ManualAt:      []time.Duration{22 * time.Second},
+		PendingWindow: 8 * time.Second,
+		PartitionAt:   20 * time.Second,
+		PartitionFor:  25 * time.Second, // outlives the window
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasReason(core.ReasonPendingHold) {
+		t.Fatal("interaction not held")
+	}
+	if r.Stats.OutageExcused == 0 || !r.HasReason(core.ReasonOutageExcused) {
+		t.Fatalf("expiry during outage not excused: %+v", r.Stats)
+	}
+	if r.Stats.PendingExpired != 0 {
+		t.Fatalf("outage expiry counted as attack: %+v", r.Stats)
+	}
+	if r.Locked {
+		t.Fatal("device locked out by an outage-covered expiry")
+	}
+	if r.Stats.LateAdmitted != 0 {
+		t.Fatalf("expired window admitted late: %+v", r.Stats)
+	}
+	// The held command burst never reached the device (fail closed).
+	if r.DeviceFramesDelivered != 0 {
+		t.Fatalf("%d frames reached the device through a held event", r.DeviceFramesDelivered)
+	}
+	// The courier does deliver once the partition heals, even though the
+	// window is gone — the proxy just has nothing left to admit.
+	if r.AttestationsDelivered != 1 {
+		t.Fatalf("AttestationsDelivered = %d, want 1", r.AttestationsDelivered)
+	}
+}
+
+// TestStrictModeFalseLockoutContrast documents the failure the degraded mode
+// exists to prevent: the identical partition scenario locks the device in
+// strict mode and keeps it connected with a pending window.
+func TestStrictModeFalseLockoutContrast(t *testing.T) {
+	base := Scenario{
+		Seed:         11,
+		Shards:       2,
+		Duration:     90 * time.Second,
+		ManualAt:     []time.Duration{22 * time.Second, 28 * time.Second, 34 * time.Second},
+		PartitionAt:  20 * time.Second,
+		PartitionFor: 20 * time.Second, // no attestation before any decision
+	}
+
+	strict := base // PendingWindow zero
+	rs, err := Run(strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Locked {
+		t.Fatalf("strict mode survived the partition (drops: %+v) — contrast scenario mis-calibrated", rs.Stats)
+	}
+
+	degraded := base
+	degraded.PendingWindow = 25 * time.Second
+	rd, err := Run(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Locked {
+		t.Fatal("degraded mode still locked the device")
+	}
+	if rd.Stats.LateAdmitted == 0 {
+		t.Fatalf("no late admissions after heal: %+v", rd.Stats)
+	}
+}

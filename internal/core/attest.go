@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -90,8 +91,7 @@ func DecodeAttestationAliases(payload []byte, ks *keystore.Store, aliases ...str
 	}
 	r := bytes.NewReader(body)
 	var magic uint32
-	binary.Read(r, binary.BigEndian, &magic)
-	if magic != attestMagic {
+	if err := binary.Read(r, binary.BigEndian, &magic); err != nil || magic != attestMagic {
 		return nil, ErrBadAttestation
 	}
 	ver, _ := r.ReadByte()
@@ -100,11 +100,16 @@ func DecodeAttestationAliases(payload []byte, ks *keystore.Store, aliases ...str
 	}
 	nameLen, _ := r.ReadByte()
 	name := make([]byte, nameLen)
-	if _, err := r.Read(name); err != nil {
+	// io.ReadFull, not r.Read: a bytes.Reader may legally return fewer
+	// bytes than asked, and a short read here would silently truncate the
+	// device name and shift every later field.
+	if _, err := io.ReadFull(r, name); err != nil {
 		return nil, ErrBadAttestation
 	}
 	var nanos int64
-	binary.Read(r, binary.BigEndian, &nanos)
+	if err := binary.Read(r, binary.BigEndian, &nanos); err != nil {
+		return nil, ErrBadAttestation
+	}
 	feats := make([]float64, sensors.FeatureDim)
 	for i := range feats {
 		var b uint64

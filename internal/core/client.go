@@ -78,17 +78,14 @@ func (c *ClientApp) LocalCost(lazyBufferWarm bool) time.Duration {
 }
 
 // SendOverQUIC attests and ships in one step over an established quicfast
-// client, preferring 0-RTT when a ticket is cached.
+// client, preferring 0-RTT when a ticket is cached. Delivery degrades
+// gracefully: if the proxy rejects stale session state (e.g. it restarted
+// and lost its ticket table), the client re-handshakes and retries instead
+// of stranding the attestation.
 func (c *ClientApp) SendOverQUIC(q *quicfast.Client, appPkg string, w sensors.Window) (zeroRTT bool, err error) {
 	payload, err := c.Attest(appPkg, w)
 	if err != nil {
 		return false, err
 	}
-	if q.CanZeroRTT() {
-		return true, q.SendZeroRTT(payload)
-	}
-	if err := q.Handshake(); err != nil {
-		return false, err
-	}
-	return false, q.Send(payload)
+	return q.Deliver(payload)
 }

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+	"fiat/internal/keystore"
+)
+
+// degradedRig wires a rig with the pending window enabled and a registered
+// plug past bootstrap.
+func degradedRig(t *testing.T, cfg Config) *testRig {
+	t.Helper()
+	r := newRig(t, cfg)
+	if err := r.proxy.AddDevice(DeviceConfig{Name: "plug", Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.feedHeartbeats(t, "plug", 25, time.Minute)
+	return r
+}
+
+func TestPendingHoldThenLateAdmission(t *testing.T) {
+	r := degradedRig(t, Config{PendingWindow: 20 * time.Second})
+
+	// The command traffic arrives first — the attestation is stuck behind a
+	// lossy mobile path.
+	d := r.proxy.Process("plug", mkRec(r.clock.Now(), 235, flows.CategoryManual), "")
+	if d.Verdict != Drop || d.Reason != ReasonPendingHold {
+		t.Fatalf("unattested manual event = %+v, want held drop", d)
+	}
+	if n := r.proxy.PendingDepth(); n != 1 {
+		t.Fatalf("PendingDepth = %d, want 1", n)
+	}
+	if r.proxy.Locked("plug") {
+		t.Fatal("held decision fed the lockout counter")
+	}
+
+	// The attestation lands 8 s later, inside the window.
+	r.clock.Advance(8 * time.Second)
+	payload, err := r.app.Attest("com.plug.app", r.gen.Human())
+	if err != nil {
+		t.Fatal(err)
+	}
+	human, err := r.proxy.HandleAttestation(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !human {
+		t.Skip("humanness validator rejected this sampled window (rare calibrated miss)")
+	}
+	if n := r.proxy.PendingDepth(); n != 0 {
+		t.Fatalf("PendingDepth after admission = %d, want 0", n)
+	}
+	st := r.proxy.StatsSnapshot()
+	if st.PendingHeld != 1 || st.LateAdmitted != 1 {
+		t.Fatalf("stats = %+v, want PendingHeld=1 LateAdmitted=1", st)
+	}
+	var admitted bool
+	for _, e := range r.proxy.Log() {
+		if e.Reason == ReasonLateAttest && e.Device == "plug" && e.Verdict == Allow {
+			admitted = true
+		}
+	}
+	if !admitted {
+		t.Fatal("no ReasonLateAttest audit entry")
+	}
+	// Nothing left to settle; the sweep must not re-punish.
+	if n := r.proxy.SweepPending(); n != 0 {
+		t.Fatalf("SweepPending settled %d, want 0", n)
+	}
+	if r.proxy.Locked("plug") {
+		t.Fatal("late-admitted event locked the device")
+	}
+}
+
+func TestPendingExpiryOverHealthyChannelLocksOut(t *testing.T) {
+	r := degradedRig(t, Config{PendingWindow: 5 * time.Second})
+
+	// Three unattested manual events, far enough apart to be distinct
+	// events, all expiring with the attestation channel healthy.
+	for i := 0; i < 3; i++ {
+		d := r.proxy.Process("plug", mkRec(r.clock.Now(), 235, flows.CategoryManual), "")
+		if d.Reason != ReasonPendingHold {
+			t.Fatalf("event %d = %+v, want pending hold", i, d)
+		}
+		r.clock.Advance(6 * time.Second)
+	}
+	if n := r.proxy.SweepPending(); n != 3 {
+		t.Fatalf("SweepPending settled %d, want 3", n)
+	}
+	st := r.proxy.StatsSnapshot()
+	if st.PendingExpired != 3 || st.OutageExcused != 0 {
+		t.Fatalf("stats = %+v, want PendingExpired=3 OutageExcused=0", st)
+	}
+	if !r.proxy.Locked("plug") {
+		t.Fatal("three healthy-channel expiries must lock the device")
+	}
+	var expired int
+	for _, e := range r.proxy.Log() {
+		if e.Reason == ReasonPendingExpired {
+			expired++
+		}
+	}
+	if expired != 3 {
+		t.Fatalf("%d ReasonPendingExpired entries, want 3", expired)
+	}
+}
+
+func TestPendingExpiryDuringOutageExcused(t *testing.T) {
+	r := degradedRig(t, Config{PendingWindow: 5 * time.Second})
+
+	// The courier reports the channel down before the interaction: a dead
+	// zone, not an attacker.
+	r.proxy.AttestationChannelDown()
+	d := r.proxy.Process("plug", mkRec(r.clock.Now(), 235, flows.CategoryManual), "")
+	if d.Reason != ReasonPendingHold {
+		t.Fatalf("event = %+v, want pending hold", d)
+	}
+	r.clock.Advance(6 * time.Second)
+	if n := r.proxy.SweepPending(); n != 1 {
+		t.Fatalf("SweepPending settled %d, want 1", n)
+	}
+	if r.proxy.Locked("plug") {
+		t.Fatal("outage expiry counted toward lockout")
+	}
+	st := r.proxy.StatsSnapshot()
+	if st.OutageExcused != 1 || st.PendingExpired != 0 {
+		t.Fatalf("stats = %+v, want OutageExcused=1 PendingExpired=0", st)
+	}
+	var excused bool
+	for _, e := range r.proxy.Log() {
+		if e.Reason == ReasonOutageExcused && e.Verdict == Drop {
+			excused = true
+		}
+	}
+	if !excused {
+		t.Fatal("no ReasonOutageExcused audit entry")
+	}
+
+	// Heal the channel; an expiry after the heal is no longer excused.
+	r.proxy.AttestationChannelUp()
+	r.clock.Advance(time.Second)
+	r.proxy.Process("plug", mkRec(r.clock.Now(), 235, flows.CategoryManual), "")
+	r.clock.Advance(6 * time.Second)
+	r.proxy.SweepPending()
+	if st := r.proxy.StatsSnapshot(); st.PendingExpired != 1 {
+		t.Fatalf("post-heal expiry stats = %+v, want PendingExpired=1", st)
+	}
+}
+
+func TestPendingOverflowEvictsOldest(t *testing.T) {
+	r := degradedRig(t, Config{PendingWindow: time.Minute, PendingMax: 2})
+
+	for i := 0; i < 3; i++ {
+		d := r.proxy.Process("plug", mkRec(r.clock.Now(), 235, flows.CategoryManual), "")
+		if d.Reason != ReasonPendingHold {
+			t.Fatalf("event %d = %+v", i, d)
+		}
+		r.clock.Advance(6 * time.Second)
+	}
+	if n := r.proxy.PendingDepth(); n != 3 {
+		t.Fatalf("PendingDepth = %d, want 3 (2 queued + 1 evicted)", n)
+	}
+	// No window has expired, but the eviction is settled by the sweep.
+	if n := r.proxy.SweepPending(); n != 1 {
+		t.Fatalf("SweepPending settled %d, want the 1 evicted entry", n)
+	}
+	if n := r.proxy.PendingDepth(); n != 2 {
+		t.Fatalf("PendingDepth after sweep = %d, want 2", n)
+	}
+}
+
+func TestPendingDisabledKeepsStrictBehavior(t *testing.T) {
+	r := degradedRig(t, Config{}) // PendingWindow zero: strict §5.4 path
+	d := r.proxy.Process("plug", mkRec(r.clock.Now(), 235, flows.CategoryManual), "")
+	if d.Verdict != Drop || d.Reason != ReasonNoHuman {
+		t.Fatalf("strict-mode unattested event = %+v, want ReasonNoHuman", d)
+	}
+	if n := r.proxy.PendingDepth(); n != 0 {
+		t.Fatalf("strict mode queued %d pending decisions", n)
+	}
+}
+
+func TestChannelHealthIntervals(t *testing.T) {
+	var ch channelHealth
+	t0 := time.Unix(1000, 0)
+	ch.markDown(t0.Add(10 * time.Second))
+	ch.markUp(t0.Add(20 * time.Second))
+	if !ch.downDuring(t0.Add(15*time.Second), t0.Add(25*time.Second)) {
+		t.Fatal("overlap with a closed outage not detected")
+	}
+	if ch.downDuring(t0, t0.Add(5*time.Second)) {
+		t.Fatal("interval before the outage reported down")
+	}
+	if ch.downDuring(t0.Add(21*time.Second), t0.Add(30*time.Second)) {
+		t.Fatal("interval after the heal reported down")
+	}
+	// An outage still open covers everything after its start.
+	ch.markDown(t0.Add(40 * time.Second))
+	if !ch.downDuring(t0.Add(50*time.Second), t0.Add(60*time.Second)) {
+		t.Fatal("open outage not detected")
+	}
+	// Duplicate markUp/markDown transitions are idempotent.
+	ch.markDown(t0.Add(45 * time.Second))
+	ch.markUp(t0.Add(70 * time.Second))
+	ch.markUp(t0.Add(71 * time.Second))
+	if !ch.downDuring(t0.Add(41*time.Second), t0.Add(42*time.Second)) {
+		t.Fatal("closed second outage lost")
+	}
+}
+
+// TestDecodeAttestationShortRead guards the io.ReadFull fix: a MAC-valid but
+// structurally truncated body must fail cleanly with ErrBadAttestation, and
+// a declared name length pointing past the payload must never leave a
+// half-filled name behind.
+func TestDecodeAttestationShortRead(t *testing.T) {
+	r := newRig(t, Config{})
+	mkPayload := func(body []byte) []byte {
+		mac, err := r.phoneKS.MAC(keystore.PairingAlias, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(append([]byte(nil), body...), mac...)
+	}
+
+	// Body framed as magic+version, then a name length that eats into the
+	// timestamp and features region.
+	body := []byte{0x46, 0x41, 0x74, 0x31, 1, 255}
+	for len(body) < 4+1+1+8+8*48 {
+		body = append(body, 0xaa)
+	}
+	if _, err := DecodeAttestation(mkPayload(body), r.phoneKS); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("err = %v, want ErrBadAttestation", err)
+	}
+
+	// A genuinely long device name must round-trip intact.
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'a' + byte(i%26)
+	}
+	a := &Attestation{Device: string(long), At: r.clock.Now(), Features: make([]float64, 48)}
+	payload, err := EncodeAttestation(a, r.phoneKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAttestation(payload, r.phoneKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device != a.Device {
+		t.Fatalf("device name mangled: %q", got.Device)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+)
+
+// lockoutRig wires a strict-mode proxy (no pending window) with the plug
+// registered and bootstrapped.
+func lockoutRig(t *testing.T) *testRig {
+	t.Helper()
+	r := newRig(t, Config{LockoutThreshold: 3, LockoutWindow: time.Minute})
+	if err := r.proxy.AddDevice(DeviceConfig{Name: "plug", Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.feedHeartbeats(t, "plug", 25, time.Minute)
+	return r
+}
+
+// attackEvent injects one unattested manual event and advances past the
+// event gap so the next injection starts a fresh event.
+func attackEvent(r *testRig) Decision {
+	d := r.proxy.Process("plug", mkRec(r.clock.Now(), 235, flows.CategoryManual), "")
+	r.clock.Advance(6 * time.Second)
+	return d
+}
+
+// TestUnlockResetsDropHistory checks the full lockout lifecycle: Unlock must
+// clear not just the locked flag but the drop counter, so a single
+// post-review drop does not instantly re-lock the device.
+func TestUnlockResetsDropHistory(t *testing.T) {
+	r := lockoutRig(t)
+	for i := 0; i < 3; i++ {
+		attackEvent(r)
+	}
+	if !r.proxy.Locked("plug") {
+		t.Fatal("not locked after threshold drops")
+	}
+	r.proxy.Unlock("plug")
+	if r.proxy.Locked("plug") {
+		t.Fatal("still locked after Unlock")
+	}
+	// One more unattested event: dropped as usual, but the history started
+	// from zero, so the device stays connected.
+	if d := attackEvent(r); d.Verdict != Drop || d.Reason != ReasonNoHuman {
+		t.Fatalf("post-unlock event = %+v, want fresh ReasonNoHuman", d)
+	}
+	if r.proxy.Locked("plug") {
+		t.Fatal("re-locked by a single drop; Unlock kept old history")
+	}
+	// A full new burst locks again — Unlock is a reset, not an exemption.
+	attackEvent(r)
+	attackEvent(r)
+	if !r.proxy.Locked("plug") {
+		t.Fatal("not re-locked after a fresh threshold burst")
+	}
+}
+
+// TestLockoutWindowPrunesOldDrops checks the sliding window: drops older
+// than LockoutWindow stop counting toward the threshold.
+func TestLockoutWindowPrunesOldDrops(t *testing.T) {
+	r := lockoutRig(t)
+	attackEvent(r)
+	attackEvent(r)
+	if r.proxy.Locked("plug") {
+		t.Fatal("locked below threshold")
+	}
+	// Let both drops age out of the 1-minute window, then drop once more.
+	r.clock.Advance(2 * time.Minute)
+	attackEvent(r)
+	if r.proxy.Locked("plug") {
+		t.Fatal("stale drops still counted toward lockout")
+	}
+}
+
+// TestUnlockUnknownDeviceIsNoop guards the API against typos in review
+// tooling.
+func TestUnlockUnknownDeviceIsNoop(t *testing.T) {
+	r := lockoutRig(t)
+	r.proxy.Unlock("no-such-device") // must not panic or invent state
+	if r.proxy.Locked("no-such-device") {
+		t.Fatal("unknown device reported locked")
+	}
+}

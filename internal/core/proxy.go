@@ -39,6 +39,25 @@ const (
 	ReasonEventFollow Reason = "follows-event-verdict"
 )
 
+// Degraded-mode reasons (see pending.go): with PendingWindow > 0 a manual
+// event without a live attestation is held rather than condemned.
+const (
+	// ReasonPendingHold marks the initial withholding of an unattested
+	// manual event; the final disposition follows in a later entry.
+	ReasonPendingHold Reason = "degraded-pending-hold"
+	// ReasonLateAttest marks retroactive admission: the human attestation
+	// arrived within the pending window.
+	ReasonLateAttest Reason = "degraded-late-attestation"
+	// ReasonPendingExpired marks a window that closed with a healthy
+	// channel and no attestation — a real unattested event, counted toward
+	// lockout.
+	ReasonPendingExpired Reason = "degraded-pending-expired"
+	// ReasonOutageExcused marks a window that closed while the attestation
+	// channel was down; the drop stands but is excluded from lockout
+	// accounting.
+	ReasonOutageExcused Reason = "degraded-outage-excused"
+)
+
 // Decision is the proxy's per-packet output.
 type Decision struct {
 	Verdict Verdict
@@ -89,6 +108,14 @@ type Config struct {
 	// ProcessBatch fans a batch out to one worker per shard. Shards = 1
 	// reproduces the fully serialized engine.
 	Shards int
+	// PendingWindow, when positive, enables the degraded-mode attestation
+	// path: an unattested manual event is held for this long awaiting a
+	// late attestation instead of being condemned immediately (see
+	// pending.go). Zero keeps the strict §5.4 behavior.
+	PendingWindow time.Duration
+	// PendingMax bounds the held-decision queue (default 64); overflow
+	// evicts the oldest entry, which is then finalized as expired.
+	PendingMax int
 }
 
 func (c *Config) defaults() {
@@ -107,6 +134,9 @@ func (c *Config) defaults() {
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
+	if c.PendingMax <= 0 {
+		c.PendingMax = 64
+	}
 }
 
 // Proxy is FIAT's server-side component. Per-device pipeline state lives in
@@ -124,6 +154,8 @@ type Proxy struct {
 	shards      []*shard
 	validations *validationStore
 	dag         *DeviceDAG
+	pending     *pendingStore
+	channel     *channelHealth
 
 	mu      sync.Mutex // guards aliases, log, Stats
 	aliases []string
@@ -142,6 +174,11 @@ type ProxyStats struct {
 	EventsNonManual           int
 	AttestationsOK            int
 	AttestationsBad           int
+	// Degraded-mode dispositions (PendingWindow > 0).
+	PendingHeld    int
+	LateAdmitted   int
+	PendingExpired int
+	OutageExcused  int
 }
 
 // NewProxy builds a proxy. ks must hold the pairing key (see
@@ -162,6 +199,8 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 		shards:      shards,
 		validations: newValidationStore(),
 		dag:         NewDeviceDAG(),
+		pending:     newPendingStore(cfg.PendingMax),
+		channel:     &channelHealth{},
 	}
 }
 
@@ -223,11 +262,78 @@ func (p *Proxy) HandleAttestation(payload []byte) (human bool, err error) {
 	}
 	human = p.human.Validate(a.Features)
 	now := p.clock.Now()
+	// A decodable attestation proves the channel works right now.
+	p.channel.markUp(now)
 	p.validations.add(a.Device, now, human)
+	var admitted []pendingDecision
+	if human {
+		admitted = p.pending.admit(a.Device, now)
+	}
 	p.mu.Lock()
 	p.Stats.AttestationsOK++
+	for _, pd := range admitted {
+		// Retroactive admission: the event head was withheld, but the
+		// interaction is now verified human — record it and keep it out of
+		// the lockout counter (it never entered; see decideEvent).
+		p.log = append(p.log, LogEntry{
+			Time: now, Device: pd.device, Reason: ReasonLateAttest,
+			Verdict: Allow, Packets: pd.packets,
+		})
+		p.Stats.LateAdmitted++
+	}
 	p.mu.Unlock()
 	return human, nil
+}
+
+// AttestationChannelDown records that the phone⇄proxy attestation channel is
+// observed down (keepalive probes failing, transport timeouts). While an
+// outage overlaps a pending window, its expiry is excused from lockout
+// accounting.
+func (p *Proxy) AttestationChannelDown() { p.channel.markDown(p.clock.Now()) }
+
+// AttestationChannelUp records that the attestation channel recovered.
+// Successful HandleAttestation calls imply it.
+func (p *Proxy) AttestationChannelUp() { p.channel.markUp(p.clock.Now()) }
+
+// PendingDepth reports how many manual-event decisions are currently held
+// awaiting late attestation.
+func (p *Proxy) PendingDepth() int { return p.pending.depth() }
+
+// SweepPending finalizes held decisions whose window has closed (plus any
+// queue-overflow evictions) and returns how many it settled. Call it
+// periodically — the chaos runner and cmd/fiat-proxy tick it about once a
+// second.
+func (p *Proxy) SweepPending() int {
+	now := p.clock.Now()
+	expired := p.pending.expire(now)
+	for _, pd := range expired {
+		p.finalizeExpired(pd, now)
+	}
+	return len(expired)
+}
+
+// finalizeExpired settles one pending decision that ran out its window
+// without an attestation. An overlap with a recorded channel outage excuses
+// the silence; otherwise it is a genuine unattested manual event and feeds
+// the lockout counter like ReasonNoHuman would have.
+func (p *Proxy) finalizeExpired(pd pendingDecision, now time.Time) {
+	if p.channel.downDuring(pd.decided, pd.expires) {
+		p.commit(outcome{entry: &LogEntry{
+			Time: now, Device: pd.device, Reason: ReasonOutageExcused,
+			Verdict: Drop, Packets: pd.packets,
+		}, delta: statDelta{outageExcused: 1}})
+		return
+	}
+	sh := p.shardFor(pd.device)
+	sh.mu.Lock()
+	if ds, ok := sh.devices[pd.device]; ok {
+		p.registerDrop(ds, now)
+	}
+	p.commit(outcome{entry: &LogEntry{
+		Time: now, Device: pd.device, Reason: ReasonPendingExpired,
+		Verdict: Drop, Packets: pd.packets,
+	}, delta: statDelta{pendingExpired: 1}})
+	sh.mu.Unlock()
 }
 
 // Bootstrapped reports whether the learning window has ended.
@@ -293,6 +399,9 @@ func (p *Proxy) applyDeltaLocked(d statDelta) {
 	p.Stats.EventsNonManual += d.eventsNonManual
 	p.Stats.AttestationsOK += d.attestationsOK
 	p.Stats.AttestationsBad += d.attestationsBad
+	p.Stats.PendingHeld += d.pendingHeld
+	p.Stats.PendingExpired += d.pendingExpired
+	p.Stats.OutageExcused += d.outageExcused
 }
 
 // StatsSnapshot returns a consistent copy of the outcome counters, safe to

@@ -42,6 +42,8 @@ type statDelta struct {
 	ruleHits, eventsManual       int
 	eventsNonManual              int
 	attestationsOK, attestationsBad int
+	pendingHeld, pendingExpired  int
+	outageExcused                int
 }
 
 func (d *statDelta) add(o statDelta) {
@@ -53,6 +55,9 @@ func (d *statDelta) add(o statDelta) {
 	d.eventsNonManual += o.eventsNonManual
 	d.attestationsOK += o.attestationsOK
 	d.attestationsBad += o.attestationsBad
+	d.pendingHeld += o.pendingHeld
+	d.pendingExpired += o.pendingExpired
+	d.outageExcused += o.outageExcused
 }
 
 func (d *statDelta) count(v Verdict) {
@@ -180,9 +185,24 @@ func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome) Decision
 		d = Decision{Verdict: Allow, Reason: ReasonNonManual}
 	} else {
 		o.delta.eventsManual++
-		if p.validations.humanRecently(ds.cfg.Name, now) {
+		switch {
+		case p.validations.humanRecently(ds.cfg.Name, now):
 			d = Decision{Verdict: Allow, Reason: ReasonHumanOK}
-		} else {
+		case p.cfg.PendingWindow > 0:
+			// Degraded mode: withhold the event but defer judgment — a
+			// late attestation may still vouch for it, and only an expiry
+			// over a healthy channel feeds the lockout counter (see
+			// SweepPending). pendingStore takes no other locks, so pushing
+			// under sh.mu is safe.
+			d = Decision{Verdict: Drop, Reason: ReasonPendingHold}
+			p.pending.push(pendingDecision{
+				device:  ds.cfg.Name,
+				decided: now,
+				expires: now.Add(p.cfg.PendingWindow),
+				packets: ev.Len(),
+			})
+			o.delta.pendingHeld++
+		default:
 			d = Decision{Verdict: Drop, Reason: ReasonNoHuman}
 			p.registerDrop(ds, now)
 		}

@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"time"
+
+	"fiat/internal/simclock"
+)
+
+// This file is the fault-injection fabric: a deterministic FaultPlan per
+// directed path that composes with the benign PathProfile. The profile
+// models the calibrated *average* path (latency, jitter, independent loss);
+// the plan models the *adverse* episodes the mobile/VPN scenarios hit —
+// correlated burst loss, duplication, reordering, corruption, and scheduled
+// link-down windows. Paths with no plan behave exactly as before: no extra
+// RNG draws, no behavior change, so the calibrated experiments are
+// unaffected by default.
+
+// GilbertElliott is the two-state burst-loss model: the channel flips
+// between a good and a bad state per delivery, each with its own drop
+// probability. It produces the correlated loss runs that independent
+// Bernoulli loss (PathProfile.Loss) cannot.
+type GilbertElliott struct {
+	// PGoodBad is the per-delivery probability of entering the bad state.
+	PGoodBad float64
+	// PBadGood is the per-delivery probability of recovering.
+	PBadGood float64
+	// LossGood and LossBad are the drop probabilities in each state.
+	LossGood float64
+	LossBad  float64
+}
+
+// MeanLoss returns the stationary average drop rate of the model, useful
+// for calibrating scenarios ("30% burst loss").
+func (g GilbertElliott) MeanLoss() float64 {
+	den := g.PGoodBad + g.PBadGood
+	if den == 0 {
+		return g.LossGood
+	}
+	pBad := g.PGoodBad / den
+	return (1-pBad)*g.LossGood + pBad*g.LossBad
+}
+
+// Outage is a scheduled link-down window: every delivery whose send instant
+// falls inside [From, To) is dropped. Windows are driven by the virtual
+// clock, so a partition heals at a byte-reproducible instant.
+type Outage struct {
+	From, To time.Time
+}
+
+// FaultPlan is the fault schedule of one directed path.
+type FaultPlan struct {
+	// Burst enables the Gilbert–Elliott correlated-loss model.
+	Burst *GilbertElliott
+	// DupProb duplicates a delivery with an extra, later copy.
+	DupProb float64
+	// ReorderProb holds a delivery back by up to ReorderDelay, letting
+	// later frames overtake it.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+	// CorruptProb flips one random bit of the delivered copy (the tap and
+	// any duplicate copies see the original bytes).
+	CorruptProb float64
+	// Outages are the scheduled link-down windows.
+	Outages []Outage
+}
+
+// FaultStats counts fault-fabric activity across all paths.
+type FaultStats struct {
+	BurstDropped  int
+	OutageDropped int
+	Duplicated    int
+	Reordered     int
+	Corrupted     int
+}
+
+// faultState is the per-directed-path runtime state of a plan: its own
+// forked RNG stream (so installing a plan on one path does not perturb the
+// draws of any other path or of the base network) and the current
+// Gilbert–Elliott channel state.
+type faultState struct {
+	plan FaultPlan
+	rng  *simclock.RNG
+	bad  bool
+}
+
+// SetFaultPlan installs (or, with nil, clears) a fault plan on both
+// directions of the a<->b path. Each direction gets independent state and
+// an independent RNG stream keyed by the directed pair.
+func (nw *Network) SetFaultPlan(a, b Location, plan *FaultPlan) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.setFaultLocked(a, b, plan)
+	if a != b {
+		nw.setFaultLocked(b, a, plan)
+	}
+}
+
+func (nw *Network) setFaultLocked(from, to Location, plan *FaultPlan) {
+	k := [2]Location{from, to}
+	if plan == nil {
+		delete(nw.faults, k)
+		return
+	}
+	cp := *plan
+	cp.Outages = append([]Outage(nil), plan.Outages...)
+	nw.faults[k] = &faultState{
+		plan: cp,
+		rng:  nw.rng.Fork("fault:" + string(from) + ">" + string(to)),
+	}
+}
+
+// Partition schedules a link-down window on both directions of the a<->b
+// path, creating an empty fault plan if none is installed. It composes with
+// any burst/duplication/corruption already configured.
+func (nw *Network) Partition(a, b Location, from, to time.Time) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	add := func(x, y Location) {
+		k := [2]Location{x, y}
+		fs, ok := nw.faults[k]
+		if !ok {
+			fs = &faultState{rng: nw.rng.Fork("fault:" + string(x) + ">" + string(y))}
+			nw.faults[k] = fs
+		}
+		fs.plan.Outages = append(fs.plan.Outages, Outage{From: from, To: to})
+	}
+	add(a, b)
+	if a != b {
+		add(b, a)
+	}
+}
+
+// FaultStats returns a copy of the fault-activity counters.
+func (nw *Network) FaultStats() FaultStats {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.faultStats
+}
+
+// faultFor resolves the installed plan state of one directed path.
+func (nw *Network) faultFor(from, to Location) *faultState {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.faults[[2]Location{from, to}]
+}
+
+// judgeFault samples the fault plan for one delivery: whether the frame is
+// dropped outright, the (possibly reorder-delayed) delivery delay, and the
+// delays of any duplicate copies. buf is the delivery copy and is mutated
+// in place on corruption. The draw order (outage, burst, dup, reorder,
+// corrupt) is fixed so a seeded schedule replays identically.
+func (nw *Network) judgeFault(fs *faultState, sent time.Time, d time.Duration, buf []byte) (drop bool, delay time.Duration, dups []time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	p := &fs.plan
+	for _, o := range p.Outages {
+		if !sent.Before(o.From) && sent.Before(o.To) {
+			nw.faultStats.OutageDropped++
+			return true, d, nil
+		}
+	}
+	if g := p.Burst; g != nil {
+		if fs.bad {
+			if fs.rng.Bernoulli(g.PBadGood) {
+				fs.bad = false
+			}
+		} else if fs.rng.Bernoulli(g.PGoodBad) {
+			fs.bad = true
+		}
+		loss := g.LossGood
+		if fs.bad {
+			loss = g.LossBad
+		}
+		if loss > 0 && fs.rng.Bernoulli(loss) {
+			nw.faultStats.BurstDropped++
+			return true, d, nil
+		}
+	}
+	if p.DupProb > 0 && fs.rng.Bernoulli(p.DupProb) {
+		nw.faultStats.Duplicated++
+		dups = append(dups, d+time.Duration(fs.rng.Int63n(int64(d)+1)))
+	}
+	if p.ReorderProb > 0 && p.ReorderDelay > 0 && fs.rng.Bernoulli(p.ReorderProb) {
+		nw.faultStats.Reordered++
+		d += time.Duration(fs.rng.Int63n(int64(p.ReorderDelay)))
+	}
+	if p.CorruptProb > 0 && len(buf) > 0 && fs.rng.Bernoulli(p.CorruptProb) {
+		nw.faultStats.Corrupted++
+		bit := fs.rng.Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+	return false, d, dups
+}

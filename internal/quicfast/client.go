@@ -6,8 +6,19 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net"
 	"time"
+)
+
+// Client retransmit defaults: the first attempt waits defaultTimeout, each
+// further attempt doubles the wait (± jitter) up to defaultTimeoutMax.
+const (
+	defaultTimeout       = 500 * time.Millisecond
+	defaultRetries       = 3
+	defaultBackoffFactor = 2.0
+	defaultTimeoutMax    = 8 * time.Second
+	defaultJitterFrac    = 0.2
 )
 
 // Client is the phone-side endpoint: one session to the proxy. It is not
@@ -24,6 +35,14 @@ type Client struct {
 	timeout time.Duration
 	retries int
 
+	// Retransmit backoff policy: attempt n waits
+	// min(timeout*backoffFactor^n, timeoutMax), jittered by ±jitterFrac so
+	// synchronized clients desynchronize after an outage.
+	backoffFactor float64
+	timeoutMax    time.Duration
+	jitterFrac    float64
+	brng          *mrand.Rand
+
 	// Resumption state enabling 0-RTT on later sessions.
 	ticketID   []byte
 	resumption []byte
@@ -38,28 +57,69 @@ func WithClientRand(r io.Reader) ClientOption {
 	return func(c *Client) { c.rand = r }
 }
 
-// WithTimeout sets the per-attempt ack timeout (default 500 ms).
+// WithTimeout sets the first-attempt ack timeout (default 500 ms).
+// Non-positive values fall back to the default.
 func WithTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.timeout = d }
 }
 
-// WithRetries sets the retransmit count (default 3).
+// WithRetries sets the retransmit count (default 3). Zero means a single
+// attempt; negative values fall back to the default.
 func WithRetries(n int) ClientOption {
 	return func(c *Client) { c.retries = n }
 }
 
+// WithBackoff sets the per-attempt timeout growth factor and its cap.
+// A factor below 1 or a cap below the base timeout falls back to defaults.
+func WithBackoff(factor float64, max time.Duration) ClientOption {
+	return func(c *Client) { c.backoffFactor = factor; c.timeoutMax = max }
+}
+
+// WithBackoffJitter sets the ± jitter fraction applied to every attempt
+// timeout and the seed of the jitter stream (frac 0 disables jitter).
+func WithBackoffJitter(frac float64, seed int64) ClientOption {
+	return func(c *Client) {
+		c.jitterFrac = frac
+		c.brng = mrand.New(mrand.NewSource(seed))
+	}
+}
+
 // NewClient wraps conn targeting remote, authenticated by the pairing PSK.
+// Out-of-range option values are clamped to their defaults, so a
+// misconfigured client degrades to the stock retransmit policy instead of
+// spinning or failing instantly.
 func NewClient(conn net.PacketConn, remote net.Addr, psk []byte, opts ...ClientOption) *Client {
 	c := &Client{
-		conn:    conn,
-		remote:  remote,
-		psk:     append([]byte(nil), psk...),
-		rand:    rand.Reader,
-		timeout: 500 * time.Millisecond,
-		retries: 3,
+		conn:          conn,
+		remote:        remote,
+		psk:           append([]byte(nil), psk...),
+		rand:          rand.Reader,
+		timeout:       defaultTimeout,
+		retries:       defaultRetries,
+		backoffFactor: defaultBackoffFactor,
+		timeoutMax:    defaultTimeoutMax,
+		jitterFrac:    defaultJitterFrac,
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.timeout <= 0 {
+		c.timeout = defaultTimeout
+	}
+	if c.retries < 0 {
+		c.retries = defaultRetries
+	}
+	if c.backoffFactor < 1 {
+		c.backoffFactor = defaultBackoffFactor
+	}
+	if c.timeoutMax < c.timeout {
+		c.timeoutMax = c.timeout
+	}
+	if c.jitterFrac < 0 || c.jitterFrac >= 1 {
+		c.jitterFrac = defaultJitterFrac
+	}
+	if c.brng == nil {
+		c.brng = mrand.New(mrand.NewSource(1))
 	}
 	return c
 }
@@ -86,7 +146,7 @@ func (c *Client) Handshake() error {
 	init = append(init, crandom...)
 	init = append(init, pskMAC(c.psk, []byte("init"), c.connID[:], cpub, crandom)...)
 
-	reply, err := c.exchange(init, ptReply, c.connID[:])
+	reply, err := c.exchange(init, ptReply, c.connID[:], nil)
 	if err != nil {
 		return err
 	}
@@ -142,7 +202,7 @@ func (c *Client) Send(payload []byte) error {
 	binary.BigEndian.PutUint32(num[:], c.pktNum)
 	hdr = append(hdr, num[:]...)
 	pkt := append(hdr, c.keys.clientAEAD.Seal(nil, nonceFor(c.keys.clientIV, c.pktNum), payload, hdr)...)
-	_, err := c.exchange(pkt, ptAck, append(c.connID[:], num[:]...))
+	_, err := c.exchange(pkt, ptAck, append(c.connID[:], num[:]...), ErrStaleSession)
 	return err
 }
 
@@ -168,8 +228,45 @@ func (c *Client) SendZeroRTT(payload []byte) error {
 	binary.BigEndian.PutUint32(num[:], c.zeroPkt)
 	hdr = append(hdr, num[:]...)
 	pkt := append(hdr, aead.Seal(nil, nonceFor(iv, c.zeroPkt), payload, hdr)...)
-	_, err = c.exchange(pkt, ptZeroAck, append(c.ticketID, num[:]...))
+	_, err = c.exchange(pkt, ptZeroAck, append(c.ticketID, num[:]...), ErrUnknownTicket)
 	return err
+}
+
+// ForgetSession drops the cached session keys and resumption ticket, so the
+// next Deliver performs a fresh 1-RTT handshake.
+func (c *Client) ForgetSession() {
+	c.keys = nil
+	c.ticketID = nil
+	c.resumption = nil
+}
+
+// Deliver sends payload with automatic degradation: it prefers 0-RTT under
+// a cached ticket, falls back to the established 1-RTT session, and when
+// the server rejects stale state (a proxy restart losing its ticket and
+// session tables) or the exchange times out, re-handshakes from scratch and
+// retries once. A phone that paired before a proxy restart is therefore
+// never stranded. The returned zeroRTT reports which path delivered.
+func (c *Client) Deliver(payload []byte) (zeroRTT bool, err error) {
+	switch {
+	case c.CanZeroRTT():
+		err = c.SendZeroRTT(payload)
+		if err == nil {
+			return true, nil
+		}
+	case c.keys != nil:
+		err = c.Send(payload)
+		if err == nil {
+			return false, nil
+		}
+	}
+	if err != nil && !NeedsRehandshake(err) && !Retryable(err) {
+		return false, err // fatal: re-handshaking cannot help
+	}
+	c.ForgetSession()
+	if err := c.Handshake(); err != nil {
+		return false, err
+	}
+	return false, c.Send(payload)
 }
 
 // RawZeroRTTDatagram builds (without sending) a 0-RTT packet — used by the
@@ -200,23 +297,37 @@ func (c *Client) Inject(pkt []byte) error {
 }
 
 // exchange sends pkt and waits for a response of wantType whose header
-// starts with wantPrefix after the type byte, retransmitting on timeout.
-func (c *Client) exchange(pkt []byte, wantType byte, wantPrefix []byte) ([]byte, error) {
+// starts with wantPrefix after the type byte, retransmitting on timeout
+// with exponential backoff and jitter. A ptReject response matching the
+// prefix returns rejectErr (nil rejectErr ignores rejects): the server is
+// reachable but has no state for this session/ticket, so retransmitting is
+// pointless and the caller must re-handshake. Rejects are unauthenticated,
+// but can at worst downgrade a 0-RTT send to a fresh 1-RTT handshake —
+// they never bypass authentication.
+func (c *Client) exchange(pkt []byte, wantType byte, wantPrefix []byte, rejectErr error) ([]byte, error) {
 	buf := make([]byte, 65535)
+	defer c.conn.SetReadDeadline(time.Time{})
+	timeout := c.timeout
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if _, err := c.conn.WriteTo(pkt, c.remote); err != nil {
 			return nil, fmt.Errorf("quicfast: write: %w", err)
 		}
-		deadline := time.Now().Add(c.timeout)
+		deadline := time.Now().Add(c.jittered(timeout))
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
 				return nil, err
 			}
 			n, _, err := c.conn.ReadFrom(buf)
 			if err != nil {
-				break // timeout: retransmit
+				break // timeout: back off and retransmit
 			}
-			if n < 1+len(wantPrefix) || buf[0] != wantType {
+			if n < 1+len(wantPrefix) {
+				continue
+			}
+			if rejectErr != nil && buf[0] == ptReject && hmacEqual(buf[1:1+len(wantPrefix)], wantPrefix) {
+				return nil, rejectErr
+			}
+			if buf[0] != wantType {
 				continue
 			}
 			if !hmacEqual(buf[1:1+len(wantPrefix)], wantPrefix) {
@@ -224,10 +335,21 @@ func (c *Client) exchange(pkt []byte, wantType byte, wantPrefix []byte) ([]byte,
 			}
 			out := make([]byte, n)
 			copy(out, buf[:n])
-			_ = c.conn.SetReadDeadline(time.Time{})
 			return out, nil
 		}
+		timeout = time.Duration(float64(timeout) * c.backoffFactor)
+		if timeout > c.timeoutMax {
+			timeout = c.timeoutMax
+		}
 	}
-	_ = c.conn.SetReadDeadline(time.Time{})
 	return nil, ErrTimeout
+}
+
+// jittered perturbs an attempt timeout by ±jitterFrac.
+func (c *Client) jittered(d time.Duration) time.Duration {
+	if c.jitterFrac <= 0 {
+		return d
+	}
+	f := 1 + c.jitterFrac*(2*c.brng.Float64()-1)
+	return time.Duration(float64(d) * f)
 }

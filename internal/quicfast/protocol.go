@@ -35,6 +35,7 @@ const (
 	ptAck       = 0x42
 	ptZeroAck   = 0x43
 	ptHsFin     = 0x44
+	ptReject    = 0x45
 	connIDLen   = 8
 	ticketIDLen = 16
 	macLen      = 32
@@ -48,9 +49,32 @@ var (
 	ErrAuth          = errors.New("quicfast: authentication failed")
 	ErrReplay        = errors.New("quicfast: replayed 0-RTT packet")
 	ErrUnknownTicket = errors.New("quicfast: unknown session ticket")
+	ErrStaleSession  = errors.New("quicfast: server no longer knows this session")
 	ErrMalformed     = errors.New("quicfast: malformed packet")
 	ErrTimeout       = errors.New("quicfast: timed out waiting for peer")
 )
+
+// The error taxonomy splits failures by the recovery they admit:
+//
+//   - Retryable: transient — the same send may succeed later (the network
+//     dropped or delayed packets).
+//   - NeedsRehandshake: the server lost or expired this client's session
+//     or ticket state (e.g. a proxy restart); a fresh 1-RTT handshake
+//     recovers, retrying as-is never will.
+//   - Anything else (ErrAuth, ErrMalformed, ...) is fatal for the attempt:
+//     retrying with the same credentials cannot help.
+
+// Retryable reports whether the failure is transient and the same operation
+// may succeed if simply retried.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrTimeout)
+}
+
+// NeedsRehandshake reports whether the failure means the cached session or
+// ticket state is stale and a fresh 1-RTT handshake is required.
+func NeedsRehandshake(err error) bool {
+	return errors.Is(err, ErrUnknownTicket) || errors.Is(err, ErrStaleSession)
+}
 
 // sessionKeys holds the directional AEAD keys of one connection.
 type sessionKeys struct {

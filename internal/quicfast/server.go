@@ -42,6 +42,11 @@ type Server struct {
 // ServerStats are the protocol event counters.
 type ServerStats struct {
 	Handshakes, Messages, ZeroRTT, Replays, AuthFailures int
+	// Rejects counts packets refused for unknown session or ticket state
+	// (e.g. after a server restart), answered with an explicit reject so
+	// the client can fall back to a fresh 1-RTT handshake immediately
+	// instead of retransmitting into the void.
+	Rejects int
 }
 
 type serverSession struct {
@@ -202,6 +207,7 @@ func (s *Server) handleData(pkt []byte, addr net.Addr) {
 	sess, ok := s.sessions[string(connID)]
 	s.mu.Unlock()
 	if !ok {
+		s.reject(pkt[1:hdr], addr)
 		return
 	}
 	plain, err := sess.keys.clientAEAD.Open(nil, nonceFor(sess.keys.clientIV, pktNum), pkt[hdr:], pkt[:hdr])
@@ -249,6 +255,7 @@ func (s *Server) handleZeroRTT(pkt []byte, addr net.Addr) {
 	tk, ok := s.tickets[string(ticketID)]
 	s.mu.Unlock()
 	if !ok {
+		s.reject(pkt[1:hdr], addr)
 		return
 	}
 	aead, iv, err := zeroRTTKeys(tk.resumption)
@@ -285,6 +292,21 @@ func (s *Server) handleZeroRTT(pkt []byte, addr net.Addr) {
 	if s.handler != nil {
 		s.handler(Message{Payload: plain, ZeroRTT: true, Session: hex.EncodeToString(ticketID)})
 	}
+}
+
+// reject answers a packet whose session/ticket state is unknown with an
+// explicit [ptReject][echoed header] so the client stops retransmitting and
+// re-handshakes. The reject is unauthenticated by construction (the server
+// has no keys for this peer); forging one can only downgrade a 0-RTT send
+// to a fresh authenticated 1-RTT handshake, never bypass authentication.
+func (s *Server) reject(echo []byte, addr net.Addr) {
+	s.mu.Lock()
+	s.Stats.Rejects++
+	s.mu.Unlock()
+	rej := make([]byte, 0, 1+len(echo))
+	rej = append(rej, ptReject)
+	rej = append(rej, echo...)
+	_, _ = s.conn.WriteTo(rej, addr)
 }
 
 // Replays reports the replay-rejection counter.
