@@ -25,6 +25,7 @@ import (
 	"fiat/internal/flows"
 	"fiat/internal/keystore"
 	"fiat/internal/mud"
+	"fiat/internal/obs"
 	"fiat/internal/quicfast"
 	"fiat/internal/sensors"
 	"fiat/internal/simclock"
@@ -41,6 +42,8 @@ func main() {
 	mudOut := flag.String("mud", "", "export learned rules as an RFC 8520 MUD profile on exit")
 	pendingWindow := flag.Duration("pending-window", 0, "degraded mode: hold unattested manual events this long awaiting a late attestation (0 = strict)")
 	pendingMax := flag.Int("pending-max", 0, "degraded mode: held-decision queue bound (0 = default 64)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, expvar, and pprof on this HTTP address (empty = disabled)")
+	obsInterval := flag.Duration("obs-interval", 0, "print runtime stats every interval (0 = disabled)")
 	flag.Parse()
 
 	code := make([]byte, 32)
@@ -75,10 +78,18 @@ func main() {
 		fatal(err)
 	}
 	clock := simclock.RealClock{}
+	reg := obs.NewRegistry()
 	proxy := core.NewProxy(clock, ks, validator, core.Config{
 		Bootstrap: *bootstrap, Shards: *shards,
 		PendingWindow: *pendingWindow, PendingMax: *pendingMax,
+		Obs: reg,
 	})
+	if *obsAddr != "" {
+		serveObs(reg, *obsAddr)
+	}
+	if *obsInterval > 0 {
+		reportRuntime(reg, *obsInterval)
+	}
 	if *nDevices < 1 {
 		*nDevices = 1
 	}
@@ -115,7 +126,7 @@ func main() {
 		default:
 			fmt.Printf("[attest] NON-HUMAN window — manual traffic stays blocked\n")
 		}
-	})
+	}, quicfast.WithServerObs(reg))
 	go func() {
 		if err := srv.Serve(); err != nil {
 			fmt.Fprintln(os.Stderr, "fiat-proxy: serve:", err)

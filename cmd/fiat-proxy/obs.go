@@ -1,0 +1,70 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+
+	"fiat/internal/obs"
+)
+
+// serveObs exposes the registry over HTTP on addr:
+//
+//	/metrics     deterministic text snapshot (Prometheus exposition style)
+//	/debug/vars  expvar JSON (the registry is published under "fiat")
+//	/debug/pprof net/http/pprof profiles
+//
+// Runtime gauges are refreshed on every scrape so heap and goroutine counts
+// are current without a background collector.
+func serveObs(reg *obs.Registry, addr string) {
+	reg.PublishExpvar("fiat")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		updateRuntimeGauges(reg)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = reg.WriteTo(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "fiat-proxy: obs:", err)
+		}
+	}()
+	fmt.Printf("fiat-proxy: observability on http://%s/metrics (expvar, pprof under /debug)\n", addr)
+}
+
+// updateRuntimeGauges refreshes the fiat_runtime_* gauges from the Go
+// runtime.
+func updateRuntimeGauges(reg *obs.Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("fiat_runtime_goroutines").Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("fiat_runtime_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	reg.Gauge("fiat_runtime_heap_objects").Set(int64(ms.HeapObjects))
+	reg.Gauge("fiat_runtime_gc_cycles").Set(int64(ms.NumGC))
+}
+
+// reportRuntime prints a one-line runtime stats digest every interval until
+// the process exits.
+func reportRuntime(reg *obs.Registry, interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for range t.C {
+			updateRuntimeGauges(reg)
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Printf("[runtime ] goroutines=%d heap=%dKiB objects=%d gc=%d\n",
+				runtime.NumGoroutine(), ms.HeapAlloc/1024, ms.HeapObjects, ms.NumGC)
+		}
+	}()
+}

@@ -18,7 +18,9 @@ import (
 	"strings"
 	"time"
 
+	"fiat/internal/chaos"
 	"fiat/internal/experiments"
+	"fiat/internal/netsim"
 	"fiat/internal/report"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Int64("seed", 7, "random seed for all corpora")
 	htmlOut := flag.String("html", "", "also write the results as a self-contained HTML report")
+	showMetrics := flag.Bool("metrics", true, "after the experiments, print the deterministic metrics snapshot of a seeded end-to-end scenario")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -104,6 +107,34 @@ func main() {
 		}
 		fmt.Printf("fiatbench: HTML report -> %s\n", *htmlOut)
 	}
+	if *showMetrics {
+		printMetricsSnapshot(*seed)
+	}
 	fmt.Printf("fiatbench: %d experiment(s), scale=%s, seed=%d, %.1fs\n",
 		len(results), *scaleName, *seed, time.Since(start).Seconds())
+}
+
+// printMetricsSnapshot replays one seeded chaos scenario — burst loss and a
+// partition on the attestation path, sharded engine — and prints the
+// observability snapshot it leaves behind. The snapshot is deterministic in
+// the seed (see internal/chaos), so it doubles as a quick fingerprint of the
+// pipeline: two builds printing different bytes here behave differently.
+func printMetricsSnapshot(seed int64) {
+	res, err := chaos.Run(chaos.Scenario{
+		Seed:          seed,
+		Shards:        4,
+		Duration:      90 * time.Second,
+		ManualAt:      []time.Duration{22 * time.Second, 60 * time.Second},
+		PendingWindow: 25 * time.Second,
+		Burst:         &netsim.GilbertElliott{PGoodBad: 0.15, PBadGood: 0.35, LossGood: 0.05, LossBad: 0.8},
+		PartitionAt:   20 * time.Second,
+		PartitionFor:  10 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench: metrics scenario:", err)
+		return
+	}
+	fmt.Println("--- metrics snapshot (seeded end-to-end scenario) ---")
+	fmt.Print(res.Metrics)
+	fmt.Println("--- end metrics snapshot ---")
 }

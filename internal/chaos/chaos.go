@@ -32,6 +32,7 @@ import (
 	"fiat/internal/flows"
 	"fiat/internal/keystore"
 	"fiat/internal/netsim"
+	"fiat/internal/obs"
 	"fiat/internal/packet"
 	"fiat/internal/sensors"
 	"fiat/internal/simclock"
@@ -99,6 +100,11 @@ type Result struct {
 	// Stats / Fault are the proxy and fault-fabric counters.
 	Stats core.ProxyStats
 	Fault netsim.FaultStats
+	// Metrics is the shared observability snapshot at run end: one registry
+	// wired through the proxy pipeline and the fault fabric, rendered in the
+	// deterministic text exposition format. Fixed-seed replays produce this
+	// string byte-identically (chaos_metrics_test.go).
+	Metrics string
 	// Locked reports the device's lockout state at run end.
 	Locked bool
 	// AttestationsSent / AttestationsDelivered count courier shipments and
@@ -281,7 +287,9 @@ func Run(s Scenario) (*Result, error) {
 	s.defaults()
 	res := &Result{}
 	clock := simclock.NewVirtual()
+	reg := obs.NewRegistry()
 	nw := netsim.New(clock, simclock.NewRNG(s.Seed))
+	nw.SetObs(reg)
 	epoch := clock.Now()
 	bootEnd := epoch.Add(s.Bootstrap)
 	runEnd := bootEnd.Add(s.Duration)
@@ -311,6 +319,7 @@ func Run(s Scenario) (*Result, error) {
 		Bootstrap:     s.Bootstrap,
 		Shards:        s.Shards,
 		PendingWindow: s.PendingWindow,
+		Obs:           reg,
 	})
 	if err := proxy.AddDevice(core.DeviceConfig{
 		Name: "plug", Classifier: core.RuleClassifier{NotificationSize: 235}, GraceN: 1,
@@ -458,5 +467,6 @@ func Run(s Scenario) (*Result, error) {
 	res.Fault = nw.FaultStats()
 	res.Locked = proxy.Locked("plug")
 	res.PendingLeft = proxy.PendingDepth()
+	res.Metrics = reg.Snapshot()
 	return res, nil
 }

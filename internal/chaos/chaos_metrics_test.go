@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsReplayIdentical: a fixed-seed chaos run — faults, partition,
+// retransmitting courier and all — must render the same metrics snapshot
+// byte-for-byte on every replay. This is the scenario-level extension of the
+// registry's determinism guarantee: every counter is fed from seeded draws on
+// the virtual clock, and every duration observes zero.
+func TestMetricsReplayIdentical(t *testing.T) {
+	s := Scenario{
+		Seed:          3,
+		Shards:        4,
+		Duration:      90 * time.Second,
+		ManualAt:      []time.Duration{22 * time.Second, 60 * time.Second},
+		PendingWindow: 25 * time.Second,
+		Burst:         burst30(),
+		CorruptProb:   0.05,
+		PartitionAt:   20 * time.Second,
+		PartitionFor:  10 * time.Second,
+	}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics {
+		t.Fatalf("seeded chaos metrics snapshot is not reproducible:\n%s", diffSnapshots(a.Metrics, b.Metrics))
+	}
+	// The snapshot must actually show the run: pipeline decisions, fabric
+	// fault activity, and a non-empty exposition.
+	for _, want := range []string{
+		"fiat_core_packets_total",
+		"fiat_netsim_frames_total",
+		"fiat_netsim_fault_burst_dropped_total",
+		"fiat_core_pending_held_total",
+	} {
+		if !snapshotNonzero(a.Metrics, want) {
+			t.Errorf("metrics snapshot has zero/missing %s:\n%s", want, a.Metrics)
+		}
+	}
+}
+
+// TestMetricsFaultFreeShardInvariant: with faults disabled, the sharded
+// engine's scenario-level metrics snapshot must be byte-identical to the
+// sequential engine's — the metrics-as-oracle form of
+// TestFaultFreeShardedMatchesSequential.
+func TestMetricsFaultFreeShardInvariant(t *testing.T) {
+	base := Scenario{
+		Seed:          7,
+		Duration:      60 * time.Second,
+		ManualAt:      []time.Duration{10 * time.Second, 40 * time.Second},
+		PendingWindow: 25 * time.Second,
+	}
+	seq := base
+	seq.Shards = 1
+	sharded := base
+	sharded.Shards = 4
+
+	rSeq, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSh, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSeq.Metrics != rSh.Metrics {
+		t.Fatalf("metrics snapshots diverge across shard counts:\n%s", diffSnapshots(rSh.Metrics, rSeq.Metrics))
+	}
+	if !snapshotNonzero(rSeq.Metrics, `fiat_core_decisions_total{reason="manual-with-human"}`) {
+		t.Errorf("fault-free run shows no HumanOK decisions:\n%s", rSeq.Metrics)
+	}
+}
+
+// snapshotNonzero reports whether the snapshot has a sample for name with a
+// value other than 0.
+func snapshotNonzero(snapshot, name string) bool {
+	for _, line := range strings.Split(snapshot, "\n") {
+		if strings.HasPrefix(line, name+" ") && !strings.HasSuffix(line, " 0") {
+			return true
+		}
+	}
+	return false
+}
+
+// diffSnapshots renders the first differing line of two snapshots.
+func diffSnapshots(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "got:  " + g[i] + "\nwant: " + w[i]
+		}
+	}
+	return "length mismatch"
+}

@@ -42,11 +42,22 @@ func (p *Proxy) ProcessBatch(batch []PacketIn) []Decision {
 	if len(batch) == 0 {
 		return nil
 	}
+	start := p.clock.Now()
+	out := p.processBatchDispatch(batch, start)
+	// Batch-level observability: size and wall latency (0 under a virtual
+	// clock, so snapshots stay deterministic), plus the pending-queue depth
+	// the batch left behind. Observed on both the sharded and sequential
+	// paths so the two stay snapshot-comparable.
+	p.metrics.batchSize.Observe(int64(len(batch)))
+	p.metrics.batchNanos.Observe(p.clock.Now().Sub(start).Nanoseconds())
+	p.metrics.pendingDepth.Set(int64(p.pending.depth()))
+	return out
+}
+
+func (p *Proxy) processBatchDispatch(batch []PacketIn, now time.Time) []Decision {
 	if p.cfg.ExtraVerdictDelay > 0 || len(p.shards) == 1 {
 		return p.processBatchSequential(batch)
 	}
-
-	now := p.clock.Now()
 	out := make([]Decision, len(batch))
 
 	// Partition packet indices by owning shard, preserving input order
@@ -117,7 +128,7 @@ func (p *Proxy) ProcessBatch(batch []PacketIn) []Decision {
 	sort.Slice(merged, func(a, b int) bool { return merged[a].idx < merged[b].idx })
 	p.mu.Lock()
 	for _, ie := range merged {
-		p.log = append(p.log, ie.entry)
+		p.appendEntryLocked(ie.entry)
 	}
 	p.applyDeltaLocked(delta)
 	p.mu.Unlock()

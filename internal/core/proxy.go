@@ -10,6 +10,7 @@ import (
 	"fiat/internal/flows"
 	"fiat/internal/intercept"
 	"fiat/internal/keystore"
+	"fiat/internal/obs"
 	"fiat/internal/sensors"
 	"fiat/internal/simclock"
 )
@@ -116,6 +117,11 @@ type Config struct {
 	// PendingMax bounds the held-decision queue (default 64); overflow
 	// evicts the oldest entry, which is then finalized as expired.
 	PendingMax int
+	// Obs is the metrics registry the proxy publishes into. Nil creates a
+	// private registry (reachable via Metrics), so instrumentation is
+	// always on; pass a shared registry to merge proxy metrics with
+	// transport and fault-fabric metrics in one snapshot.
+	Obs *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -156,6 +162,7 @@ type Proxy struct {
 	dag         *DeviceDAG
 	pending     *pendingStore
 	channel     *channelHealth
+	metrics     *coreMetrics
 
 	mu      sync.Mutex // guards aliases, log, Stats
 	aliases []string
@@ -185,6 +192,9 @@ type ProxyStats struct {
 // keystore.NewPairingOffer); human is the trained humanness validator.
 func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator, cfg Config) *Proxy {
 	cfg.defaults()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	shards := make([]*shard, cfg.Shards)
 	for i := range shards {
 		shards[i] = &shard{devices: make(map[string]*deviceState)}
@@ -201,11 +211,16 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 		dag:         NewDeviceDAG(),
 		pending:     newPendingStore(cfg.PendingMax),
 		channel:     &channelHealth{},
+		metrics:     newCoreMetrics(cfg.Obs, clock),
 	}
 }
 
 // ShardCount reports how many shards the engine runs.
 func (p *Proxy) ShardCount() int { return len(p.shards) }
+
+// Metrics exposes the proxy's registry (the one passed as Config.Obs, or
+// the private default). Snapshot it for a `/metrics`-style text export.
+func (p *Proxy) Metrics() *obs.Registry { return p.metrics.reg }
 
 // AddDevice registers a device. GraceN defaults to 5.
 func (p *Proxy) AddDevice(cfg DeviceConfig) error {
@@ -257,6 +272,7 @@ func (p *Proxy) HandleAttestation(payload []byte) (human bool, err error) {
 	if err != nil {
 		p.mu.Lock()
 		p.Stats.AttestationsBad++
+		p.metrics.attestationsBad.Inc()
 		p.mu.Unlock()
 		return false, err
 	}
@@ -271,17 +287,20 @@ func (p *Proxy) HandleAttestation(payload []byte) (human bool, err error) {
 	}
 	p.mu.Lock()
 	p.Stats.AttestationsOK++
+	p.metrics.attestationsOK.Inc()
 	for _, pd := range admitted {
 		// Retroactive admission: the event head was withheld, but the
 		// interaction is now verified human — record it and keep it out of
 		// the lockout counter (it never entered; see decideEvent).
-		p.log = append(p.log, LogEntry{
+		p.appendEntryLocked(LogEntry{
 			Time: now, Device: pd.device, Reason: ReasonLateAttest,
 			Verdict: Allow, Packets: pd.packets,
 		})
 		p.Stats.LateAdmitted++
+		p.metrics.lateAdmitted.Inc()
 	}
 	p.mu.Unlock()
+	p.metrics.pendingDepth.Set(int64(p.pending.depth()))
 	return human, nil
 }
 
@@ -309,6 +328,7 @@ func (p *Proxy) SweepPending() int {
 	for _, pd := range expired {
 		p.finalizeExpired(pd, now)
 	}
+	p.metrics.pendingDepth.Set(int64(p.pending.depth()))
 	return len(expired)
 }
 
@@ -357,6 +377,9 @@ func (p *Proxy) Process(device string, rec flows.Record, peer string) Decision {
 	// in its decision order even under concurrent callers.
 	p.commit(o)
 	sh.mu.Unlock()
+	if o.delta.pendingHeld > 0 {
+		p.metrics.pendingDepth.Set(int64(p.pending.depth()))
+	}
 	return o.d
 }
 
@@ -384,10 +407,17 @@ func (p *Proxy) FlushEvent(device string) *Decision {
 func (p *Proxy) commit(o outcome) {
 	p.mu.Lock()
 	if o.entry != nil {
-		p.log = append(p.log, *o.entry)
+		p.appendEntryLocked(*o.entry)
 	}
 	p.applyDeltaLocked(o.delta)
 	p.mu.Unlock()
+}
+
+// appendEntryLocked appends one audit entry and mirrors it into the
+// per-reason decision counters; the caller holds p.mu.
+func (p *Proxy) appendEntryLocked(e LogEntry) {
+	p.log = append(p.log, e)
+	p.metrics.noteEntry(&e)
 }
 
 func (p *Proxy) applyDeltaLocked(d statDelta) {
@@ -402,6 +432,7 @@ func (p *Proxy) applyDeltaLocked(d statDelta) {
 	p.Stats.PendingHeld += d.pendingHeld
 	p.Stats.PendingExpired += d.pendingExpired
 	p.Stats.OutageExcused += d.outageExcused
+	p.metrics.applyDelta(d)
 }
 
 // StatsSnapshot returns a consistent copy of the outcome counters, safe to
@@ -440,6 +471,9 @@ func (p *Proxy) Unlock(device string) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if ds, ok := sh.devices[device]; ok {
+		if ds.locked {
+			p.metrics.lockedDevices.Add(-1)
+		}
 		ds.locked = false
 		ds.drops = nil
 	}

@@ -7,6 +7,7 @@ import (
 
 	"fiat/internal/events"
 	"fiat/internal/flows"
+	"fiat/internal/obs"
 )
 
 // shard owns the state of the devices hash-assigned to it. All per-device
@@ -38,12 +39,12 @@ type deviceState struct {
 // into Proxy.Stats. All counters are sums, so shard-local accumulation and a
 // single merge is arithmetically identical to the sequential path.
 type statDelta struct {
-	packets, allowed, dropped    int
-	ruleHits, eventsManual       int
-	eventsNonManual              int
+	packets, allowed, dropped       int
+	ruleHits, eventsManual          int
+	eventsNonManual                 int
 	attestationsOK, attestationsBad int
-	pendingHeld, pendingExpired  int
-	outageExcused                int
+	pendingHeld, pendingExpired     int
+	outageExcused                   int
 }
 
 func (d *statDelta) add(o statDelta) {
@@ -95,10 +96,17 @@ func (p *Proxy) shardFor(device string) *shard {
 
 // processLocked runs one packet through the Fig 4 pipeline. The caller holds
 // sh.mu; now is the verdict timestamp (sampled once per batch on the batched
-// path — see ProcessBatch's determinism contract).
+// path — see ProcessBatch's determinism contract). A trace span follows the
+// packet across the stages; every packet ends in StageVerdict, so the
+// verdict stage counter equals the packet counter by construction.
 func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer string, now time.Time) outcome {
 	var o outcome
 	o.delta.packets++
+	sp := p.metrics.tracer.Begin(obs.StageIntercept)
+	defer func() {
+		sp.Enter(obs.StageVerdict)
+		sp.End()
+	}()
 	ds, ok := sh.devices[device]
 	if !ok {
 		// Unknown devices are not FIAT-protected; fail open like the
@@ -127,6 +135,7 @@ func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer s
 	}
 
 	// Stage 1: predictable?
+	sp.Enter(obs.StageRules)
 	if ds.rules.Match(rec) {
 		o.delta.ruleHits++
 		o.delta.allowed++
@@ -135,6 +144,7 @@ func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer s
 	}
 
 	// Stage 2: event grouping.
+	sp.Enter(obs.StageGrouping)
 	if done := ds.grouper.Add(rec); done != nil || ds.grouper.Current().Len() == 1 {
 		// A new event started: reset the per-event decision state.
 		ds.evPackets = 0
@@ -150,7 +160,7 @@ func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer s
 			o.d = Decision{Verdict: Allow, Reason: ReasonGraceN}
 			return o
 		}
-		d := p.decideEvent(ds, now, &o)
+		d := p.decideEvent(ds, now, &o, &sp)
 		ds.evDecision = &d
 		o.d = d
 		return o
@@ -165,9 +175,11 @@ func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer s
 }
 
 // decideEvent classifies the current event and applies the humanness gate,
-// recording the audit entry and stat counts into o. The caller holds the
-// owning shard's mutex.
-func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome) Decision {
+// recording the audit entry and stat counts into o and advancing the trace
+// span through classify/attest-check. The caller holds the owning shard's
+// mutex.
+func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome, sp *obs.Span) Decision {
+	sp.Enter(obs.StageClassify)
 	ev := ds.grouper.Current()
 	if ev == nil {
 		return Decision{Verdict: Allow, Reason: ReasonNonManual}
@@ -185,6 +197,7 @@ func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome) Decision
 		d = Decision{Verdict: Allow, Reason: ReasonNonManual}
 	} else {
 		o.delta.eventsManual++
+		sp.Enter(obs.StageAttestCheck)
 		switch {
 		case p.validations.humanRecently(ds.cfg.Name, now):
 			d = Decision{Verdict: Allow, Reason: ReasonHumanOK}
@@ -220,7 +233,9 @@ func (p *Proxy) flushLocked(ds *deviceState, now time.Time) (outcome, *Decision)
 		return o, nil
 	}
 	if ds.evDecision == nil {
-		d := p.decideEvent(ds, now, &o)
+		sp := p.metrics.tracer.Begin(obs.StageClassify)
+		d := p.decideEvent(ds, now, &o, &sp)
+		sp.End()
 		ds.evDecision = &d
 	}
 	d := *ds.evDecision
@@ -239,8 +254,9 @@ func (p *Proxy) registerDrop(ds *deviceState, now time.Time) {
 		}
 	}
 	ds.drops = append(keep, now)
-	if len(ds.drops) >= p.cfg.LockoutThreshold {
+	if len(ds.drops) >= p.cfg.LockoutThreshold && !ds.locked {
 		ds.locked = true
+		p.metrics.lockedDevices.Add(1)
 	}
 }
 

@@ -156,6 +156,7 @@ func (nw *Network) judgeFault(fs *faultState, sent time.Time, d time.Duration, b
 	for _, o := range p.Outages {
 		if !sent.Before(o.From) && sent.Before(o.To) {
 			nw.faultStats.OutageDropped++
+			nw.mx.outageDropped.Inc()
 			return true, d, nil
 		}
 	}
@@ -173,19 +174,23 @@ func (nw *Network) judgeFault(fs *faultState, sent time.Time, d time.Duration, b
 		}
 		if loss > 0 && fs.rng.Bernoulli(loss) {
 			nw.faultStats.BurstDropped++
+			nw.mx.burstDropped.Inc()
 			return true, d, nil
 		}
 	}
 	if p.DupProb > 0 && fs.rng.Bernoulli(p.DupProb) {
 		nw.faultStats.Duplicated++
+		nw.mx.duplicated.Inc()
 		dups = append(dups, d+time.Duration(fs.rng.Int63n(int64(d)+1)))
 	}
 	if p.ReorderProb > 0 && p.ReorderDelay > 0 && fs.rng.Bernoulli(p.ReorderProb) {
 		nw.faultStats.Reordered++
+		nw.mx.reordered.Inc()
 		d += time.Duration(fs.rng.Int63n(int64(p.ReorderDelay)))
 	}
 	if p.CorruptProb > 0 && len(buf) > 0 && fs.rng.Bernoulli(p.CorruptProb) {
 		nw.faultStats.Corrupted++
+		nw.mx.corrupted.Inc()
 		bit := fs.rng.Intn(len(buf) * 8)
 		buf[bit/8] ^= 1 << (bit % 8)
 	}

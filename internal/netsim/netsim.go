@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"fiat/internal/obs"
 	"fiat/internal/packet"
 	"fiat/internal/simclock"
 )
@@ -84,6 +85,35 @@ type Network struct {
 	framed     int
 	faults     map[[2]Location]*faultState
 	faultStats FaultStats
+	mx         netsimMetrics
+}
+
+// netsimMetrics mirrors the fabric counters into a registry. The handles are
+// nil (no-op) until SetObs installs one, so the fabric stays dependency-free
+// by default; fault counters are bumped alongside FaultStats under nw.mu.
+type netsimMetrics struct {
+	frames        *obs.Counter
+	burstDropped  *obs.Counter
+	outageDropped *obs.Counter
+	duplicated    *obs.Counter
+	reordered     *obs.Counter
+	corrupted     *obs.Counter
+}
+
+// SetObs wires the fabric's frame and fault counters into reg under the
+// fiat_netsim_* names, so a scenario's metric snapshot shows the injected
+// fault activity next to the pipeline's decisions.
+func (nw *Network) SetObs(reg *obs.Registry) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.mx = netsimMetrics{
+		frames:        reg.Counter("fiat_netsim_frames_total"),
+		burstDropped:  reg.Counter("fiat_netsim_fault_burst_dropped_total"),
+		outageDropped: reg.Counter("fiat_netsim_fault_outage_dropped_total"),
+		duplicated:    reg.Counter("fiat_netsim_fault_duplicated_total"),
+		reordered:     reg.Counter("fiat_netsim_fault_reordered_total"),
+		corrupted:     reg.Counter("fiat_netsim_fault_corrupted_total"),
+	}
 }
 
 // New builds an empty network on the given clock.
@@ -190,6 +220,7 @@ func (nw *Network) SendFrame(frame []byte) {
 	now := nw.Clock.Now()
 	nw.mu.Lock()
 	nw.framed++
+	nw.mx.frames.Inc()
 	taps := make([]func(frame []byte, at time.Time), len(nw.taps))
 	copy(taps, nw.taps)
 	nw.mu.Unlock()

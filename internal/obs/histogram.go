@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram of int64 observations (nanoseconds,
+// bytes, counts — the unit is the caller's convention, conventionally part
+// of the metric name). An observation v lands in the first bucket whose
+// upper bound satisfies v <= bound; values above every bound land in the
+// implicit overflow (+Inf) bucket. All mutation is atomic, so concurrent
+// writers from every shard are safe, and because bucket counts and the sum
+// are pure sums, any interleaving produces the same final state.
+type Histogram struct {
+	bounds []int64        // ascending, immutable after construction
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. Unsorted or duplicate bounds are a programming error and panic —
+// a histogram with a silently reordered scale would misattribute every
+// observation.
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBounds returns n strictly ascending bounds starting at start, each
+// factor times the previous — the usual latency/size scale (e.g.
+// ExpBounds(1000, 4, 8) covers 1 µs .. ~16 ms in nanoseconds).
+func ExpBounds(start int64, factor float64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	bounds := make([]int64, 0, n)
+	v := float64(start)
+	last := int64(0)
+	for i := 0; i < n; i++ {
+		b := int64(v)
+		if b <= last {
+			b = last + 1
+		}
+		bounds = append(bounds, b)
+		last = b
+		v *= factor
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketFor(v)].Add(1)
+	h.sum.Add(v)
+}
+
+func (h *Histogram) bucketFor(v int64) int {
+	// Buckets are few (≤ ~32); a linear scan beats binary search overhead
+	// and keeps the hot path branch-predictable.
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return append([]int64(nil), h.bounds...)
+}
+
+// BucketCounts returns a copy of the per-bucket counts; the last element is
+// the overflow (+Inf) bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Merge folds another histogram's observations into h. The two must share
+// identical bounds — per-shard histograms merged into a global one are
+// created from the same scale, so a mismatch is a programming error.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merge of mismatched histograms: %d vs %d buckets", len(h.bounds)+1, len(o.bounds)+1)
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("obs: merge of mismatched histograms: bound[%d] %d vs %d", i, b, o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.sum.Add(o.sum.Load())
+	return nil
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if reg.Counter("c_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+
+	g := reg.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoops(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(3)
+	reg.Histogram("z", []int64{1}).Observe(5)
+	if s := reg.Snapshot(); s != "" {
+		t.Fatalf("nil registry snapshot = %q", s)
+	}
+	if v := reg.Values(); v != nil {
+		t.Fatalf("nil registry values = %v", v)
+	}
+	reg.PublishExpvar("nil-reg")
+	var tr *Tracer
+	sp := tr.Begin(StageRules)
+	sp.Enter(StageVerdict)
+	sp.End()
+}
+
+func TestSnapshotDeterministicAcrossInsertionOrder(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("m_b_total").Add(2)
+	a.Gauge("m_a").Set(1)
+	a.Histogram("m_c_ns", []int64{10, 100}).Observe(7)
+
+	b := NewRegistry()
+	b.Histogram("m_c_ns", []int64{10, 100}).Observe(7)
+	b.Gauge("m_a").Set(1)
+	b.Counter("m_b_total").Add(2)
+
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", a.Snapshot(), b.Snapshot())
+	}
+	want := "m_a 1\nm_b_total 2\n" +
+		"m_c_ns_bucket{le=\"10\"} 1\nm_c_ns_bucket{le=\"100\"} 1\nm_c_ns_bucket{le=\"+Inf\"} 1\n" +
+		"m_c_ns_sum 7\nm_c_ns_count 1\n"
+	if got := a.Snapshot(); got != want {
+		t.Fatalf("snapshot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotLabeledHistogramFoldsLe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram(Label("p_stage_ns", "stage", "rules"), []int64{5}).Observe(3)
+	snap := reg.Snapshot()
+	for _, want := range []string{
+		"p_stage_ns_bucket{stage=\"rules\",le=\"5\"} 1\n",
+		"p_stage_ns_bucket{stage=\"rules\",le=\"+Inf\"} 1\n",
+		"p_stage_ns_sum{stage=\"rules\"} 3\n",
+		"p_stage_ns_count{stage=\"rules\"} 1\n",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total", "reason", "rule-hit"); got != "x_total{reason=\"rule-hit\"}" {
+		t.Fatalf("Label = %q", got)
+	}
+}
+
+func TestValuesAndExpvar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("v_total").Add(3)
+	reg.Gauge("v_gauge").Set(-2)
+	reg.Histogram("v_ns", []int64{10}).Observe(4)
+	v := reg.Values()
+	if v["v_total"] != 3 || v["v_gauge"] != -2 || v["v_ns_count"] != 1 || v["v_ns_sum"] != 4 {
+		t.Fatalf("values = %v", v)
+	}
+
+	reg.PublishExpvar("obs-test-registry")
+	reg.PublishExpvar("obs-test-registry") // second publish must not panic
+	ev := expvar.Get("obs-test-registry")
+	if ev == nil {
+		t.Fatal("expvar not published")
+	}
+	if s := ev.String(); !strings.Contains(s, "\"v_total\":3") {
+		t.Fatalf("expvar rendering = %s", s)
+	}
+}
+
+func TestConcurrentCountersUnderRace(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("race_total")
+			g := reg.Gauge("race_gauge")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("race_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("race_gauge").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+}

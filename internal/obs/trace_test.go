@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerCountsAndDeterministicDwell(t *testing.T) {
+	reg := NewRegistry()
+	// A frozen clock is the virtual-clock case: every dwell must be 0 so
+	// traced snapshots are reproducible.
+	frozen := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(reg, "p", func() time.Time { return frozen })
+
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin(StageIntercept)
+		sp.Enter(StageRules)
+		sp.Enter(StageRules) // re-entering the same stage is a no-op
+		sp.Enter(StageVerdict)
+		sp.End()
+		sp.End() // double End is a no-op
+	}
+	if got := reg.Counter(Label("p_stage_total", "stage", "intercept")).Value(); got != 3 {
+		t.Fatalf("intercept count = %d", got)
+	}
+	if got := reg.Counter(Label("p_stage_total", "stage", "rules")).Value(); got != 3 {
+		t.Fatalf("rules count = %d", got)
+	}
+	if got := reg.Counter(Label("p_stage_total", "stage", "grouping")).Value(); got != 0 {
+		t.Fatalf("grouping count = %d", got)
+	}
+	h := reg.Histogram(Label("p_stage_ns", "stage", "verdict"), stageNanoBounds)
+	if h.Count() != 3 || h.Sum() != 0 {
+		t.Fatalf("verdict dwell count=%d sum=%d, want 3/0", h.Count(), h.Sum())
+	}
+}
+
+func TestTracerMeasuresDwellWithMovingClock(t *testing.T) {
+	reg := NewRegistry()
+	now := time.Unix(0, 0)
+	tr := NewTracer(reg, "p", func() time.Time {
+		now = now.Add(100 * time.Nanosecond)
+		return now
+	})
+	sp := tr.Begin(StageRules)
+	sp.Enter(StageVerdict)
+	sp.End()
+	if sum := reg.Histogram(Label("p_stage_ns", "stage", "rules"), stageNanoBounds).Sum(); sum != 100 {
+		t.Fatalf("rules dwell = %d, want 100", sum)
+	}
+}
+
+func TestTracerNilClockStillCounts(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "p", nil)
+	sp := tr.Begin(StageClassify)
+	sp.Enter(StageAttestCheck)
+	sp.End()
+	if got := reg.Counter(Label("p_stage_total", "stage", "attest-check")).Value(); got != 1 {
+		t.Fatalf("attest-check count = %d", got)
+	}
+	h := reg.Histogram(Label("p_stage_ns", "stage", "classify"), stageNanoBounds)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("classify dwell count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	var names []string
+	for _, s := range Stages() {
+		names = append(names, s.String())
+	}
+	want := "intercept,rules,grouping,classify,attest-check,verdict"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("stages = %s, want %s", got, want)
+	}
+	if Stage(250).String() != "unknown" {
+		t.Fatal("out-of-range stage name")
+	}
+}

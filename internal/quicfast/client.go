@@ -4,11 +4,14 @@ import (
 	"crypto/ecdh"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	mrand "math/rand"
 	"net"
 	"time"
+
+	"fiat/internal/obs"
 )
 
 // Client retransmit defaults: the first attempt waits defaultTimeout, each
@@ -47,6 +50,43 @@ type Client struct {
 	ticketID   []byte
 	resumption []byte
 	zeroPkt    uint32
+
+	mx clientMetrics
+}
+
+// clientMetrics are the client's transport counters: which path delivered
+// (0-RTT vs 1-RTT vs after a forced re-handshake), the raw attempt /
+// retransmit mix, and the backoff schedule actually waited out. All handles
+// are nil (no-op) until WithObs installs a registry.
+type clientMetrics struct {
+	deliver0RTT  *obs.Counter
+	deliver1RTT  *obs.Counter
+	rehandshakes *obs.Counter
+	attempts     *obs.Counter
+	retransmits  *obs.Counter
+	rejects      *obs.Counter
+	timeouts     *obs.Counter
+	backoffMS    *obs.Histogram
+}
+
+// backoffMSBounds covers the clamped retransmit schedule: 1 ms .. ~16 s.
+var backoffMSBounds = obs.ExpBounds(1, 4, 8)
+
+// WithObs wires the client's transport metrics into reg under the
+// fiat_quicfast_client_* names.
+func WithObs(reg *obs.Registry) ClientOption {
+	return func(c *Client) {
+		c.mx = clientMetrics{
+			deliver0RTT:  reg.Counter(obs.Label("fiat_quicfast_client_deliver_total", "path", "0rtt")),
+			deliver1RTT:  reg.Counter(obs.Label("fiat_quicfast_client_deliver_total", "path", "1rtt")),
+			rehandshakes: reg.Counter("fiat_quicfast_client_rehandshakes_total"),
+			attempts:     reg.Counter("fiat_quicfast_client_attempts_total"),
+			retransmits:  reg.Counter("fiat_quicfast_client_retransmits_total"),
+			rejects:      reg.Counter("fiat_quicfast_client_rejects_total"),
+			timeouts:     reg.Counter("fiat_quicfast_client_timeouts_total"),
+			backoffMS:    reg.Histogram("fiat_quicfast_client_backoff_ms", backoffMSBounds),
+		}
+	}
 }
 
 // ClientOption customizes a Client.
@@ -251,22 +291,29 @@ func (c *Client) Deliver(payload []byte) (zeroRTT bool, err error) {
 	case c.CanZeroRTT():
 		err = c.SendZeroRTT(payload)
 		if err == nil {
+			c.mx.deliver0RTT.Inc()
 			return true, nil
 		}
 	case c.keys != nil:
 		err = c.Send(payload)
 		if err == nil {
+			c.mx.deliver1RTT.Inc()
 			return false, nil
 		}
 	}
 	if err != nil && !NeedsRehandshake(err) && !Retryable(err) {
 		return false, err // fatal: re-handshaking cannot help
 	}
+	c.mx.rehandshakes.Inc()
 	c.ForgetSession()
 	if err := c.Handshake(); err != nil {
 		return false, err
 	}
-	return false, c.Send(payload)
+	if err := c.Send(payload); err != nil {
+		return false, err
+	}
+	c.mx.deliver1RTT.Inc()
+	return false, nil
 }
 
 // RawZeroRTTDatagram builds (without sending) a 0-RTT packet — used by the
@@ -304,11 +351,23 @@ func (c *Client) Inject(pkt []byte) error {
 // pointless and the caller must re-handshake. Rejects are unauthenticated,
 // but can at worst downgrade a 0-RTT send to a fresh 1-RTT handshake —
 // they never bypass authentication.
+//
+// When every attempt runs out its timeout, the returned error joins the
+// per-attempt failures with ErrTimeout (errors.Join), so the caller's log
+// shows the full retransmit history — each attempt's timeout budget and
+// underlying read error — while errors.Is(err, ErrTimeout) (and therefore
+// Retryable) still holds.
 func (c *Client) exchange(pkt []byte, wantType byte, wantPrefix []byte, rejectErr error) ([]byte, error) {
 	buf := make([]byte, 65535)
 	defer c.conn.SetReadDeadline(time.Time{})
 	timeout := c.timeout
+	attemptErrs := make([]error, 0, c.retries+1)
 	for attempt := 0; attempt <= c.retries; attempt++ {
+		c.mx.attempts.Inc()
+		if attempt > 0 {
+			c.mx.retransmits.Inc()
+		}
+		c.mx.backoffMS.Observe(timeout.Milliseconds())
 		if _, err := c.conn.WriteTo(pkt, c.remote); err != nil {
 			return nil, fmt.Errorf("quicfast: write: %w", err)
 		}
@@ -319,12 +378,18 @@ func (c *Client) exchange(pkt []byte, wantType byte, wantPrefix []byte, rejectEr
 			}
 			n, _, err := c.conn.ReadFrom(buf)
 			if err != nil {
-				break // timeout: back off and retransmit
+				// Timeout (or transient read failure): record this
+				// attempt's outcome, back off, retransmit.
+				attemptErrs = append(attemptErrs,
+					fmt.Errorf("quicfast: attempt %d/%d (waited %v): %w",
+						attempt+1, c.retries+1, timeout, err))
+				break
 			}
 			if n < 1+len(wantPrefix) {
 				continue
 			}
 			if rejectErr != nil && buf[0] == ptReject && hmacEqual(buf[1:1+len(wantPrefix)], wantPrefix) {
+				c.mx.rejects.Inc()
 				return nil, rejectErr
 			}
 			if buf[0] != wantType {
@@ -342,7 +407,8 @@ func (c *Client) exchange(pkt []byte, wantType byte, wantPrefix []byte, rejectEr
 			timeout = c.timeoutMax
 		}
 	}
-	return nil, ErrTimeout
+	c.mx.timeouts.Inc()
+	return nil, errors.Join(append(attemptErrs, ErrTimeout)...)
 }
 
 // jittered perturbs an attempt timeout by ±jitterFrac.

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"fiat/internal/obs"
 )
 
 // Message is one decrypted application payload delivered to the server.
@@ -37,6 +39,35 @@ type Server struct {
 	// Stats counts protocol events; it is guarded by mu. Read it via
 	// StatsSnapshot while Serve is running.
 	Stats ServerStats
+
+	mx serverMetrics
+}
+
+// serverMetrics mirrors ServerStats into a registry (nil handles are no-ops
+// until WithServerObs installs one), so the attestation transport shows up
+// in the same snapshot as the decision pipeline.
+type serverMetrics struct {
+	handshakes   *obs.Counter
+	messages     *obs.Counter
+	zeroRTT      *obs.Counter
+	replays      *obs.Counter
+	authFailures *obs.Counter
+	rejects      *obs.Counter
+}
+
+// WithServerObs wires the server's protocol counters into reg under the
+// fiat_quicfast_server_* names.
+func WithServerObs(reg *obs.Registry) ServerOption {
+	return func(s *Server) {
+		s.mx = serverMetrics{
+			handshakes:   reg.Counter("fiat_quicfast_server_handshakes_total"),
+			messages:     reg.Counter("fiat_quicfast_server_messages_total"),
+			zeroRTT:      reg.Counter("fiat_quicfast_server_zero_rtt_total"),
+			replays:      reg.Counter("fiat_quicfast_server_replays_total"),
+			authFailures: reg.Counter("fiat_quicfast_server_auth_failures_total"),
+			rejects:      reg.Counter("fiat_quicfast_server_rejects_total"),
+		}
+	}
 }
 
 // ServerStats are the protocol event counters.
@@ -140,6 +171,7 @@ func (s *Server) handleInitial(pkt []byte, addr net.Addr) {
 	if !hmacEqual(pskMAC(s.psk, []byte("init"), connID, cpubRaw, crandom), mac) {
 		s.mu.Lock()
 		s.Stats.AuthFailures++
+		s.mx.authFailures.Inc()
 		s.mu.Unlock()
 		return
 	}
@@ -190,6 +222,7 @@ func (s *Server) handleInitial(pkt []byte, addr net.Addr) {
 	s.sessions[string(connID)] = &serverSession{keys: keys}
 	s.tickets[string(ticketID)] = &ticketState{resumption: resumption}
 	s.Stats.Handshakes++
+	s.mx.handshakes.Inc()
 	s.mu.Unlock()
 
 	_, _ = s.conn.WriteTo(reply, addr)
@@ -214,17 +247,20 @@ func (s *Server) handleData(pkt []byte, addr net.Addr) {
 	if err != nil {
 		s.mu.Lock()
 		s.Stats.AuthFailures++
+		s.mx.authFailures.Inc()
 		s.mu.Unlock()
 		return
 	}
 	s.mu.Lock()
 	if pktNum <= sess.highPkt {
 		s.Stats.Replays++
+		s.mx.replays.Inc()
 		s.mu.Unlock()
 		return
 	}
 	sess.highPkt = pktNum
 	s.Stats.Messages++
+	s.mx.messages.Inc()
 	s.mu.Unlock()
 
 	ack := make([]byte, 0, 64)
@@ -266,18 +302,22 @@ func (s *Server) handleZeroRTT(pkt []byte, addr net.Addr) {
 	if err != nil {
 		s.mu.Lock()
 		s.Stats.AuthFailures++
+		s.mx.authFailures.Inc()
 		s.mu.Unlock()
 		return
 	}
 	s.mu.Lock()
 	if pktNum <= tk.highPkt {
 		s.Stats.Replays++
+		s.mx.replays.Inc()
 		s.mu.Unlock()
 		return
 	}
 	tk.highPkt = pktNum
 	s.Stats.Messages++
 	s.Stats.ZeroRTT++
+	s.mx.messages.Inc()
+	s.mx.zeroRTT.Inc()
 	s.mu.Unlock()
 
 	ack := make([]byte, 0, 64)
@@ -302,6 +342,7 @@ func (s *Server) handleZeroRTT(pkt []byte, addr net.Addr) {
 func (s *Server) reject(echo []byte, addr net.Addr) {
 	s.mu.Lock()
 	s.Stats.Rejects++
+	s.mx.rejects.Inc()
 	s.mu.Unlock()
 	rej := make([]byte, 0, 1+len(echo))
 	rej = append(rej, ptReject)
