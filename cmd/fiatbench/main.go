@@ -4,6 +4,13 @@
 // Usage:
 //
 //	fiatbench [-scale quick|full] [-seed N] [all|ablations|<id>...]
+//	fiatbench -rulebench [-rulebench-out BENCH_4.json] [-devices N] [-shards N] [-seed N]
+//
+// -rulebench skips the experiments and instead runs the rule-match
+// microbenchmark: the legacy mutex-serialized RuleTable.Match path against
+// the compiled lock-free CompiledRules.Match path on the same seeded
+// workload, writing the comparison (ns/op, ops/sec, allocs/op, speedup) to
+// -rulebench-out.
 //
 // Experiment ids: fig1a fig1b fig1c inspector fig2 ncomplete table2 table3
 // table4 table5 table6 table7 delay, plus the ablations
@@ -29,7 +36,16 @@ func main() {
 	seed := flag.Int64("seed", 7, "random seed for all corpora")
 	htmlOut := flag.String("html", "", "also write the results as a self-contained HTML report")
 	showMetrics := flag.Bool("metrics", true, "after the experiments, print the deterministic metrics snapshot of a seeded end-to-end scenario")
+	ruleBench := flag.Bool("rulebench", false, "run the legacy-vs-compiled rule-match microbenchmark instead of the experiments")
+	ruleBenchOut := flag.String("rulebench-out", "BENCH_4.json", "where -rulebench writes its JSON result")
+	benchDevices := flag.Int("devices", 64, "device count for -rulebench")
+	benchShards := flag.Int("shards", 8, "shard-worker count for -rulebench")
 	flag.Parse()
+
+	if *ruleBench {
+		runRuleBench(*benchDevices, *benchShards, *seed, *ruleBenchOut)
+		return
+	}
 
 	var sc experiments.Scale
 	switch strings.ToLower(*scaleName) {
@@ -112,6 +128,23 @@ func main() {
 	}
 	fmt.Printf("fiatbench: %d experiment(s), scale=%s, seed=%d, %.1fs\n",
 		len(results), *scaleName, *seed, time.Since(start).Seconds())
+}
+
+// runRuleBench measures the frozen-rule match path before and after
+// compilation and writes the BENCH_4.json comparison.
+func runRuleBench(devices, shards int, seed int64, out string) {
+	fmt.Printf("fiatbench: rule-match microbenchmark, %d devices x %d shards, seed=%d\n", devices, shards, seed)
+	res := experiments.RuleMatchBench(devices, shards, seed)
+	fmt.Printf("  legacy   %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
+		res.Legacy.NsPerOp, res.Legacy.OpsPerSec, res.Legacy.AllocsPerOp)
+	fmt.Printf("  compiled %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
+		res.Compiled.NsPerOp, res.Compiled.OpsPerSec, res.Compiled.AllocsPerOp)
+	fmt.Printf("  speedup  %.2fx\n", res.Speedup)
+	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fiatbench: rule-match benchmark -> %s\n", out)
 }
 
 // printMetricsSnapshot replays one seeded chaos scenario — burst loss and a

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+	"fiat/internal/keystore"
+	"fiat/internal/simclock"
+)
+
+// TestProcessRuleHitZeroAllocs is the allocation guard on the proxy's
+// per-packet hot path: once a device's rules are frozen and compiled, a
+// rule-hit packet must traverse intercept → compiled match → verdict →
+// commit without a single heap allocation. The guard fails with the measured
+// number so a regression is immediately quantified.
+func TestProcessRuleHitZeroAllocs(t *testing.T) {
+	clock := simclock.NewVirtual()
+	ks, err := keystore.New(rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	validator, _, err := sharedValidator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shards > 1 keeps the FNV device-to-shard hash on the measured path.
+	p := NewProxy(clock, ks, validator, Config{Bootstrap: 5 * time.Minute, Shards: 8})
+	const dev = "plug"
+	if err := p.AddDevice(DeviceConfig{Name: dev, Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := flows.Record{
+		Time: clock.Now(), Size: 180, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: cloudIP, RemoteDomain: "cloud.example",
+		LocalPort: 40000, RemotePort: 443,
+	}
+	// Learn a 1-minute heartbeat during bootstrap.
+	for i := 0; i < 4; i++ {
+		if d := p.Process(dev, rec, ""); d.Reason != ReasonBootstrap {
+			t.Fatalf("bootstrap packet %d: %+v", i, d)
+		}
+		clock.Advance(time.Minute)
+		rec.Time = rec.Time.Add(time.Minute)
+	}
+	// Step past the bootstrap window; the first post-bootstrap packet
+	// freezes, compiles, and rule-hits. It is the warm-up, outside the
+	// measured window.
+	clock.Advance(time.Minute)
+	if d := p.Process(dev, rec, ""); d.Reason != ReasonRuleHit {
+		t.Fatalf("warm-up packet: %+v (rules did not freeze into a hit)", d)
+	}
+	if _, ok := p.CompiledRules(dev); !ok {
+		t.Fatal("compiled rules not installed after freeze")
+	}
+
+	misses := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		rec.Time = rec.Time.Add(time.Minute)
+		if d := p.Process(dev, rec, ""); d.Reason != ReasonRuleHit {
+			misses++
+		}
+	})
+	if misses > 0 {
+		t.Fatalf("%d measured packets were not rule hits; the guard measured the wrong path", misses)
+	}
+	if allocs != 0 {
+		t.Fatalf("rule-hit Process allocates: measured %v allocs/op, want 0", allocs)
+	}
+}

@@ -28,6 +28,7 @@ var allReasons = []Reason{
 // tracer (see internal/obs).
 type coreMetrics struct {
 	reg *obs.Registry
+	now func() time.Time
 
 	packets, allowed, dropped       *obs.Counter
 	ruleHits                        *obs.Counter
@@ -35,22 +36,27 @@ type coreMetrics struct {
 	attestationsOK, attestationsBad *obs.Counter
 	pendingHeld, lateAdmitted       *obs.Counter
 	pendingExpired, outageExcused   *obs.Counter
+	ruleCompiles, ruleMatches       *obs.Counter
 	reasons                         map[Reason]*obs.Counter
 
 	lockedDevices *obs.Gauge
 	pendingDepth  *obs.Gauge
+	compiledKeys  *obs.Gauge
 
 	batchNanos *obs.Histogram
 	batchSize  *obs.Histogram
+	matchNanos *obs.Histogram
 
 	tracer *obs.Tracer
 }
 
 // batchNanoBounds spans 1 µs .. ~4 s; batchSizeBounds spans 1 .. 4096
-// packets per ProcessBatch call.
+// packets per ProcessBatch call; matchNanoBounds spans 50 ns .. ~800 µs,
+// the plausible range of one compiled or mutex rule-match.
 var (
 	batchNanoBounds = obs.ExpBounds(1000, 4, 11)
 	batchSizeBounds = obs.ExpBounds(1, 4, 7)
+	matchNanoBounds = obs.ExpBounds(50, 4, 8)
 )
 
 // newCoreMetrics wires the proxy's metrics into reg (nil reg yields no-op
@@ -70,21 +76,43 @@ func newCoreMetrics(reg *obs.Registry, clock simclock.Clock) *coreMetrics {
 		lateAdmitted:    reg.Counter("fiat_core_late_admitted_total"),
 		pendingExpired:  reg.Counter("fiat_core_pending_expired_total"),
 		outageExcused:   reg.Counter("fiat_core_outage_excused_total"),
+		ruleCompiles:    reg.Counter("fiat_core_rule_compiles_total"),
+		ruleMatches:     reg.Counter("fiat_core_rule_match_total"),
 		reasons:         make(map[Reason]*obs.Counter, len(allReasons)),
 		lockedDevices:   reg.Gauge("fiat_core_locked_devices"),
 		pendingDepth:    reg.Gauge("fiat_core_pending_depth"),
+		compiledKeys:    reg.Gauge("fiat_core_compiled_rule_keys"),
 		batchNanos:      reg.Histogram("fiat_core_batch_ns", batchNanoBounds),
 		batchSize:       reg.Histogram("fiat_core_batch_size", batchSizeBounds),
+		matchNanos:      reg.Histogram("fiat_core_rule_match_ns", matchNanoBounds),
 	}
 	for _, r := range allReasons {
 		m.reasons[r] = reg.Counter(obs.Label("fiat_core_decisions_total", "reason", string(r)))
 	}
-	var now func() time.Time
 	if clock != nil {
-		now = clock.Now
+		m.now = clock.Now
 	}
-	m.tracer = obs.NewTracer(reg, "fiat_core", now)
+	m.tracer = obs.NewTracer(reg, "fiat_core", m.now)
 	return m
+}
+
+// matchStart samples the match-latency clock (zero when no time source is
+// wired, and a deterministic constant under a virtual clock, so snapshot
+// oracles keep holding).
+func (m *coreMetrics) matchStart() time.Time {
+	if m.now == nil {
+		return time.Time{}
+	}
+	return m.now()
+}
+
+// matchDone records one stage-1 rule-match latency observation.
+func (m *coreMetrics) matchDone(start time.Time) {
+	if m.now == nil {
+		m.matchNanos.Observe(0)
+		return
+	}
+	m.matchNanos.Observe(m.now().Sub(start).Nanoseconds())
 }
 
 // applyDelta mirrors one merged statDelta into the registry counters.
@@ -103,6 +131,11 @@ func (m *coreMetrics) applyDelta(d statDelta) {
 	m.pendingHeld.Add(int64(d.pendingHeld))
 	m.pendingExpired.Add(int64(d.pendingExpired))
 	m.outageExcused.Add(int64(d.outageExcused))
+	m.ruleCompiles.Add(int64(d.ruleCompiles))
+	m.ruleMatches.Add(int64(d.ruleMatches))
+	// The compiled-keys gauge grows by each freeze's interned-key count;
+	// deltas are sums, so shard-merged and sequential runs agree.
+	m.compiledKeys.Add(int64(d.compiledKeys))
 }
 
 // noteEntry counts one audit-log append by reason; the caller holds p.mu

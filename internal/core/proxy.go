@@ -117,6 +117,13 @@ type Config struct {
 	// PendingMax bounds the held-decision queue (default 64); overflow
 	// evicts the oldest entry, which is then finalized as expired.
 	PendingMax int
+	// LegacyRules keeps stage-1 matching on the serialized mutable
+	// RuleTable.Match path after the freeze instead of the compiled
+	// lock-free engine. It exists as the reference arm of the differential
+	// and benchmark suites, not for production use; both arms freeze,
+	// compile, and count identically, so their obs snapshots stay
+	// byte-comparable.
+	LegacyRules bool
 	// Obs is the metrics registry the proxy publishes into. Nil creates a
 	// private registry (reachable via Metrics), so instrumentation is
 	// always on; pass a shared registry to merge proxy metrics with
@@ -181,6 +188,9 @@ type ProxyStats struct {
 	EventsNonManual           int
 	AttestationsOK            int
 	AttestationsBad           int
+	// RuleCompiles counts devices whose rule tables hit the freeze point
+	// and were compiled into the immutable enforcement form.
+	RuleCompiles int
 	// Degraded-mode dispositions (PendingWindow > 0).
 	PendingHeld    int
 	LateAdmitted   int
@@ -432,6 +442,7 @@ func (p *Proxy) applyDeltaLocked(d statDelta) {
 	p.Stats.PendingHeld += d.pendingHeld
 	p.Stats.PendingExpired += d.pendingExpired
 	p.Stats.OutageExcused += d.outageExcused
+	p.Stats.RuleCompiles += d.ruleCompiles
 	p.metrics.applyDelta(d)
 }
 
@@ -454,6 +465,20 @@ func (p *Proxy) Rules(device string) (*flows.RuleTable, bool) {
 		return nil, false
 	}
 	return ds.rules, true
+}
+
+// CompiledRules exposes a device's immutable enforcement-phase rule engine
+// (nil until the device's freeze point, or when Config.LegacyRules keeps the
+// device on the serialized path).
+func (p *Proxy) CompiledRules(device string) (*flows.CompiledRules, bool) {
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds, ok := sh.devices[device]
+	if !ok || ds.compiled == nil {
+		return nil, false
+	}
+	return ds.compiled, true
 }
 
 // Locked reports whether the device is disconnected pending review.

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+	"fiat/internal/keystore"
+	"fiat/internal/simclock"
+)
+
+// buildSeededTrace generates one randomized multi-device differential trace:
+// bootstrap learning (including unresolved-domain flows that exercise the
+// compiled address fallback), post-freeze on-period heartbeats, off-period
+// probes, unpredictable bursts, attested and unattested manual commands, and
+// an unknown device. Everything derives from rng, so a seed pins the trace.
+func buildSeededTrace(start time.Time, rng *rand.Rand) []diffStep {
+	var steps []diffStep
+	at := start
+	rawIP := func(i int) netip.Addr {
+		return netip.AddrFrom4([4]byte{10, 0, byte(i), 7})
+	}
+	hb := func(i int) flows.Record {
+		r := diffRec(at, 128+i, flows.CategoryControl)
+		if i%2 == 1 {
+			// Unresolved domain: buckets under the IP literal, matched
+			// through the compiled address fallback after the freeze.
+			r.RemoteDomain = ""
+			r.RemoteIP = rawIP(i)
+		}
+		return r
+	}
+	heartbeats := func() []PacketIn {
+		var b []PacketIn
+		for i, d := range diffDevices {
+			b = append(b, PacketIn{Device: d.name, Rec: hb(i)})
+		}
+		return b
+	}
+	step := func(adv time.Duration, s diffStep) {
+		at = at.Add(adv)
+		s.Advance = adv
+		steps = append(steps, s)
+	}
+
+	// Bootstrap: one-minute beats with a random count (>= 6 so every bucket
+	// recurs enough to form rules before the 5-minute bootstrap ends).
+	beats := 6 + rng.Intn(4)
+	for i := 0; i < beats; i++ {
+		step(time.Minute, diffStep{Batch: heartbeats()})
+	}
+
+	cmd := func(dev string, size int) PacketIn {
+		return PacketIn{Device: dev, Rec: diffRec(at, size, flows.CategoryManual)}
+	}
+	names := func() []string {
+		var out []string
+		for _, d := range diffDevices {
+			out = append(out, d.name)
+		}
+		return out
+	}
+
+	// Randomized post-freeze phases.
+	phases := 6 + rng.Intn(6)
+	for ph := 0; ph < phases; ph++ {
+		switch rng.Intn(4) {
+		case 0: // on-period heartbeats: rule hits on both engines
+			step(time.Minute, diffStep{Batch: heartbeats()})
+		case 1: // off-period probes: same buckets, broken interval
+			adv := time.Duration(7+rng.Intn(40)) * time.Second
+			step(adv, diffStep{Batch: heartbeats(), Flush: names()})
+		case 2: // unpredictable burst on a random subset of devices
+			var burst []PacketIn
+			var flush []string
+			for i, d := range diffDevices {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				n := 1 + rng.Intn(6)
+				for j := 0; j < n; j++ {
+					burst = append(burst, PacketIn{Device: d.name, Rec: diffRec(at, 700+13*i+j, flows.CategoryAutomated)})
+				}
+				flush = append(flush, d.name)
+			}
+			burst = append(burst, PacketIn{Device: "ghost", Rec: diffRec(at, 50, flows.CategoryUnknown)})
+			step(15*time.Second, diffStep{Batch: burst, Flush: flush})
+		default: // manual commands, some attested
+			var attest []string
+			var batch []PacketIn
+			var flush []string
+			for _, d := range diffDevices {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					attest = append(attest, d.name)
+				}
+				n := 1 + rng.Intn(3)
+				for j := 0; j < n; j++ {
+					batch = append(batch, cmd(d.name, d.size))
+				}
+				flush = append(flush, d.name)
+			}
+			step(25*time.Second, diffStep{Attest: attest, Batch: batch, Flush: flush})
+		}
+	}
+	return steps
+}
+
+// TestCompiledEngineMatchesLegacyDifferential replays three seeded
+// multi-device traces through a proxy on the legacy serialized
+// RuleTable.Match path and a proxy on the compiled lock-free engine, and
+// requires byte-identical verdict sequences, audit logs, stats, lockout
+// states, and obs snapshots. Any divergence means the compiled engine is not
+// a faithful drop-in for the hottest per-packet structure.
+func TestCompiledEngineMatchesLegacyDifferential(t *testing.T) {
+	for _, seed := range []int64{11, 23, 47} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			clock := simclock.NewVirtual()
+			ks, err := keystore.New(rand.New(rand.NewSource(300 + seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			phoneKS, err := keystore.New(rand.New(rand.NewSource(400 + seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			offer, err := keystore.NewPairingOffer(ks, rand.New(rand.NewSource(500 + seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := keystore.AcceptPairing(phoneKS, offer); err != nil {
+				t.Fatal(err)
+			}
+			validator, gen, err := sharedValidator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			app := NewClientApp(clock, phoneKS)
+			for _, d := range diffDevices {
+				app.BindApp("app."+d.name, d.name)
+			}
+
+			build := func(legacy bool) *Proxy {
+				p := NewProxy(clock, ks, validator, Config{
+					Bootstrap: 5 * time.Minute, Shards: 4, LegacyRules: legacy,
+				})
+				for _, d := range diffDevices {
+					if err := p.AddDevice(DeviceConfig{
+						Name: d.name, Classifier: RuleClassifier{NotificationSize: d.size}, GraceN: d.graceN,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return p
+			}
+			legacy, compiled := build(true), build(false)
+
+			var legacyDecisions, compiledDecisions []Decision
+			for si, s := range buildSeededTrace(clock.Now(), rand.New(rand.NewSource(seed))) {
+				clock.Advance(s.Advance)
+				for _, dev := range s.Attest {
+					payload, err := app.Attest("app."+dev, gen.Human())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := legacy.HandleAttestation(payload); err != nil {
+						t.Fatalf("step %d: legacy attestation: %v", si, err)
+					}
+					if _, err := compiled.HandleAttestation(payload); err != nil {
+						t.Fatalf("step %d: compiled attestation: %v", si, err)
+					}
+				}
+				legacyDecisions = append(legacyDecisions, legacy.ProcessBatch(s.Batch)...)
+				compiledDecisions = append(compiledDecisions, compiled.ProcessBatch(s.Batch)...)
+				for _, dev := range s.Flush {
+					lw, cw := legacy.FlushEvent(dev), compiled.FlushEvent(dev)
+					if !reflect.DeepEqual(lw, cw) {
+						t.Fatalf("step %d: FlushEvent(%s): legacy %+v, compiled %+v", si, dev, lw, cw)
+					}
+				}
+			}
+
+			if len(legacyDecisions) != len(compiledDecisions) {
+				t.Fatalf("decision counts differ: legacy %d, compiled %d", len(legacyDecisions), len(compiledDecisions))
+			}
+			for i := range legacyDecisions {
+				if legacyDecisions[i] != compiledDecisions[i] {
+					t.Fatalf("decision %d: legacy %+v, compiled %+v", i, legacyDecisions[i], compiledDecisions[i])
+				}
+			}
+			wantStats := legacy.StatsSnapshot()
+			if wantStats.RuleHits == 0 || wantStats.RuleCompiles == 0 || wantStats.Packets < 50 {
+				t.Fatalf("trace misses the rule path: %+v", wantStats)
+			}
+			if got := compiled.StatsSnapshot(); got != wantStats {
+				t.Fatalf("stats diverge:\ncompiled %+v\nlegacy   %+v", got, wantStats)
+			}
+			if got, want := compiled.Log(), legacy.Log(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("audit logs diverge (compiled %d entries, legacy %d)", len(got), len(want))
+			}
+			for _, d := range diffDevices {
+				if got, want := compiled.Locked(d.name), legacy.Locked(d.name); got != want {
+					t.Fatalf("Locked(%s): compiled %v, legacy %v", d.name, got, want)
+				}
+			}
+			wantSnap := legacy.Metrics().Snapshot()
+			if gotSnap := compiled.Metrics().Snapshot(); gotSnap != wantSnap {
+				t.Fatalf("obs snapshots diverge:\n%s", firstDiffLine(gotSnap, wantSnap))
+			}
+			// The compiled engine must actually be installed on the compiled
+			// arm — otherwise this differential is comparing legacy to legacy.
+			if _, ok := compiled.CompiledRules(diffDevices[0].name); !ok {
+				t.Fatal("compiled proxy has no CompiledRules installed")
+			}
+			if _, ok := legacy.CompiledRules(diffDevices[0].name); ok {
+				t.Fatal("legacy proxy unexpectedly switched to the compiled engine")
+			}
+		})
+	}
+}

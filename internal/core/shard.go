@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"sync"
 	"time"
 
@@ -28,11 +27,29 @@ type deviceState struct {
 	cfg     DeviceConfig
 	rules   *flows.RuleTable
 	grouper *events.Grouper
+	// compiled/arrival are the enforcement-phase rule engine, installed at
+	// the freeze point: the immutable compiled table plus this shard's own
+	// arrival-state block, so the frozen match path takes no lock and
+	// allocates nothing (nil when Config.LegacyRules keeps the serialized
+	// RuleTable.Match path).
+	compiled *flows.CompiledRules
+	arrival  *flows.ArrivalState
 	// current event decision state
 	evPackets  int
 	evDecision *Decision
 	drops      []time.Time
 	locked     bool
+}
+
+// matchRules runs the stage-1 predictability check through whichever rule
+// engine the device is on. The caller holds the owning shard's mutex, which
+// is what makes the lock-free compiled path safe: the arrival state is only
+// ever touched by the one shard that owns the device.
+func (ds *deviceState) matchRules(rec flows.Record) bool {
+	if ds.compiled != nil {
+		return ds.compiled.Match(&rec, ds.arrival)
+	}
+	return ds.rules.Match(rec)
 }
 
 // statDelta accumulates the stats produced by packets before they are merged
@@ -45,6 +62,8 @@ type statDelta struct {
 	attestationsOK, attestationsBad int
 	pendingHeld, pendingExpired     int
 	outageExcused                   int
+	ruleCompiles, ruleMatches       int
+	compiledKeys                    int
 }
 
 func (d *statDelta) add(o statDelta) {
@@ -59,6 +78,9 @@ func (d *statDelta) add(o statDelta) {
 	d.pendingHeld += o.pendingHeld
 	d.pendingExpired += o.pendingExpired
 	d.outageExcused += o.outageExcused
+	d.ruleCompiles += o.ruleCompiles
+	d.ruleMatches += o.ruleMatches
+	d.compiledKeys += o.compiledKeys
 }
 
 func (d *statDelta) count(v Verdict) {
@@ -78,16 +100,24 @@ type outcome struct {
 	delta statDelta
 }
 
-// shardIndex hash-assigns a device name to a shard (FNV-1a). The assignment
-// is stable across runs and independent of registration order, so replays
-// partition identically.
+// shardIndex hash-assigns a device name to a shard (FNV-1a, inlined so the
+// per-packet path does not allocate a hasher or copy the name to a byte
+// slice). The assignment is stable across runs and independent of
+// registration order, so replays partition identically.
 func (p *Proxy) shardIndex(device string) int {
 	if len(p.shards) == 1 {
 		return 0
 	}
-	h := fnv.New64a()
-	h.Write([]byte(device))
-	return int(h.Sum64() % uint64(len(p.shards)))
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for i := 0; i < len(device); i++ {
+		h ^= uint64(device[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(p.shards)))
 }
 
 func (p *Proxy) shardFor(device string) *shard {
@@ -98,15 +128,20 @@ func (p *Proxy) shardFor(device string) *shard {
 // sh.mu; now is the verdict timestamp (sampled once per batch on the batched
 // path — see ProcessBatch's determinism contract). A trace span follows the
 // packet across the stages; every packet ends in StageVerdict, so the
-// verdict stage counter equals the packet counter by construction.
+// verdict stage counter equals the packet counter by construction. The span
+// is closed here rather than by a deferred closure so the rule-hit path
+// stays free of heap allocations (TestProcessRuleHitZeroAllocs).
 func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer string, now time.Time) outcome {
+	sp := p.metrics.tracer.Begin(obs.StageIntercept)
+	o := p.processSpanned(sh, device, rec, peer, now, &sp)
+	sp.Enter(obs.StageVerdict)
+	sp.End()
+	return o
+}
+
+func (p *Proxy) processSpanned(sh *shard, device string, rec flows.Record, peer string, now time.Time, sp *obs.Span) outcome {
 	var o outcome
 	o.delta.packets++
-	sp := p.metrics.tracer.Begin(obs.StageIntercept)
-	defer func() {
-		sp.Enter(obs.StageVerdict)
-		sp.End()
-	}()
 	ds, ok := sh.devices[device]
 	if !ok {
 		// Unknown devices are not FIAT-protected; fail open like the
@@ -124,7 +159,18 @@ func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer s
 		return o
 	}
 	if !ds.rules.Frozen() {
+		// Freeze point: end learning and install the compiled engine (the
+		// legacy escape hatch still freezes — and the compile still runs and
+		// is counted, so legacy and compiled runs stay snapshot-identical —
+		// it just keeps matching through the mutex path).
 		ds.rules.Freeze()
+		cr := ds.rules.Compiled()
+		if !p.cfg.LegacyRules {
+			ds.compiled = cr
+			ds.arrival = cr.NewArrivalState()
+		}
+		o.delta.ruleCompiles++
+		o.delta.compiledKeys += cr.NumKeys()
 	}
 
 	// Device-to-device DAG rules bypass the pipeline.
@@ -136,7 +182,11 @@ func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer s
 
 	// Stage 1: predictable?
 	sp.Enter(obs.StageRules)
-	if ds.rules.Match(rec) {
+	o.delta.ruleMatches++
+	matchStart := p.metrics.matchStart()
+	hit := ds.matchRules(rec)
+	p.metrics.matchDone(matchStart)
+	if hit {
 		o.delta.ruleHits++
 		o.delta.allowed++
 		o.d = Decision{Verdict: Allow, Reason: ReasonRuleHit}
@@ -160,7 +210,7 @@ func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer s
 			o.d = Decision{Verdict: Allow, Reason: ReasonGraceN}
 			return o
 		}
-		d := p.decideEvent(ds, now, &o, &sp)
+		d := p.decideEvent(ds, now, &o, sp)
 		ds.evDecision = &d
 		o.d = d
 		return o

@@ -1,0 +1,234 @@
+// Rule-match microbenchmark (ISSUE 4): the before/after comparison of the
+// serialized mutable RuleTable.Match path against the compiled lock-free
+// CompiledRules.Match path, on the workload shape the acceptance criterion
+// names — 64 devices hash-partitioned over 8 shard workers, each worker
+// sweeping its devices' post-freeze probe traces. cmd/fiatbench drives this
+// to emit BENCH_4.json; the flows package wraps the same world in
+// BenchmarkRuleMatch for `go test -bench`.
+package experiments
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+)
+
+// RuleBenchWorld is one prepared rule-match workload: per-device learned
+// tables in both forms plus a fixed per-device probe trace. Build it once
+// and run either arm any number of times; the legacy and compiled arms see
+// identical record sequences.
+type RuleBenchWorld struct {
+	Devices int
+	Shards  int
+
+	legacy   []*flows.RuleTable
+	compiled []*flows.CompiledRules
+	arrival  []*flows.ArrivalState // one block per device, owned by its shard
+	traces   [][]flows.Record
+	byShard  [][]int // shard -> device indices
+}
+
+// NewRuleBenchWorld learns `devices` rule tables (a handful of periodic
+// flows each, one with an unresolved IP-literal domain to keep the address
+// fallback on the measured path), freezes and compiles them, and
+// precomputes each device's probe trace: a mix of on-period hits, off-period
+// misses, and unknown buckets, seeded so every build is identical.
+func NewRuleBenchWorld(devices, shards int, seed int64) *RuleBenchWorld {
+	if devices <= 0 {
+		devices = 64
+	}
+	if shards <= 0 {
+		shards = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &RuleBenchWorld{
+		Devices:  devices,
+		Shards:   shards,
+		legacy:   make([]*flows.RuleTable, devices),
+		compiled: make([]*flows.CompiledRules, devices),
+		arrival:  make([]*flows.ArrivalState, devices),
+		traces:   make([][]flows.Record, devices),
+		byShard:  make([][]int, shards),
+	}
+	start := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	domains := []string{"cloud.example", "hub.example", "telemetry.example", ""}
+	for d := 0; d < devices; d++ {
+		rt := flows.NewRuleTable(flows.ModePortLess)
+		ip := netip.AddrFrom4([4]byte{10, 1, byte(d), 9})
+		flowsOf := make([]flows.Record, 0, len(domains))
+		for fi, dom := range domains {
+			flowsOf = append(flowsOf, flows.Record{
+				Size: 96 + 16*fi + d%8, Proto: "tcp", Dir: flows.DirOutbound,
+				RemoteIP: ip, RemoteDomain: dom, LocalPort: 40000, RemotePort: 443,
+			})
+		}
+		// Learn: 10 beats per flow at flow-specific periods (30s..2m).
+		at := start
+		for beat := 0; beat < 10; beat++ {
+			for fi := range flowsOf {
+				r := flowsOf[fi]
+				r.Time = at.Add(time.Duration(fi) * time.Second)
+				rt.Learn(r)
+				flowsOf[fi] = r
+			}
+			at = at.Add(time.Duration(30+15*(d%7)) * time.Second)
+		}
+		rt.Freeze()
+		w.legacy[d] = rt
+		w.compiled[d] = rt.Compiled()
+		w.arrival[d] = w.compiled[d].NewArrivalState()
+
+		// Probe trace: ~70% on-period, ~20% off-period, ~10% unknown bucket.
+		period := time.Duration(30+15*(d%7)) * time.Second
+		trace := make([]flows.Record, 256)
+		cur := at
+		for i := range trace {
+			r := flowsOf[rng.Intn(len(flowsOf))]
+			switch p := rng.Intn(10); {
+			case p < 7:
+				cur = cur.Add(period)
+			case p < 9:
+				cur = cur.Add(period + 7*time.Second)
+			default:
+				cur = cur.Add(period)
+				r.Size += 4096 // no such bucket
+			}
+			r.Time = cur
+			trace[i] = r
+		}
+		w.traces[d] = trace
+		w.byShard[d%shards] = append(w.byShard[d%shards], d)
+	}
+	return w
+}
+
+// RunLegacy performs n rule matches through the serialized mutable tables,
+// fanned out to one worker per shard (each worker only touches its own
+// devices, mirroring the engine's ownership discipline). The two Run loops
+// are written out separately — no shared closure — so the harness adds the
+// same minimal per-op overhead to both arms.
+func (w *RuleBenchWorld) RunLegacy(n int) {
+	w.fanOut(n, func(devs []int, per int) {
+		di, ti := 0, 0
+		for done := 0; done < per; done++ {
+			d := devs[di]
+			w.legacy[d].Match(w.traces[d][ti])
+			if di++; di == len(devs) {
+				di = 0
+				if ti++; ti == len(w.traces[d]) {
+					ti = 0
+				}
+			}
+		}
+	})
+}
+
+// RunCompiled performs n rule matches through the compiled tables with
+// shard-owned arrival state.
+func (w *RuleBenchWorld) RunCompiled(n int) {
+	w.fanOut(n, func(devs []int, per int) {
+		di, ti := 0, 0
+		for done := 0; done < per; done++ {
+			d := devs[di]
+			w.compiled[d].Match(&w.traces[d][ti], w.arrival[d])
+			if di++; di == len(devs) {
+				di = 0
+				if ti++; ti == len(w.traces[d]) {
+					ti = 0
+				}
+			}
+		}
+	})
+}
+
+func (w *RuleBenchWorld) fanOut(n int, worker func(devs []int, per int)) {
+	per := n / w.Shards
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < w.Shards; s++ {
+		devs := w.byShard[s]
+		if len(devs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(devs []int) {
+			defer wg.Done()
+			worker(devs, per)
+		}(devs)
+	}
+	wg.Wait()
+}
+
+// RuleBenchArm is one measured side of the comparison.
+type RuleBenchArm struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	N           int     `json:"iterations"`
+}
+
+// RuleBenchResult is the BENCH_4.json payload.
+type RuleBenchResult struct {
+	Bench    string       `json:"bench"`
+	Devices  int          `json:"devices"`
+	Shards   int          `json:"shards"`
+	Seed     int64        `json:"seed"`
+	Legacy   RuleBenchArm `json:"legacy"`
+	Compiled RuleBenchArm `json:"compiled"`
+	// Speedup is compiled ops/sec over legacy ops/sec.
+	Speedup float64 `json:"speedup"`
+}
+
+func arm(r testing.BenchmarkResult) RuleBenchArm {
+	ns := float64(r.NsPerOp())
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return RuleBenchArm{
+		NsPerOp:     ns,
+		OpsPerSec:   ops,
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		N:           r.N,
+	}
+}
+
+// RuleMatchBench runs the legacy-vs-compiled rule-match microbenchmark and
+// returns both arms. It uses testing.Benchmark, so iteration counts are
+// calibrated the same way `go test -bench` calibrates them.
+func RuleMatchBench(devices, shards int, seed int64) RuleBenchResult {
+	w := NewRuleBenchWorld(devices, shards, seed)
+	legacy := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		w.RunLegacy(b.N)
+	})
+	compiled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		w.RunCompiled(b.N)
+	})
+	res := RuleBenchResult{
+		Bench:   "RuleMatch",
+		Devices: w.Devices, Shards: w.Shards, Seed: seed,
+		Legacy:   arm(legacy),
+		Compiled: arm(compiled),
+	}
+	if res.Legacy.NsPerOp > 0 && res.Compiled.NsPerOp > 0 {
+		res.Speedup = res.Legacy.NsPerOp / res.Compiled.NsPerOp
+	}
+	return res
+}
+
+// JSON renders the result as indented JSON (the BENCH_4.json format).
+func (r RuleBenchResult) JSON() []byte {
+	out, _ := json.MarshalIndent(r, "", "  ")
+	return append(out, '\n')
+}

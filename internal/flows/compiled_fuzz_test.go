@@ -1,0 +1,76 @@
+package flows
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// FuzzKeyIntern round-trips arbitrary records through KeyOf → Intern →
+// Resolve on both bucketing modes and asserts the interner never conflates
+// distinct keys: equal KeyOf values intern to the same id, distinct KeyOf
+// values intern to distinct ids, and Resolve returns exactly the key the
+// record buckets under. The PortLess address fallback (empty domain) is
+// covered by the same invariant because KeyOf materializes the IP literal
+// while Intern takes the address-keyed shortcut — any divergence between the
+// two is a conflation this fuzz target reports.
+func FuzzKeyIntern(f *testing.F) {
+	f.Add("cloud.example", "tcp", 200, uint8(0), []byte{52, 10, 20, 30}, uint16(40000), uint16(443), "hub.example", "udp", 150, uint8(1), []byte{34, 1, 2, 3}, uint16(40001), uint16(53))
+	f.Add("", "tcp", 64, uint8(1), []byte{192, 168, 1, 9}, uint16(1), uint16(2), "", "udp", 64, uint8(1), []byte{192, 168, 1, 10}, uint16(3), uint16(4))
+	f.Add("1.2.3.4", "udp", 99, uint8(0), []byte{1, 2, 3, 4}, uint16(9), uint16(9), "", "udp", 99, uint8(0), []byte{1, 2, 3, 4}, uint16(9), uint16(9))
+	f.Add("::1", "tcp", 1500, uint8(0), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, uint16(0), uint16(0), "x", "", 0, uint8(2), []byte{}, uint16(0), uint16(0))
+
+	f.Fuzz(func(t *testing.T,
+		dom1, proto1 string, size1 int, dir1 uint8, ip1 []byte, lp1, rp1 uint16,
+		dom2, proto2 string, size2 int, dir2 uint8, ip2 []byte, lp2, rp2 uint16,
+	) {
+		mk := func(dom, proto string, size int, dir uint8, ip []byte, lp, rp uint16) Record {
+			var addr netip.Addr
+			switch {
+			case len(ip) >= 16:
+				addr = netip.AddrFrom16([16]byte(ip[:16]))
+			case len(ip) >= 4:
+				addr = netip.AddrFrom4([4]byte(ip[:4]))
+			default:
+				addr = netip.MustParseAddr("10.0.0.1")
+			}
+			return Record{
+				Time: time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC), Size: size, Proto: proto,
+				Dir: Direction(dir % 2), RemoteIP: addr, RemoteDomain: dom,
+				LocalPort: lp, RemotePort: rp,
+			}
+		}
+		r1 := mk(dom1, proto1, size1, dir1, ip1, lp1, rp1)
+		r2 := mk(dom2, proto2, size2, dir2, ip2, lp2, rp2)
+
+		for _, mode := range []KeyMode{ModePortLess, ModeClassic} {
+			rt := NewRuleTable(mode)
+			rt.Learn(r1)
+			rt.Learn(r2)
+			c := rt.Compile()
+
+			k1, k2 := KeyOf(mode, r1), KeyOf(mode, r2)
+			id1, ok1 := c.Intern(r1)
+			id2, ok2 := c.Intern(r2)
+			if !ok1 || !ok2 {
+				t.Fatalf("mode %v: learned record failed to intern (ok1=%v ok2=%v)", mode, ok1, ok2)
+			}
+			if got, _ := c.Resolve(id1); got != k1 {
+				t.Fatalf("mode %v: Resolve(Intern(r1)) = %+v, want %+v", mode, got, k1)
+			}
+			if got, _ := c.Resolve(id2); got != k2 {
+				t.Fatalf("mode %v: Resolve(Intern(r2)) = %+v, want %+v", mode, got, k2)
+			}
+			if (k1 == k2) != (id1 == id2) {
+				t.Fatalf("mode %v: keys equal=%v but ids %d,%d — interner conflated or split buckets", mode, k1 == k2, id1, id2)
+			}
+			want := 2
+			if k1 == k2 {
+				want = 1
+			}
+			if c.NumKeys() != want {
+				t.Fatalf("mode %v: %d interned keys, want %d", mode, c.NumKeys(), want)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -17,15 +18,26 @@ const DefaultBootstrap = 20 * time.Minute
 // interval and the packet arrives at one of those intervals (within the
 // quantum) from the bucket's previous packet.
 //
+// The table has exactly one state-mutating entry point per phase: Learn
+// before Freeze, Match after. Pre-freeze, Match is a read-only probe that
+// always reports false and leaves arrival state untouched — a packet fed to
+// both Learn and Match during bootstrap must register exactly one arrival,
+// not two (see TestPreFreezeMatchDoesNotPerturbLearning). Freeze also
+// compiles the table into its immutable enforcement form; the proxy's hot
+// path matches against that CompiledRules (no lock, no allocation) while
+// this mutable table remains as the learning phase and the legacy
+// serialized matcher.
+//
 // RuleTable is safe for concurrent use; the proxy consults it from the
 // verdict-queue goroutine while the attestation listener runs beside it.
 type RuleTable struct {
 	mode    KeyMode
 	quantum time.Duration
 
-	mu      sync.Mutex
-	frozen  bool
-	buckets map[Key]*ruleBucket
+	mu       sync.Mutex
+	frozen   bool
+	buckets  map[Key]*ruleBucket
+	compiled *CompiledRules
 }
 
 type ruleBucket struct {
@@ -67,11 +79,33 @@ func (rt *RuleTable) Learn(r Record) {
 	b.hasLast = true
 }
 
-// Freeze ends the learning phase.
+// Freeze ends the learning phase and compiles the table into its immutable
+// enforcement form, available via Compiled. Freezing twice is a no-op (the
+// first compile stands).
 func (rt *RuleTable) Freeze() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.frozen {
+		return
+	}
 	rt.frozen = true
+	rt.compiled = rt.compileLocked()
+}
+
+// Compiled returns the immutable form built at Freeze (nil before then).
+func (rt *RuleTable) Compiled() *CompiledRules {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.compiled
+}
+
+// Compile builds an immutable snapshot of the table's current state without
+// ending the learning phase — the differential and property tests use it to
+// compare a mid-learning table against its compiled image.
+func (rt *RuleTable) Compile() *CompiledRules {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.compileLocked()
 }
 
 // Frozen reports whether learning has ended.
@@ -84,9 +118,18 @@ func (rt *RuleTable) Frozen() bool {
 // Match reports a rule hit for the packet and updates the bucket's arrival
 // state. A hit means the packet is predictable and may be forwarded without
 // event analysis.
+//
+// Before Freeze, Match reports false without touching any state: Learn is
+// the single pre-freeze entry point that advances a bucket's arrival
+// reference. (Match used to move lastTime even while learning, so a packet
+// fed to both Learn and Match counted its arrival twice and corrupted the
+// inter-arrival values Learn derived.)
 func (rt *RuleTable) Match(r Record) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if !rt.frozen {
+		return false
+	}
 	key := KeyOf(rt.mode, r)
 	b, ok := rt.buckets[key]
 	if !ok {
@@ -129,9 +172,33 @@ func (rt *RuleTable) Keys() []Key {
 	return out
 }
 
+// Periods returns a sorted copy of k's recurring quantized intervals (nil
+// when the bucket is unknown or has none).
+func (rt *RuleTable) Periods(k Key) []int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b, ok := rt.buckets[k]
+	if !ok || len(b.periods) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(b.periods))
+	for q := range b.periods {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 func (rt *RuleTable) quantizeIAT(d time.Duration) int64 {
+	return quantizeIAT(d, rt.quantum)
+}
+
+// quantizeIAT maps an inter-arrival duration onto its quantum index,
+// rounding to nearest; the mutable and compiled tables share it so their
+// hits coincide bit-for-bit.
+func quantizeIAT(d time.Duration, quantum time.Duration) int64 {
 	if d < 0 {
 		d = 0
 	}
-	return int64((d + rt.quantum/2) / rt.quantum)
+	return int64((d + quantum/2) / quantum)
 }

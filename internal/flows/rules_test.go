@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -138,6 +139,58 @@ func TestRuleTableKeys(t *testing.T) {
 	}
 	if keys[0].Domain != "cloud.example" || keys[0].Size != 200 {
 		t.Fatalf("key = %+v", keys[0])
+	}
+}
+
+// TestPreFreezeMatchDoesNotPerturbLearning is the regression test for the
+// double-counted-arrival bug: Match used to advance a bucket's lastTime even
+// before Freeze, so a packet fed to both Learn and Match (as a probing proxy
+// naturally does during bootstrap) corrupted the inter-arrival values Learn
+// derived. Learn is now the single pre-freeze entry point; Match is a
+// read-only probe reporting false until the freeze.
+func TestPreFreezeMatchDoesNotPerturbLearning(t *testing.T) {
+	recs := periodicTrace(10, time.Minute, 200)
+
+	clean := NewRuleTable(ModePortLess)
+	for _, r := range recs {
+		clean.Learn(r)
+	}
+
+	probed := NewRuleTable(ModePortLess)
+	for _, r := range recs {
+		// Probe before and after each Learn, including an off-schedule
+		// timestamp: with the old behaviour the second probe re-anchored
+		// lastTime and the next Learn saw a bogus inter-arrival.
+		if probed.Match(r) {
+			t.Fatal("pre-freeze Match reported a hit")
+		}
+		probed.Learn(r)
+		off := r
+		off.Time = r.Time.Add(17 * time.Second)
+		if probed.Match(off) {
+			t.Fatal("pre-freeze Match reported a hit for an off-schedule probe")
+		}
+	}
+
+	clean.Freeze()
+	probed.Freeze()
+	if clean.Rules() != probed.Rules() {
+		t.Fatalf("probing during learning changed the rule count: %d vs %d", probed.Rules(), clean.Rules())
+	}
+	key := KeyOf(ModePortLess, recs[0])
+	cp, pp := clean.Periods(key), probed.Periods(key)
+	if len(cp) == 0 {
+		t.Fatal("clean table learned no periods; test is vacuous")
+	}
+	if !reflect.DeepEqual(cp, pp) {
+		t.Fatalf("probing during learning perturbed periods: %v vs %v", pp, cp)
+	}
+	// And the post-freeze behaviour is unchanged: the next on-period packet
+	// hits on both tables.
+	next := recs[len(recs)-1]
+	next.Time = next.Time.Add(time.Minute)
+	if !clean.Match(next) || !probed.Match(next) {
+		t.Fatal("on-period packet did not match after freeze")
 	}
 }
 
