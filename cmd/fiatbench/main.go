@@ -5,12 +5,19 @@
 //
 //	fiatbench [-scale quick|full] [-seed N] [all|ablations|<id>...]
 //	fiatbench -rulebench [-rulebench-out BENCH_4.json] [-devices N] [-shards N] [-seed N]
+//	fiatbench -clfbench [-clfbench-out BENCH_5.json] [-events N] [-shards N] [-seed N]
 //
 // -rulebench skips the experiments and instead runs the rule-match
 // microbenchmark: the legacy mutex-serialized RuleTable.Match path against
 // the compiled lock-free CompiledRules.Match path on the same seeded
 // workload, writing the comparison (ns/op, ops/sec, allocs/op, speedup) to
 // -rulebench-out.
+//
+// -clfbench likewise runs the event-classification microbenchmark: the
+// legacy extract→Transform→Predict path of the trained deployment model
+// (BernoulliNB) against the compiled zero-allocation extract→scale→infer
+// engine, on the same seeded probe-event corpus, writing the comparison to
+// -clfbench-out.
 //
 // Experiment ids: fig1a fig1b fig1c inspector fig2 ncomplete table2 table3
 // table4 table5 table6 table7 delay, plus the ablations
@@ -39,11 +46,18 @@ func main() {
 	ruleBench := flag.Bool("rulebench", false, "run the legacy-vs-compiled rule-match microbenchmark instead of the experiments")
 	ruleBenchOut := flag.String("rulebench-out", "BENCH_4.json", "where -rulebench writes its JSON result")
 	benchDevices := flag.Int("devices", 64, "device count for -rulebench")
-	benchShards := flag.Int("shards", 8, "shard-worker count for -rulebench")
+	benchShards := flag.Int("shards", 8, "shard-worker count for -rulebench/-clfbench")
+	clfBench := flag.Bool("clfbench", false, "run the legacy-vs-compiled event-classification microbenchmark instead of the experiments")
+	clfBenchOut := flag.String("clfbench-out", "BENCH_5.json", "where -clfbench writes its JSON result")
+	benchEvents := flag.Int("events", 512, "probe-event count for -clfbench")
 	flag.Parse()
 
 	if *ruleBench {
 		runRuleBench(*benchDevices, *benchShards, *seed, *ruleBenchOut)
+		return
+	}
+	if *clfBench {
+		runClfBench(*benchEvents, *benchShards, *seed, *clfBenchOut)
 		return
 	}
 
@@ -145,6 +159,24 @@ func runRuleBench(devices, shards int, seed int64, out string) {
 		os.Exit(1)
 	}
 	fmt.Printf("fiatbench: rule-match benchmark -> %s\n", out)
+}
+
+// runClfBench measures the event-classification path of the trained
+// deployment model before and after compilation and writes the BENCH_5.json
+// comparison.
+func runClfBench(eventCount, shards int, seed int64, out string) {
+	fmt.Printf("fiatbench: event-classification microbenchmark, %d events x %d shards, seed=%d\n", eventCount, shards, seed)
+	res := experiments.ClassifyBench(eventCount, shards, seed)
+	fmt.Printf("  legacy   %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
+		res.Legacy.NsPerOp, res.Legacy.OpsPerSec, res.Legacy.AllocsPerOp)
+	fmt.Printf("  compiled %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
+		res.Compiled.NsPerOp, res.Compiled.OpsPerSec, res.Compiled.AllocsPerOp)
+	fmt.Printf("  speedup  %.2fx\n", res.Speedup)
+	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fiatbench: classification benchmark -> %s\n", out)
 }
 
 // printMetricsSnapshot replays one seeded chaos scenario — burst loss and a

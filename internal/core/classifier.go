@@ -48,11 +48,16 @@ func (r RuleClassifier) IsManual(e *events.Event) bool {
 type MLClassifier struct {
 	model  ml.Classifier
 	scaler ml.StandardScaler
+	// compiled is the frozen inference template built right after Fit: the
+	// estimator flattened into its zero-allocation form with the scaler
+	// folded in (see ml.Compile). It is nil only for classifier families the
+	// compiler does not know, which stay on the legacy path.
+	compiled ml.CompiledModel
 }
 
-// TrainMLClassifier fits the classifier on labeled events. By default the
-// model is BernoulliNB; pass a factory to substitute (the ablation benches
-// do).
+// TrainMLClassifier fits the classifier on labeled events and compiles the
+// fitted estimator into its frozen inference form. By default the model is
+// BernoulliNB; pass a factory to substitute (the ablation benches do).
 func TrainMLClassifier(evs []*events.Event, factory func() ml.Classifier) (*MLClassifier, error) {
 	if len(evs) == 0 {
 		return nil, fmt.Errorf("core: no training events")
@@ -70,13 +75,54 @@ func TrainMLClassifier(evs []*events.Event, factory func() ml.Classifier) (*MLCl
 	if err := c.model.Fit(Xs, y); err != nil {
 		return nil, err
 	}
+	if cm, err := ml.Compile(c.model, &c.scaler); err == nil {
+		c.compiled = cm
+	}
 	return c, nil
 }
 
-// IsManual implements EventClassifier.
+// IsManual implements EventClassifier: the legacy reference arm, kept
+// serialized (extract, scale in place, predict) so the compiled engine has a
+// behavioral oracle to diff against.
 func (c *MLClassifier) IsManual(e *events.Event) bool {
 	x := features.Extract(e)
-	return ml.PredictOne(c.model, c.scaler.Transform([][]float64{x})[0]) == 2
+	c.scaler.TransformInPlace(x)
+	return ml.PredictOne(c.model, x) == 2
+}
+
+// Compiled exposes the frozen inference template (nil when the model family
+// is not compilable). The template's scratch is single-owner; concurrent
+// users must Clone it — see CompiledEventClassifier.
+func (c *MLClassifier) Compiled() ml.CompiledModel { return c.compiled }
+
+// CompiledEventClassifier returns a frozen per-owner inference engine for
+// the trained model: a clone of the compiled template plus a private feature
+// scratch vector, so the full extract→scale→infer path performs zero heap
+// allocations. Each concurrent owner (an engine shard's device, a bench
+// worker) needs its own. Returns nil when the model did not compile.
+func (c *MLClassifier) CompiledEventClassifier() EventClassifier {
+	if c == nil || c.compiled == nil {
+		return nil
+	}
+	return &compiledEventClassifier{
+		model: c.compiled.Clone(),
+		buf:   make([]float64, features.Dim),
+	}
+}
+
+// compiledEventClassifier is one device's enforcement-phase classifier: the
+// compiled model clone plus the reused extraction scratch. It is owned by
+// exactly one shard (the device's), so IsManual runs lock-free and
+// allocation-free under the shard mutex.
+type compiledEventClassifier struct {
+	model ml.CompiledModel
+	buf   []float64
+}
+
+// IsManual implements EventClassifier on the compiled path.
+func (c *compiledEventClassifier) IsManual(e *events.Event) bool {
+	c.buf = features.ExtractInto(e, c.buf)
+	return c.model.Infer(c.buf) == 2
 }
 
 // ClassifierFor builds the per-device classifier the paper deploys: the

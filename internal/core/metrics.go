@@ -37,6 +37,7 @@ type coreMetrics struct {
 	pendingHeld, lateAdmitted       *obs.Counter
 	pendingExpired, outageExcused   *obs.Counter
 	ruleCompiles, ruleMatches       *obs.Counter
+	classifierCompiles              *obs.Counter
 	reasons                         map[Reason]*obs.Counter
 
 	lockedDevices *obs.Gauge
@@ -46,45 +47,50 @@ type coreMetrics struct {
 	batchNanos *obs.Histogram
 	batchSize  *obs.Histogram
 	matchNanos *obs.Histogram
+	inferNanos *obs.Histogram
 
 	tracer *obs.Tracer
 }
 
 // batchNanoBounds spans 1 µs .. ~4 s; batchSizeBounds spans 1 .. 4096
 // packets per ProcessBatch call; matchNanoBounds spans 50 ns .. ~800 µs,
-// the plausible range of one compiled or mutex rule-match.
+// the plausible range of one compiled or mutex rule-match; inferNanoBounds
+// spans the same range for one extract→scale→infer event classification.
 var (
 	batchNanoBounds = obs.ExpBounds(1000, 4, 11)
 	batchSizeBounds = obs.ExpBounds(1, 4, 7)
 	matchNanoBounds = obs.ExpBounds(50, 4, 8)
+	inferNanoBounds = obs.ExpBounds(50, 4, 8)
 )
 
 // newCoreMetrics wires the proxy's metrics into reg (nil reg yields no-op
 // handles, costing a few dead atomic adds per packet).
 func newCoreMetrics(reg *obs.Registry, clock simclock.Clock) *coreMetrics {
 	m := &coreMetrics{
-		reg:             reg,
-		packets:         reg.Counter("fiat_core_packets_total"),
-		allowed:         reg.Counter("fiat_core_allowed_total"),
-		dropped:         reg.Counter("fiat_core_dropped_total"),
-		ruleHits:        reg.Counter("fiat_core_rule_hits_total"),
-		eventsManual:    reg.Counter("fiat_core_events_manual_total"),
-		eventsNonManual: reg.Counter("fiat_core_events_non_manual_total"),
-		attestationsOK:  reg.Counter("fiat_core_attestations_ok_total"),
-		attestationsBad: reg.Counter("fiat_core_attestations_bad_total"),
-		pendingHeld:     reg.Counter("fiat_core_pending_held_total"),
-		lateAdmitted:    reg.Counter("fiat_core_late_admitted_total"),
-		pendingExpired:  reg.Counter("fiat_core_pending_expired_total"),
-		outageExcused:   reg.Counter("fiat_core_outage_excused_total"),
-		ruleCompiles:    reg.Counter("fiat_core_rule_compiles_total"),
-		ruleMatches:     reg.Counter("fiat_core_rule_match_total"),
-		reasons:         make(map[Reason]*obs.Counter, len(allReasons)),
-		lockedDevices:   reg.Gauge("fiat_core_locked_devices"),
-		pendingDepth:    reg.Gauge("fiat_core_pending_depth"),
-		compiledKeys:    reg.Gauge("fiat_core_compiled_rule_keys"),
-		batchNanos:      reg.Histogram("fiat_core_batch_ns", batchNanoBounds),
-		batchSize:       reg.Histogram("fiat_core_batch_size", batchSizeBounds),
-		matchNanos:      reg.Histogram("fiat_core_rule_match_ns", matchNanoBounds),
+		reg:                reg,
+		packets:            reg.Counter("fiat_core_packets_total"),
+		allowed:            reg.Counter("fiat_core_allowed_total"),
+		dropped:            reg.Counter("fiat_core_dropped_total"),
+		ruleHits:           reg.Counter("fiat_core_rule_hits_total"),
+		eventsManual:       reg.Counter("fiat_core_events_manual_total"),
+		eventsNonManual:    reg.Counter("fiat_core_events_non_manual_total"),
+		attestationsOK:     reg.Counter("fiat_core_attestations_ok_total"),
+		attestationsBad:    reg.Counter("fiat_core_attestations_bad_total"),
+		pendingHeld:        reg.Counter("fiat_core_pending_held_total"),
+		lateAdmitted:       reg.Counter("fiat_core_late_admitted_total"),
+		pendingExpired:     reg.Counter("fiat_core_pending_expired_total"),
+		outageExcused:      reg.Counter("fiat_core_outage_excused_total"),
+		ruleCompiles:       reg.Counter("fiat_core_rule_compiles_total"),
+		ruleMatches:        reg.Counter("fiat_core_rule_match_total"),
+		classifierCompiles: reg.Counter("fiat_core_classifier_compiles_total"),
+		reasons:            make(map[Reason]*obs.Counter, len(allReasons)),
+		lockedDevices:      reg.Gauge("fiat_core_locked_devices"),
+		pendingDepth:       reg.Gauge("fiat_core_pending_depth"),
+		compiledKeys:       reg.Gauge("fiat_core_compiled_rule_keys"),
+		batchNanos:         reg.Histogram("fiat_core_batch_ns", batchNanoBounds),
+		batchSize:          reg.Histogram("fiat_core_batch_size", batchSizeBounds),
+		matchNanos:         reg.Histogram("fiat_core_rule_match_ns", matchNanoBounds),
+		inferNanos:         reg.Histogram("fiat_core_classify_infer_ns", inferNanoBounds),
 	}
 	for _, r := range allReasons {
 		m.reasons[r] = reg.Counter(obs.Label("fiat_core_decisions_total", "reason", string(r)))
@@ -113,6 +119,17 @@ func (m *coreMetrics) matchDone(start time.Time) {
 		return
 	}
 	m.matchNanos.Observe(m.now().Sub(start).Nanoseconds())
+}
+
+// inferDone records one event-classification latency observation (zero when
+// no time source is wired, and a deterministic constant under a virtual
+// clock, so snapshot oracles keep holding).
+func (m *coreMetrics) inferDone(start time.Time) {
+	if m.now == nil {
+		m.inferNanos.Observe(0)
+		return
+	}
+	m.inferNanos.Observe(m.now().Sub(start).Nanoseconds())
 }
 
 // applyDelta mirrors one merged statDelta into the registry counters.

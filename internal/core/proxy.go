@@ -124,6 +124,13 @@ type Config struct {
 	// compile, and count identically, so their obs snapshots stay
 	// byte-comparable.
 	LegacyRules bool
+	// LegacyClassifier keeps manual-event classification on the serialized
+	// Extract + Transform + Predict path instead of the per-device compiled
+	// inference engine. Like LegacyRules it exists as the reference arm of
+	// the differential and benchmark suites, not for production use; both
+	// arms compile and count identically, so their audit logs, stats, and
+	// obs snapshots stay byte-comparable.
+	LegacyClassifier bool
 	// Obs is the metrics registry the proxy publishes into. Nil creates a
 	// private registry (reachable via Metrics), so instrumentation is
 	// always on; pass a shared registry to merge proxy metrics with
@@ -246,11 +253,24 @@ func (p *Proxy) AddDevice(cfg DeviceConfig) error {
 	if _, ok := sh.devices[cfg.Name]; ok {
 		return fmt.Errorf("core: device %q already registered", cfg.Name)
 	}
-	sh.devices[cfg.Name] = &deviceState{
-		cfg:     cfg,
-		rules:   flows.NewRuleTable(p.cfg.Mode),
-		grouper: events.NewGrouper(p.cfg.EventGap),
+	ds := &deviceState{
+		cfg:        cfg,
+		rules:      flows.NewRuleTable(p.cfg.Mode),
+		grouper:    events.NewGrouper(p.cfg.EventGap),
+		classifier: cfg.Classifier,
 	}
+	// Devices wearing a trained, compilable model get their own frozen
+	// inference engine (model clone + feature scratch, owned by this shard).
+	// The legacy escape hatch still counts the compile so the two arms stay
+	// snapshot-identical; it just keeps classifying through the serialized
+	// path.
+	if mlc, ok := cfg.Classifier.(*MLClassifier); ok && mlc.Compiled() != nil {
+		p.metrics.classifierCompiles.Inc()
+		if !p.cfg.LegacyClassifier {
+			ds.classifier = mlc.CompiledEventClassifier()
+		}
+	}
+	sh.devices[cfg.Name] = ds
 	return nil
 }
 

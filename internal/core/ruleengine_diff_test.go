@@ -131,7 +131,7 @@ func TestCompiledEngineMatchesLegacyDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			offer, err := keystore.NewPairingOffer(ks, rand.New(rand.NewSource(500 + seed)))
+			offer, err := keystore.NewPairingOffer(ks, rand.New(rand.NewSource(500+seed)))
 			if err != nil {
 				t.Fatal(err)
 			}

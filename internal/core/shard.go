@@ -34,6 +34,13 @@ type deviceState struct {
 	// RuleTable.Match path).
 	compiled *flows.CompiledRules
 	arrival  *flows.ArrivalState
+	// classifier is the enforcement-phase event classifier: the per-device
+	// compiled inference engine (own model clone + feature scratch, see
+	// classifier.go) when the device wears a compilable trained model, or
+	// cfg.Classifier itself (rule classifiers, the Config.LegacyClassifier
+	// reference arm, uncompilable families). Owned by this shard, so the
+	// compiled path's scratch reuse is race-free.
+	classifier EventClassifier
 	// current event decision state
 	evPackets  int
 	evDecision *Decision
@@ -240,7 +247,9 @@ func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome, sp *obs.
 		o.delta.count(d.Verdict)
 		return d
 	}
-	manual := ds.cfg.Classifier != nil && ds.cfg.Classifier.IsManual(ev)
+	inferStart := p.metrics.matchStart()
+	manual := ds.classifier != nil && ds.classifier.IsManual(ev)
+	p.metrics.inferDone(inferStart)
 	var d Decision
 	if !manual {
 		o.delta.eventsNonManual++

@@ -1,0 +1,220 @@
+// Event-classification microbenchmark (ISSUE 5): the before/after comparison
+// of the legacy extract→Transform→Predict path against the compiled
+// zero-allocation extract→scale→infer engine, on the deployment model
+// (BernoulliNB, §6) over a seeded probe-event corpus fanned out to shard
+// workers the way the engine fans out devices. cmd/fiatbench drives this to
+// emit BENCH_5.json; BenchmarkClassify wraps the same world for
+// `go test -bench`.
+package experiments
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"fiat/internal/core"
+	"fiat/internal/events"
+	"fiat/internal/flows"
+)
+
+// ClassifyBenchWorld is one prepared classification workload: the trained
+// deployment model in both forms plus a fixed probe-event corpus. Build it
+// once and run either arm any number of times; both arms classify identical
+// event sequences.
+type ClassifyBenchWorld struct {
+	Events int
+	Shards int
+
+	legacy   *core.MLClassifier
+	compiled []core.EventClassifier // one engine per shard worker
+	probes   []*events.Event
+	byShard  [][]int // shard -> probe indices
+	sink     []int   // per-shard manual counts, defeats dead-code elimination
+}
+
+// NewClassifyBenchWorld trains the deployment classifier (BernoulliNB behind
+// core.TrainMLClassifier) on a seeded manual/control/automated corpus, clones
+// one compiled engine per shard worker, and precomputes the probe events: a
+// mix of command-, heartbeat-, and telemetry-shaped events of varying length,
+// seeded so every build is identical.
+func NewClassifyBenchWorld(eventCount, shards int, seed int64) *ClassifyBenchWorld {
+	if eventCount <= 0 {
+		eventCount = 512
+	}
+	if shards <= 0 {
+		shards = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cloud := netip.AddrFrom4([4]byte{52, 94, 233, 10})
+	start := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	rec := func(at time.Time, shape int, size int) flows.Record {
+		switch shape {
+		case 0: // manual command: inbound TLS push
+			return flows.Record{
+				Time: at, Size: size, Proto: "tcp", Dir: flows.DirInbound,
+				RemoteIP: cloud, RemotePort: 443, TCPFlags: 0x18, TLSVersion: 0x0303,
+				Category: flows.CategoryManual,
+			}
+		case 1: // control heartbeat: outbound UDP
+			return flows.Record{
+				Time: at, Size: size, Proto: "udp", Dir: flows.DirOutbound,
+				RemoteIP: cloud, RemotePort: 8801, Category: flows.CategoryControl,
+			}
+		default: // automated telemetry: inbound TLS ack on another port
+			return flows.Record{
+				Time: at, Size: size, Proto: "tcp", Dir: flows.DirInbound,
+				RemoteIP: cloud, RemotePort: 8883, TCPFlags: 0x10, TLSVersion: 0x0303,
+				Category: flows.CategoryAutomated,
+			}
+		}
+	}
+
+	// Training corpus: 60 rounds of one event per shape.
+	var training []*events.Event
+	for i := 0; i < 60; i++ {
+		at := start.Add(time.Duration(i) * time.Minute)
+		sizes := [3]int{400 + rng.Intn(300), 80 + rng.Intn(100), 200 + rng.Intn(80)}
+		for shape := 0; shape < 3; shape++ {
+			training = append(training,
+				events.Group([]flows.Record{rec(at.Add(time.Duration(shape)*20*time.Second), shape, sizes[shape])}, 0)[0])
+		}
+	}
+	clf, err := core.TrainMLClassifier(training, nil)
+	if err != nil {
+		panic("clfbench: train: " + err.Error()) // deterministic corpus, cannot fail
+	}
+
+	w := &ClassifyBenchWorld{
+		Events:   eventCount,
+		Shards:   shards,
+		legacy:   clf,
+		compiled: make([]core.EventClassifier, shards),
+		probes:   make([]*events.Event, eventCount),
+		byShard:  make([][]int, shards),
+		sink:     make([]int, shards),
+	}
+	for s := range w.compiled {
+		w.compiled[s] = clf.CompiledEventClassifier()
+	}
+
+	// Probe corpus: multi-packet events of every shape, 1..6 packets.
+	at := start.Add(24 * time.Hour)
+	for i := range w.probes {
+		shape := rng.Intn(3)
+		n := 1 + rng.Intn(6)
+		recs := make([]flows.Record, n)
+		for j := range recs {
+			at = at.Add(time.Duration(20+rng.Intn(400)) * time.Millisecond)
+			recs[j] = rec(at, shape, 60+rng.Intn(700))
+		}
+		w.probes[i] = events.Group(recs, 0)[0]
+		w.byShard[i%shards] = append(w.byShard[i%shards], i)
+		at = at.Add(time.Minute)
+	}
+	return w
+}
+
+// RunLegacy performs n classifications through the serialized
+// extract→Transform→Predict path, fanned out to one worker per shard. The two
+// Run loops are written out separately — no shared closure — so the harness
+// adds the same minimal per-op overhead to both arms.
+func (w *ClassifyBenchWorld) RunLegacy(n int) {
+	w.fanOut(n, func(s int, idx []int, per int) {
+		manual, pi := 0, 0
+		for done := 0; done < per; done++ {
+			if w.legacy.IsManual(w.probes[idx[pi]]) {
+				manual++
+			}
+			if pi++; pi == len(idx) {
+				pi = 0
+			}
+		}
+		w.sink[s] = manual
+	})
+}
+
+// RunCompiled performs n classifications through the shard-owned compiled
+// engines (model clone + feature scratch per worker).
+func (w *ClassifyBenchWorld) RunCompiled(n int) {
+	w.fanOut(n, func(s int, idx []int, per int) {
+		clf := w.compiled[s]
+		manual, pi := 0, 0
+		for done := 0; done < per; done++ {
+			if clf.IsManual(w.probes[idx[pi]]) {
+				manual++
+			}
+			if pi++; pi == len(idx) {
+				pi = 0
+			}
+		}
+		w.sink[s] = manual
+	})
+}
+
+func (w *ClassifyBenchWorld) fanOut(n int, worker func(s int, idx []int, per int)) {
+	per := n / w.Shards
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < w.Shards; s++ {
+		idx := w.byShard[s]
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idx []int) {
+			defer wg.Done()
+			worker(s, idx, per)
+		}(s, idx)
+	}
+	wg.Wait()
+}
+
+// ClassifyBenchResult is the BENCH_5.json payload. The arms reuse the
+// RuleBenchArm shape so the two bench artifacts parse the same way.
+type ClassifyBenchResult struct {
+	Bench    string       `json:"bench"`
+	Events   int          `json:"events"`
+	Shards   int          `json:"shards"`
+	Seed     int64        `json:"seed"`
+	Legacy   RuleBenchArm `json:"legacy"`
+	Compiled RuleBenchArm `json:"compiled"`
+	// Speedup is legacy ns/op over compiled ns/op.
+	Speedup float64 `json:"speedup"`
+}
+
+// ClassifyBench runs the legacy-vs-compiled event-classification
+// microbenchmark and returns both arms, calibrated by testing.Benchmark the
+// same way `go test -bench` calibrates iteration counts.
+func ClassifyBench(eventCount, shards int, seed int64) ClassifyBenchResult {
+	w := NewClassifyBenchWorld(eventCount, shards, seed)
+	legacy := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		w.RunLegacy(b.N)
+	})
+	compiled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		w.RunCompiled(b.N)
+	})
+	res := ClassifyBenchResult{
+		Bench:  "Classify",
+		Events: w.Events, Shards: w.Shards, Seed: seed,
+		Legacy:   arm(legacy),
+		Compiled: arm(compiled),
+	}
+	if res.Legacy.NsPerOp > 0 && res.Compiled.NsPerOp > 0 {
+		res.Speedup = res.Legacy.NsPerOp / res.Compiled.NsPerOp
+	}
+	return res
+}
+
+// JSON renders the result as indented JSON (the BENCH_5.json format).
+func (r ClassifyBenchResult) JSON() []byte {
+	out, _ := json.MarshalIndent(r, "", "  ")
+	return append(out, '\n')
+}

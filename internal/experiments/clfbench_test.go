@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestClassifyBenchArmsAgree: both bench arms must classify every probe
+// identically — otherwise the speedup compares different functions.
+func TestClassifyBenchArmsAgree(t *testing.T) {
+	w := NewClassifyBenchWorld(128, 4, 11)
+	for s, clf := range w.compiled {
+		for i, ev := range w.probes {
+			if got, want := clf.IsManual(ev), w.legacy.IsManual(ev); got != want {
+				t.Fatalf("shard %d probe %d: compiled %v, legacy %v", s, i, got, want)
+			}
+		}
+	}
+	// Smoke both Run arms and check they agree on the per-shard tallies.
+	w.RunLegacy(len(w.probes) * w.Shards)
+	legacySink := append([]int(nil), w.sink...)
+	w.RunCompiled(len(w.probes) * w.Shards)
+	for s := range w.sink {
+		if w.sink[s] != legacySink[s] {
+			t.Fatalf("shard %d: manual tallies diverge: compiled %d, legacy %d", s, w.sink[s], legacySink[s])
+		}
+	}
+}
+
+// BenchmarkClassify is the CI-facing form of the microbenchmark; the
+// clfbench job greps its compiled arm for "0 allocs/op".
+func BenchmarkClassify(b *testing.B) {
+	w := NewClassifyBenchWorld(512, 8, 7)
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		w.RunLegacy(b.N)
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		w.RunCompiled(b.N)
+	})
+}

@@ -1,0 +1,143 @@
+package features
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/flows"
+)
+
+// TestExtractIntoMatchesExtract: the reusable-buffer form is the same
+// function as Extract, for every event length around the head boundary.
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9} {
+		e := mkEvent(n, flows.CategoryManual)
+		want := Extract(e)
+		got := ExtractInto(e, nil)
+		if len(got) != Dim {
+			t.Fatalf("n=%d: len = %d, want %d", n, len(got), Dim)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d feature %d: %v != %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestExtractIntoReusesBuffer: a Dim-capacity buffer is reused (no
+// reallocation, stale values overwritten); a short one is replaced.
+func TestExtractIntoReusesBuffer(t *testing.T) {
+	buf := make([]float64, Dim)
+	for i := range buf {
+		buf[i] = -999 // stale garbage from a previous event
+	}
+	long := mkEvent(5, flows.CategoryManual)
+	short := mkEvent(1, flows.CategoryControl)
+
+	got := ExtractInto(long, buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("ExtractInto reallocated despite sufficient capacity")
+	}
+	// Re-extract a shorter event into the same buffer: padded slots must be
+	// zero, not residue from the longer event.
+	got = ExtractInto(short, buf)
+	want := Extract(short)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stale residue at feature %d: %v != %v", i, got[i], want[i])
+		}
+	}
+
+	small := make([]float64, 3)
+	got = ExtractInto(long, small)
+	if len(got) != Dim {
+		t.Fatalf("small buffer: len = %d, want %d", len(got), Dim)
+	}
+}
+
+// TestExtractIntoZeroAllocs: with a warm buffer the extraction path stays
+// off the heap — the property the compiled classification path relies on.
+func TestExtractIntoZeroAllocs(t *testing.T) {
+	e := mkEvent(5, flows.CategoryManual)
+	buf := make([]float64, Dim)
+	if allocs := testing.AllocsPerRun(200, func() { buf = ExtractInto(e, buf) }); allocs != 0 {
+		t.Fatalf("ExtractInto allocates %v/op, want 0", allocs)
+	}
+}
+
+// fuzzEvent decodes an arbitrary byte string into a well-formed event:
+// each 8-byte chunk becomes one packet record.
+func fuzzEvent(data []byte) *events.Event {
+	n := len(data) / 8
+	if n == 0 {
+		return &events.Event{}
+	}
+	if n > 12 {
+		n = 12
+	}
+	recs := make([]flows.Record, n)
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		b := data[i*8:]
+		proto := "tcp"
+		if b[0]&1 == 1 {
+			proto = "udp"
+		}
+		dir := flows.DirOutbound
+		if b[0]&2 == 2 {
+			dir = flows.DirInbound
+		}
+		ts = ts.Add(time.Duration(b[1]) * 37 * time.Millisecond)
+		recs[i] = flows.Record{
+			Time:       ts,
+			Size:       int(b[2])<<4 | int(b[3])>>4,
+			Proto:      proto,
+			Dir:        dir,
+			RemoteIP:   netip.AddrFrom4([4]byte{b[4], b[5], b[6], b[7]}),
+			LocalPort:  uint16(b[3])<<8 | uint16(b[5]),
+			RemotePort: uint16(b[6])<<8 | uint16(b[7]),
+			TCPFlags:   b[2],
+			TLSVersion: uint16(b[4])<<8 | uint16(b[1]),
+		}
+	}
+	return &events.Event{Packets: recs, Start: recs[0].Time, End: recs[n-1].Time}
+}
+
+// FuzzExtractInto: for arbitrary packet runs, extraction must not panic,
+// must always produce a Dim-width vector, and the buffer-reusing form must
+// agree with the allocating form — including when the buffer carries residue
+// from a previous extraction.
+func FuzzExtractInto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 200, 255, 17, 52, 94, 233, 10})
+	f.Add([]byte{3, 1, 90, 0x43, 3, 3, 1, 187, 2, 0, 80, 0x18, 3, 1, 31, 64})
+	seed := make([]byte, 8*9)
+	for i := range seed {
+		seed[i] = byte(i * 29)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := fuzzEvent(data)
+		want := Extract(e)
+		if len(want) != Dim {
+			t.Fatalf("Extract width %d, want %d", len(want), Dim)
+		}
+		buf := make([]float64, Dim)
+		for i := range buf {
+			buf[i] = 1e18
+		}
+		got := ExtractInto(e, buf)
+		if len(got) != Dim {
+			t.Fatalf("ExtractInto width %d, want %d", len(got), Dim)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("feature %d: ExtractInto %v != Extract %v", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -79,6 +79,28 @@ func tlsCode(v uint16) float64 {
 // HeadPackets are zero-padded, mirroring scikit-learn's fixed-width input.
 func Extract(e *events.Event) []float64 {
 	v := make([]float64, Dim)
+	extractInto(e, v)
+	return v
+}
+
+// ExtractInto computes the feature vector into buf, reusing its backing
+// array when cap(buf) >= Dim (the per-shard scratch of the compiled
+// classification path); a smaller buffer is replaced. The returned slice
+// always has length Dim and holds exactly what Extract would return.
+func ExtractInto(e *events.Event, buf []float64) []float64 {
+	if cap(buf) < Dim {
+		buf = make([]float64, Dim)
+	}
+	v := buf[:Dim]
+	for i := range v {
+		v[i] = 0
+	}
+	extractInto(e, v)
+	return v
+}
+
+// extractInto fills a zeroed Dim-length vector.
+func extractInto(e *events.Event, v []float64) {
 	head := e.Packets
 	if len(head) > HeadPackets {
 		head = head[:HeadPackets]
@@ -131,24 +153,20 @@ func Extract(e *events.Event) []float64 {
 		v[agg+3] = sqrt(varSum / float64(n))
 	}
 	if n > 1 {
-		var iats []float64
+		// The per-packet slots already hold each inter-arrival time, so the
+		// aggregate needs one pass over them — no intermediate slice — with
+		// the variance in sum-of-squares form.
+		var sum, sumSq float64
 		for i := 1; i < n; i++ {
-			iats = append(iats, head[i].Time.Sub(head[i-1].Time).Seconds())
-		}
-		var sum float64
-		for _, x := range iats {
+			x := v[i*perPacket+7]
 			sum += x
+			sumSq += x * x
 		}
-		mean := sum / float64(len(iats))
+		nn := float64(n - 1)
+		mean := sum / nn
 		v[agg+4] = mean
-		var varSum float64
-		for _, x := range iats {
-			d := x - mean
-			varSum += d * d
-		}
-		v[agg+5] = sqrt(varSum / float64(len(iats)))
+		v[agg+5] = sqrt(sumSq/nn - mean*mean)
 	}
-	return v
 }
 
 // ExtractAll maps Extract over events.

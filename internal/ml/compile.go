@@ -1,0 +1,745 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompiledModel is the frozen, zero-allocation inference form of a fitted
+// Classifier — the ML-layer mirror of flows.CompiledRules. Compile flattens
+// the estimator's pointer-chased training structures into immutable dense
+// arrays (node arenas, log-probability tables, weight matrices), so Infer
+// walks contiguous memory and never touches the heap.
+//
+// The frozen tables are shared; the scratch (score vectors, activation
+// buffers, neighbor selections, the pre-scale row) is private to each
+// instance. A CompiledModel is therefore NOT safe for concurrent use — give
+// every concurrent owner (engine shard, bench worker) its own Clone, which
+// shares the tables and allocates only fresh scratch.
+type CompiledModel interface {
+	// Infer predicts the class index of one row. It performs zero heap
+	// allocations and is bit-identical to Predict on the source estimator
+	// (composed with the folded scaler's Transform when one was compiled
+	// in).
+	Infer(x []float64) int
+	// InferBatch predicts every row of X into out, reusing out's backing
+	// array when it has capacity. It returns the filled slice.
+	InferBatch(X [][]float64, out []int) []int
+	// Clone returns an independent instance sharing the frozen tables but
+	// owning fresh scratch, for a new concurrent owner.
+	Clone() CompiledModel
+}
+
+// Compile freezes a fitted estimator into its CompiledModel form, folding
+// scaler (optional, nil or unfitted to skip) in so Transform never runs at
+// inference time. Unsupported classifier types return an error; every
+// estimator family in this package compiles. An unfitted estimator compiles
+// to a model that predicts class 0, mirroring Predict-before-Fit.
+//
+// The scaler fold is a fused pre-scale pass over a reused scratch row, not
+// an algebraic rewrite of the weights: folding (v-mean)/scale into the
+// coefficients would reassociate the floating-point arithmetic and could
+// flip argmax on near-ties, breaking the bit-exact legacy-vs-compiled
+// differential the engine relies on.
+func Compile(c Classifier, s *StandardScaler) (CompiledModel, error) {
+	var pre prescaler
+	if s != nil && s.fitted {
+		pre = prescaler{mean: s.Mean, scale: s.Scale, z: make([]float64, len(s.Mean))}
+	}
+	switch m := c.(type) {
+	case *NearestCentroid:
+		return compileCentroid(m, pre), nil
+	case *BernoulliNB:
+		return compileBernoulli(m, pre), nil
+	case *GaussianNB:
+		return compileGaussian(m, pre), nil
+	case *DecisionTree:
+		return compileTree(m, pre), nil
+	case *RandomForest:
+		return compileForest(m, pre), nil
+	case *AdaBoost:
+		return compileAda(m, pre), nil
+	case *LinearSVC:
+		return compileSVC(m, pre), nil
+	case *KNN:
+		return compileKNN(m, pre), nil
+	case *MLP:
+		return compileMLP(m, pre), nil
+	default:
+		return nil, fmt.Errorf("ml: cannot compile %T", c)
+	}
+}
+
+// prescaler is the folded StandardScaler: it reproduces Transform's exact
+// per-element arithmetic into a reused scratch row. A zero prescaler (no
+// scaler compiled in) passes rows through untouched.
+type prescaler struct {
+	mean, scale []float64
+	z           []float64
+}
+
+// row scales x into the scratch and returns it (or x itself when no scaler
+// was folded in). Features beyond the fitted width pass through unscaled,
+// matching Transform.
+func (p *prescaler) row(x []float64) []float64 {
+	if p.mean == nil {
+		return x
+	}
+	if cap(p.z) < len(x) {
+		p.z = make([]float64, len(x))
+	}
+	z := p.z[:len(x)]
+	for j, v := range x {
+		if j < len(p.mean) {
+			z[j] = (v - p.mean[j]) / p.scale[j]
+		} else {
+			z[j] = v
+		}
+	}
+	return z
+}
+
+// clone shares the fitted arrays and allocates fresh scratch.
+func (p *prescaler) clone() prescaler {
+	c := prescaler{mean: p.mean, scale: p.scale}
+	if p.mean != nil {
+		c.z = make([]float64, len(p.z))
+	}
+	return c
+}
+
+// inferBatch is the shared InferBatch loop.
+func inferBatch(m CompiledModel, X [][]float64, out []int) []int {
+	if cap(out) < len(X) {
+		out = make([]int, len(X))
+	}
+	out = out[:len(X)]
+	for i, row := range X {
+		out[i] = m.Infer(row)
+	}
+	return out
+}
+
+// --- NearestCentroid ---
+
+// compiledCentroid is the dense centroid matrix: k class means flattened
+// row-major into one arena.
+type compiledCentroid struct {
+	pre     prescaler
+	cen     []float64 // k*d, row-major
+	classes []int
+	d       int
+	metric  Distance
+}
+
+func compileCentroid(nc *NearestCentroid, pre prescaler) *compiledCentroid {
+	c := &compiledCentroid{pre: pre, classes: nc.classes, metric: nc.Metric}
+	if len(nc.centroids) > 0 {
+		c.d = len(nc.centroids[0])
+		c.cen = make([]float64, 0, len(nc.centroids)*c.d)
+		for _, cen := range nc.centroids {
+			c.cen = append(c.cen, cen...)
+		}
+	}
+	return c
+}
+
+func (c *compiledCentroid) Infer(x []float64) int {
+	if len(c.classes) == 0 {
+		return 0
+	}
+	row := c.pre.row(x)
+	best, bi := math.Inf(1), 0
+	for ci := range c.classes {
+		cen := c.cen[ci*c.d : (ci+1)*c.d]
+		if d := c.metric.between(row, cen); d < best {
+			best, bi = d, ci
+		}
+	}
+	return c.classes[bi]
+}
+
+func (c *compiledCentroid) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledCentroid) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	return &cp
+}
+
+// --- BernoulliNB ---
+
+// compiledBernoulli is the precomputed log-probability table: per class, the
+// prior followed by d (log p, log 1-p) pairs in one flat arena. When the
+// deployment-default threshold 0 is in play, the scaler is folded all the way
+// into per-feature raw-space thresholds (thr), eliminating the pre-scale
+// division pass: binarization only consumes the sign of the scaled value, and
+// Scale is strictly positive after Fit, so (v-mean)/scale > 0 is exactly
+// v > mean. Any other threshold keeps the fused pre-scale pass, where
+// dividing first can round.
+type compiledBernoulli struct {
+	pre       prescaler
+	threshold float64
+	thr       []float64 // folded raw-space thresholds (nil → pre-scale path)
+	lpT       []float64 // folded path: feature-major, per feature 2 banks of k
+	prior     []float64
+	lp        []float64 // per class: d pairs, stride 2*d
+	d         int
+	classes   []int
+	scores    []float64 // scratch, len k
+}
+
+func compileBernoulli(b *BernoulliNB, pre prescaler) *compiledBernoulli {
+	c := &compiledBernoulli{
+		pre:       pre,
+		threshold: b.Threshold,
+		classes:   b.classes,
+		scores:    make([]float64, len(b.classes)),
+	}
+	if len(b.logProb) > 0 {
+		c.d = len(b.logProb[0])
+		c.lp = make([]float64, 0, len(b.classes)*2*c.d)
+		for ci := range b.classes {
+			c.prior = append(c.prior, b.logPrior[ci][0])
+			for j := 0; j < c.d; j++ {
+				c.lp = append(c.lp, b.logProb[ci][j][0], b.logProb[ci][j][1])
+			}
+		}
+		if pre.mean != nil && b.Threshold == 0 {
+			c.thr = make([]float64, c.d)
+			for j := range c.thr {
+				if j < len(pre.mean) {
+					c.thr[j] = pre.mean[j]
+				} else {
+					// Features beyond the fitted width pass through the
+					// scaler unscaled, so they binarize at the raw threshold.
+					c.thr[j] = b.Threshold
+				}
+			}
+			// Transposed table for the folded path: feature-major, so one
+			// binarization picks a contiguous bank of k addends.
+			k := len(b.classes)
+			c.lpT = make([]float64, 0, c.d*2*k)
+			for j := 0; j < c.d; j++ {
+				for bit := 0; bit < 2; bit++ {
+					for ci := 0; ci < k; ci++ {
+						c.lpT = append(c.lpT, b.logProb[ci][j][bit])
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *compiledBernoulli) Infer(x []float64) int {
+	if len(c.classes) == 0 {
+		return 0
+	}
+	if c.thr != nil {
+		// Folded fast path: one binarization per feature (not per class), no
+		// scaling pass, contiguous class banks. Each score still accumulates
+		// prior-first in ascending feature order, so the per-class sums are
+		// bit-identical to Predict's. The three-class case (the deployment
+		// shape: control/automated/manual) runs on scalar accumulators.
+		d := c.d
+		if len(x) < d {
+			d = len(x)
+		}
+		if len(c.scores) == 3 {
+			s0, s1, s2 := c.prior[0], c.prior[1], c.prior[2]
+			for j := 0; j < d; j++ {
+				t := c.lpT[6*j : 6*j+6]
+				if x[j] > c.thr[j] {
+					s0 += t[0]
+					s1 += t[1]
+					s2 += t[2]
+				} else {
+					s0 += t[3]
+					s1 += t[4]
+					s2 += t[5]
+				}
+			}
+			c.scores[0], c.scores[1], c.scores[2] = s0, s1, s2
+			return c.classes[argmax(c.scores)]
+		}
+		copy(c.scores, c.prior)
+		k := len(c.scores)
+		for j := 0; j < d; j++ {
+			off := j * 2 * k
+			if !(x[j] > c.thr[j]) {
+				off += k
+			}
+			t := c.lpT[off:]
+			for ci := range c.scores {
+				c.scores[ci] += t[ci]
+			}
+		}
+		return c.classes[argmax(c.scores)]
+	}
+	row := c.pre.row(x)
+	for ci := range c.classes {
+		s := c.prior[ci]
+		probs := c.lp[ci*2*c.d:]
+		for j, v := range row {
+			if j >= c.d {
+				break
+			}
+			if v > c.threshold {
+				s += probs[2*j]
+			} else {
+				s += probs[2*j+1]
+			}
+		}
+		c.scores[ci] = s
+	}
+	return c.classes[argmax(c.scores)]
+}
+
+func (c *compiledBernoulli) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledBernoulli) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	cp.scores = make([]float64, len(c.scores))
+	return &cp
+}
+
+// --- GaussianNB ---
+
+// compiledGaussian precomputes, per class and feature, the constant term
+// -0.5*log(2*pi*var) and the doubled variance, so inference is one subtract,
+// multiply, divide, and add per feature.
+type compiledGaussian struct {
+	pre     prescaler
+	prior   []float64
+	mean    []float64 // k*d
+	logTerm []float64 // k*d: -0.5*log(2*pi*var), bit-identical to Predict's
+	twoVar  []float64 // k*d: 2*var (exact doubling)
+	d       int
+	classes []int
+	scores  []float64
+}
+
+func compileGaussian(g *GaussianNB, pre prescaler) *compiledGaussian {
+	c := &compiledGaussian{
+		pre:     pre,
+		prior:   g.logPrior,
+		classes: g.classes,
+		scores:  make([]float64, len(g.classes)),
+	}
+	if len(g.mean) > 0 {
+		c.d = len(g.mean[0])
+		n := len(g.classes) * c.d
+		c.mean = make([]float64, 0, n)
+		c.logTerm = make([]float64, 0, n)
+		c.twoVar = make([]float64, 0, n)
+		for ci := range g.classes {
+			for j := 0; j < c.d; j++ {
+				c.mean = append(c.mean, g.mean[ci][j])
+				c.logTerm = append(c.logTerm, -0.5*math.Log(2*math.Pi*g.variance[ci][j]))
+				c.twoVar = append(c.twoVar, 2*g.variance[ci][j])
+			}
+		}
+	}
+	return c
+}
+
+func (c *compiledGaussian) Infer(x []float64) int {
+	if len(c.classes) == 0 {
+		return 0
+	}
+	row := c.pre.row(x)
+	for ci := range c.classes {
+		s := c.prior[ci]
+		off := ci * c.d
+		for j, v := range row {
+			if j >= c.d {
+				break
+			}
+			diff := v - c.mean[off+j]
+			s += c.logTerm[off+j] - diff*diff/c.twoVar[off+j]
+		}
+		c.scores[ci] = s
+	}
+	return c.classes[argmax(c.scores)]
+}
+
+func (c *compiledGaussian) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledGaussian) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	cp.scores = make([]float64, len(c.scores))
+	return &cp
+}
+
+// --- trees, forests, boosted stumps ---
+
+// treeArena is one or more CART trees flattened into parallel arrays.
+// Internal nodes store the split feature and child indices; leaves store
+// feature -1 with the class in the left slot. Children follow their parent,
+// so descents walk forward through mostly-contiguous memory instead of
+// chasing *treeNode pointers.
+type treeArena struct {
+	feature     []int32
+	threshold   []float64
+	left, right []int32
+	roots       []int32
+}
+
+// push flattens one subtree and returns its node index. A nil node (an
+// unfitted estimator) becomes a class-0 leaf, mirroring Predict-before-Fit.
+func (a *treeArena) push(n *treeNode) int32 {
+	idx := int32(len(a.feature))
+	if n == nil || n.leaf {
+		cls := int32(0)
+		if n != nil {
+			cls = int32(n.class)
+		}
+		a.feature = append(a.feature, -1)
+		a.threshold = append(a.threshold, 0)
+		a.left = append(a.left, cls)
+		a.right = append(a.right, 0)
+		return idx
+	}
+	a.feature = append(a.feature, int32(n.feature))
+	a.threshold = append(a.threshold, n.threshold)
+	a.left = append(a.left, 0)
+	a.right = append(a.right, 0)
+	l := a.push(n.left)
+	r := a.push(n.right)
+	a.left[idx] = l
+	a.right[idx] = r
+	return idx
+}
+
+// classify descends from root to a leaf with the same comparisons as
+// DecisionTree.predictOne.
+func (a *treeArena) classify(root int32, row []float64) int {
+	i := root
+	for a.feature[i] >= 0 {
+		if row[a.feature[i]] <= a.threshold[i] {
+			i = a.left[i]
+		} else {
+			i = a.right[i]
+		}
+	}
+	return int(a.left[i])
+}
+
+// compiledTree is a single flattened CART tree.
+type compiledTree struct {
+	pre   prescaler
+	arena treeArena
+}
+
+func compileTree(t *DecisionTree, pre prescaler) *compiledTree {
+	c := &compiledTree{pre: pre}
+	c.arena.roots = append(c.arena.roots, c.arena.push(t.root))
+	return c
+}
+
+func (c *compiledTree) Infer(x []float64) int {
+	return c.arena.classify(c.arena.roots[0], c.pre.row(x))
+}
+
+func (c *compiledTree) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledTree) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	return &cp
+}
+
+// compiledForest is every bagged tree flattened into one shared arena, with
+// a per-instance vote scratch.
+type compiledForest struct {
+	pre   prescaler
+	arena treeArena
+	votes []float64
+}
+
+func compileForest(rf *RandomForest, pre prescaler) *compiledForest {
+	c := &compiledForest{pre: pre, votes: make([]float64, rf.classes)}
+	for _, tree := range rf.forest {
+		c.arena.roots = append(c.arena.roots, c.arena.push(tree.root))
+	}
+	return c
+}
+
+func (c *compiledForest) Infer(x []float64) int {
+	if len(c.arena.roots) == 0 {
+		return 0
+	}
+	row := c.pre.row(x)
+	for i := range c.votes {
+		c.votes[i] = 0
+	}
+	for _, r := range c.arena.roots {
+		c.votes[c.arena.classify(r, row)]++
+	}
+	return argmax(c.votes)
+}
+
+func (c *compiledForest) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledForest) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	cp.votes = make([]float64, len(c.votes))
+	return &cp
+}
+
+// compiledAda is the boosted stumps as parallel arrays: one arena root and
+// one alpha per round.
+type compiledAda struct {
+	pre    prescaler
+	arena  treeArena
+	alphas []float64
+	votes  []float64
+}
+
+func compileAda(ab *AdaBoost, pre prescaler) *compiledAda {
+	c := &compiledAda{pre: pre, alphas: ab.alphas, votes: make([]float64, ab.classes)}
+	for _, stump := range ab.stumps {
+		c.arena.roots = append(c.arena.roots, c.arena.push(stump.root))
+	}
+	return c
+}
+
+func (c *compiledAda) Infer(x []float64) int {
+	if len(c.arena.roots) == 0 {
+		return 0
+	}
+	row := c.pre.row(x)
+	for i := range c.votes {
+		c.votes[i] = 0
+	}
+	for si, r := range c.arena.roots {
+		c.votes[c.arena.classify(r, row)] += c.alphas[si]
+	}
+	return argmax(c.votes)
+}
+
+func (c *compiledAda) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledAda) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	cp.votes = make([]float64, len(c.votes))
+	return &cp
+}
+
+// --- LinearSVC ---
+
+// compiledSVC is the one-vs-rest weight matrix flattened row-major with the
+// bias at the end of each row (stride d+1).
+type compiledSVC struct {
+	pre     prescaler
+	w       []float64
+	hasW    []bool
+	d       int
+	classes int
+	scores  []float64
+}
+
+func compileSVC(s *LinearSVC, pre prescaler) *compiledSVC {
+	c := &compiledSVC{pre: pre, classes: s.classes, scores: make([]float64, s.classes)}
+	for _, w := range s.weights {
+		if w != nil {
+			c.d = len(w) - 1
+			break
+		}
+	}
+	if len(s.weights) > 0 {
+		c.w = make([]float64, len(s.weights)*(c.d+1))
+		c.hasW = make([]bool, len(s.weights))
+		for ci, w := range s.weights {
+			if w == nil {
+				continue
+			}
+			c.hasW[ci] = true
+			copy(c.w[ci*(c.d+1):], w)
+		}
+	}
+	return c
+}
+
+func (c *compiledSVC) Infer(x []float64) int {
+	if len(c.hasW) == 0 {
+		return 0
+	}
+	row := c.pre.row(x)
+	for ci := 0; ci < c.classes; ci++ {
+		if !c.hasW[ci] {
+			c.scores[ci] = -1e18
+			continue
+		}
+		off := ci * (c.d + 1)
+		m := c.w[off+c.d]
+		for j, v := range row {
+			if j >= c.d {
+				break
+			}
+			m += c.w[off+j] * v
+		}
+		c.scores[ci] = m
+	}
+	return argmax(c.scores)
+}
+
+func (c *compiledSVC) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledSVC) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	cp.scores = make([]float64, len(c.scores))
+	return &cp
+}
+
+// --- KNN ---
+
+// compiledKNN shares the memorized training rows (immutable after Fit) and
+// owns the bounded-selection and vote scratch. Selection and voting run
+// through knnVote, the same routine KNN.Predict uses, so the two forms are
+// bit-identical by construction.
+type compiledKNN struct {
+	pre        prescaler
+	trainX     [][]float64
+	trainY     []int
+	metric     Distance
+	kNeighbors int
+	selDist    []float64
+	selIdx     []int
+	votes      []int
+	distSum    []float64
+}
+
+func compileKNN(kn *KNN, pre prescaler) *compiledKNN {
+	c := &compiledKNN{
+		pre:    pre,
+		trainX: kn.trainX,
+		trainY: kn.trainY,
+		metric: kn.Metric,
+	}
+	c.kNeighbors = kn.K
+	if c.kNeighbors <= 0 {
+		c.kNeighbors = 5
+	}
+	if c.kNeighbors > len(kn.trainX) {
+		c.kNeighbors = len(kn.trainX)
+	}
+	c.selDist = make([]float64, c.kNeighbors)
+	c.selIdx = make([]int, c.kNeighbors)
+	c.votes = make([]int, kn.k)
+	c.distSum = make([]float64, kn.k)
+	return c
+}
+
+func (c *compiledKNN) Infer(x []float64) int {
+	if len(c.trainX) == 0 {
+		return 0
+	}
+	row := c.pre.row(x)
+	return knnVote(row, c.trainX, c.trainY, c.metric, c.kNeighbors,
+		c.selDist, c.selIdx, c.votes, c.distSum)
+}
+
+func (c *compiledKNN) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledKNN) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	cp.selDist = make([]float64, len(c.selDist))
+	cp.selIdx = make([]int, len(c.selIdx))
+	cp.votes = make([]int, len(c.votes))
+	cp.distSum = make([]float64, len(c.distSum))
+	return &cp
+}
+
+// --- MLP ---
+
+// compiledMLP flattens every layer's weight matrix and bias vector into one
+// arena each, with two ping-pong activation buffers sized to the widest
+// layer so a forward pass allocates nothing.
+type compiledMLP struct {
+	pre      prescaler
+	w        []float64 // all layers, row-major per layer
+	b        []float64
+	wOff     []int // weight arena offset per layer
+	bOff     []int // bias arena offset per layer
+	sizes    []int // layer widths: sizes[0] = input dim, last = classes
+	bufA     []float64
+	bufB     []float64
+	maxWidth int
+}
+
+func compileMLP(m *MLP, pre prescaler) *compiledMLP {
+	c := &compiledMLP{pre: pre}
+	if len(m.weights) == 0 {
+		return c
+	}
+	c.sizes = make([]int, 0, len(m.weights)+1)
+	c.sizes = append(c.sizes, len(m.weights[0][0]))
+	for l := range m.weights {
+		out := len(m.weights[l])
+		c.sizes = append(c.sizes, out)
+		if out > c.maxWidth {
+			c.maxWidth = out
+		}
+		c.wOff = append(c.wOff, len(c.w))
+		c.bOff = append(c.bOff, len(c.b))
+		for o := 0; o < out; o++ {
+			c.w = append(c.w, m.weights[l][o]...)
+		}
+		c.b = append(c.b, m.biases[l]...)
+	}
+	c.bufA = make([]float64, c.maxWidth)
+	c.bufB = make([]float64, c.maxWidth)
+	return c
+}
+
+func (c *compiledMLP) Infer(x []float64) int {
+	layers := len(c.wOff)
+	if layers == 0 {
+		return 0
+	}
+	cur := c.pre.row(x)
+	dst, alt := c.bufA, c.bufB
+	var z []float64
+	for l := 0; l < layers; l++ {
+		in, out := c.sizes[l], c.sizes[l+1]
+		z = dst[:out]
+		wOff := c.wOff[l]
+		for o := 0; o < out; o++ {
+			s := c.b[c.bOff[l]+o]
+			woff := wOff + o*in
+			for j, v := range cur {
+				s += c.w[woff+j] * v
+			}
+			z[o] = s
+		}
+		if l < layers-1 {
+			// ReLU in place: z doubles as the next layer's input.
+			for i, v := range z {
+				if v <= 0 {
+					z[i] = 0
+				}
+			}
+			cur = z
+			dst, alt = alt, dst
+		}
+	}
+	return argmax(z)
+}
+
+func (c *compiledMLP) InferBatch(X [][]float64, out []int) []int { return inferBatch(c, X, out) }
+
+func (c *compiledMLP) Clone() CompiledModel {
+	cp := *c
+	cp.pre = c.pre.clone()
+	cp.bufA = make([]float64, c.maxWidth)
+	cp.bufB = make([]float64, c.maxWidth)
+	return &cp
+}

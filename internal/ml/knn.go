@@ -1,7 +1,5 @@
 package ml
 
-import "sort"
-
 // KNN is the k-nearest-neighbors classifier. The paper tests k in 3..15 and
 // metrics Euclidean/Manhattan/Chebyshev, finding k=5 with Euclidean best.
 type KNN struct {
@@ -28,7 +26,11 @@ func (kn *KNN) Fit(X [][]float64, y []int) error {
 }
 
 // Predict implements Classifier: majority vote among the K nearest training
-// rows, ties broken toward the closer aggregate neighborhood.
+// rows, ties broken toward the closer aggregate neighborhood. Neighbor
+// selection is a bounded partial pass — an insertion-sorted window of the K
+// best seen so far, ordered by (distance, training index) — instead of a
+// full O(n log n) sort over every training row, and the selection/vote
+// scratch is hoisted out of the per-row loop.
 func (kn *KNN) Predict(X [][]float64) []int {
 	out := make([]int, len(X))
 	if len(kn.trainX) == 0 {
@@ -41,29 +43,64 @@ func (kn *KNN) Predict(X [][]float64) []int {
 	if kNeighbors > len(kn.trainX) {
 		kNeighbors = len(kn.trainX)
 	}
-	type nb struct {
-		dist  float64
-		label int
-	}
+	selDist := make([]float64, kNeighbors)
+	selIdx := make([]int, kNeighbors)
+	votes := make([]int, kn.k)
+	distSum := make([]float64, kn.k)
 	for i, row := range X {
-		nbs := make([]nb, len(kn.trainX))
-		for t, tr := range kn.trainX {
-			nbs[t] = nb{dist: kn.Metric.between(row, tr), label: kn.trainY[t]}
-		}
-		sort.Slice(nbs, func(a, b int) bool { return nbs[a].dist < nbs[b].dist })
-		votes := make([]int, kn.k)
-		distSum := make([]float64, kn.k)
-		for _, n := range nbs[:kNeighbors] {
-			votes[n.label]++
-			distSum[n.label] += n.dist
-		}
-		best, bi := -1, 0
-		for c, v := range votes {
-			if v > best || (v == best && distSum[c] < distSum[bi]) {
-				best, bi = v, c
-			}
-		}
-		out[i] = bi
+		out[i] = knnVote(row, kn.trainX, kn.trainY, kn.Metric, kNeighbors,
+			selDist, selIdx, votes, distSum)
 	}
 	return out
+}
+
+// knnVote selects the kNeighbors nearest training rows by bounded partial
+// selection and returns the majority class. The selection window is kept
+// sorted ascending by (distance, training index), so equal distances resolve
+// deterministically toward the earlier training row and the per-class
+// distance sums accumulate in a fixed order — KNN.Predict and the compiled
+// form both call this routine, which is what makes them bit-identical. The
+// caller owns the scratch: selDist/selIdx sized kNeighbors, votes/distSum
+// sized to the class count.
+func knnVote(row []float64, trainX [][]float64, trainY []int, metric Distance,
+	kNeighbors int, selDist []float64, selIdx []int, votes []int, distSum []float64) int {
+	cnt := 0
+	for t, tr := range trainX {
+		d := metric.between(row, tr)
+		if cnt < kNeighbors {
+			i := cnt
+			for i > 0 && selDist[i-1] > d {
+				selDist[i], selIdx[i] = selDist[i-1], selIdx[i-1]
+				i--
+			}
+			selDist[i], selIdx[i] = d, t
+			cnt++
+			continue
+		}
+		if d >= selDist[kNeighbors-1] {
+			continue
+		}
+		i := kNeighbors - 1
+		for i > 0 && selDist[i-1] > d {
+			selDist[i], selIdx[i] = selDist[i-1], selIdx[i-1]
+			i--
+		}
+		selDist[i], selIdx[i] = d, t
+	}
+	for c := range votes {
+		votes[c] = 0
+		distSum[c] = 0
+	}
+	for i := 0; i < cnt; i++ {
+		label := trainY[selIdx[i]]
+		votes[label]++
+		distSum[label] += selDist[i]
+	}
+	best, bi := -1, 0
+	for c, v := range votes {
+		if v > best || (v == best && distSum[c] < distSum[bi]) {
+			best, bi = v, c
+		}
+	}
+	return bi
 }

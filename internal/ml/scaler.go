@@ -65,6 +65,22 @@ func (s *StandardScaler) Transform(X [][]float64) [][]float64 {
 	return out
 }
 
+// TransformInPlace scales one row in place with the exact per-element
+// arithmetic of Transform, without allocating the [][]float64 wrapper, the
+// output matrix, or the copied row. An unfitted scaler leaves the row
+// untouched, matching Transform's passthrough.
+func (s *StandardScaler) TransformInPlace(row []float64) {
+	if !s.fitted {
+		return
+	}
+	for j, v := range row {
+		if j >= len(s.Mean) {
+			break
+		}
+		row[j] = (v - s.Mean[j]) / s.Scale[j]
+	}
+}
+
 // FitTransform fits on X and returns its scaled copy.
 func (s *StandardScaler) FitTransform(X [][]float64) ([][]float64, error) {
 	if err := s.Fit(X); err != nil {
