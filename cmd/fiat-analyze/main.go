@@ -1,21 +1,28 @@
 // Command fiat-analyze runs FIAT's offline traffic analysis over a pcap
 // capture: per-device predictability (Classic vs PortLess), the recurring
 // flow inventory, and the unpredictable-event breakdown — §2/§3 of the
-// paper as a tool.
+// paper as a tool. With -attacks it instead runs the seeded adversarial
+// scenario corpus against the full proxy and reports the
+// detection/false-admission matrix, optionally gated against a committed
+// baseline.
 //
 // Usage:
 //
 //	trafficgen -device WyzeCam -hours 6 -out wyze.pcap
 //	fiat-analyze -pcap wyze.pcap -device 192.168.1.50
+//	fiat-analyze -attacks
+//	fiat-analyze -attacks -attacks-baseline internal/adversary/baseline.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
 	"sort"
 
+	"fiat/internal/adversary"
 	"fiat/internal/devices"
 	"fiat/internal/events"
 	"fiat/internal/flows"
@@ -25,12 +32,21 @@ import (
 )
 
 func main() {
-	pcapPath := flag.String("pcap", "", "capture to analyze (required)")
+	pcapPath := flag.String("pcap", "", "capture to analyze (required unless -attacks)")
 	deviceIP := flag.String("device", "192.168.1.50", "the IoT device's IP in the capture")
 	topFlows := flag.Int("top", 12, "recurring flows to list")
 	mudOut := flag.String("mud", "", "export the learned rules as an RFC 8520 MUD profile to this path")
 	mudURL := flag.String("mud-url", "https://fiat.example/device.json", "mud-url for the exported profile")
+	attacks := flag.Bool("attacks", false, "run the adversarial scenario corpus instead of analyzing a capture")
+	attacksSeed := flag.Int64("attacks-seed", 1, "scenario seed for -attacks")
+	attacksShards := flag.Int("attacks-shards", 1, "proxy shard width for -attacks")
+	attacksJSON := flag.String("attacks-json", "", "also write the matrix JSON to this path")
+	attacksBaseline := flag.String("attacks-baseline", "", "gate the matrix against this baseline file (\"embedded\" = the committed baseline); exit 1 on regression")
+	attacksWrite := flag.String("attacks-write-baseline", "", "write the matrix as the new baseline to this path and exit")
 	flag.Parse()
+	if *attacks {
+		os.Exit(runAttacks(*attacksSeed, *attacksShards, *attacksJSON, *attacksBaseline, *attacksWrite))
+	}
 	if *pcapPath == "" {
 		fmt.Fprintln(os.Stderr, "fiat-analyze: -pcap is required")
 		os.Exit(2)
@@ -159,4 +175,84 @@ func main() {
 	if len(evs) > 0 {
 		fmt.Println("these events would be classified manual/non-manual by the proxy (§5.4).")
 	}
+}
+
+// runAttacks executes the adversarial corpus and reports the matrix. Return
+// value is the process exit code: 0 clean, 1 on error or baseline
+// regression.
+func runAttacks(seed int64, shards int, jsonOut, baselinePath, writeBaseline string) int {
+	m, results, err := adversary.RunAll(seed, shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiat-analyze:", err)
+		return 1
+	}
+	data, err := m.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiat-analyze:", err)
+		return 1
+	}
+
+	if writeBaseline != "" {
+		if err := os.WriteFile(writeBaseline, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fiat-analyze:", err)
+			return 1
+		}
+		fmt.Printf("wrote baseline matrix (%d attacks, seed %d) -> %s\n",
+			len(m.Attacks), seed, writeBaseline)
+		return 0
+	}
+
+	fmt.Printf("adversarial corpus: %d attacks, seed %d, %d shard(s)\n\n",
+		len(m.Attacks), seed, shards)
+	fmt.Println(m.Table())
+	descs := make(map[string]string, len(results))
+	for _, a := range adversary.Catalog() {
+		descs[a.Spec().Name] = a.Spec().Description
+	}
+	for _, s := range m.Attacks {
+		fmt.Printf("%s\n  mechanism: %s\n  matrix cell: %s\n  %s\n",
+			s.Attack, s.Mechanism, s.Cell, descs[s.Attack])
+	}
+
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fiat-analyze:", err)
+			return 1
+		}
+		fmt.Printf("\nwrote matrix JSON -> %s\n", jsonOut)
+	}
+
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fiat-analyze:", err)
+			return 1
+		}
+		regressions := adversary.Compare(m, base)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "\nBASELINE REGRESSIONS (%d):\n", len(regressions))
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, " -", r)
+			}
+			return 1
+		}
+		fmt.Printf("\nbaseline gate: PASS (%d attacks match or beat %s)\n",
+			len(base.Attacks), baselinePath)
+	}
+	return 0
+}
+
+func loadBaseline(path string) (*adversary.Matrix, error) {
+	if path == "embedded" {
+		return adversary.Baseline()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m adversary.Matrix
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &m, nil
 }

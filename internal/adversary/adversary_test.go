@@ -1,0 +1,197 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"fiat/internal/core"
+)
+
+// runAttack executes one named catalog attack with default scenario
+// parameters.
+func runAttack(t *testing.T, name string, shards int) *Result {
+	t.Helper()
+	for _, a := range Catalog() {
+		if a.Spec().Name != name {
+			continue
+		}
+		res, err := Run(Scenario{Attack: a, Shards: shards})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res
+	}
+	t.Fatalf("attack %q not in catalog", name)
+	return nil
+}
+
+func TestCatalogSpecsComplete(t *testing.T) {
+	if len(Catalog()) < 6 {
+		t.Fatalf("catalog has %d attacks, want >= 6", len(Catalog()))
+	}
+	seen := map[string]bool{}
+	for _, a := range Catalog() {
+		spec := a.Spec()
+		if spec.Name == "" || spec.Mechanism == "" || spec.Cell == "" || spec.Description == "" {
+			t.Errorf("attack %+v: incomplete spec", spec)
+		}
+		if seen[spec.Name] {
+			t.Errorf("duplicate attack name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+	}
+}
+
+// TestMimicryPeriodRidesLearnedRules pins the mimicry bypass: every attacker
+// packet continuing the dormant flow at its learned period is admitted, no
+// lockout fires, and the attack is never detected.
+func TestMimicryPeriodRidesLearnedRules(t *testing.T) {
+	res := runAttack(t, "mimicry-period", 1)
+	s := res.Score
+	if s.AttackerPackets == 0 || s.AttackerBlocked != 0 || s.AttackerAdmitted != s.AttackerPackets {
+		t.Fatalf("score = %+v, want all attacker packets admitted", s)
+	}
+	if s.Lockouts != 0 || s.TimeToDetectMs != -1 {
+		t.Fatalf("score = %+v, want undetected", s)
+	}
+	if !strings.Contains(res.DecisionTrace(), string(core.ReasonRuleHit)+" atk") {
+		t.Fatalf("no attacker rule-hit in trace:\n%s", res.DecisionTrace())
+	}
+}
+
+// TestMimicryOffPeriodLandsNonManual pins the non-manual free pass: the
+// off-period replay misses the rules but classifies non-manual and sails
+// through without a humanness check.
+func TestMimicryOffPeriodLandsNonManual(t *testing.T) {
+	res := runAttack(t, "mimicry-offperiod", 1)
+	s := res.Score
+	if s.AttackerPackets != 10 || s.AttackerAdmitted != 10 {
+		t.Fatalf("score = %+v, want 10/10 admitted", s)
+	}
+	if !strings.Contains(res.DecisionTrace(), string(core.ReasonNonManual)+" atk") {
+		t.Fatalf("no attacker non-manual admission in trace")
+	}
+}
+
+// TestCommandInjectLocksOut pins brute-force detection: unattested manual
+// bursts drop past the grace head, the third drop locks the device, and
+// detection is fast.
+func TestCommandInjectLocksOut(t *testing.T) {
+	res := runAttack(t, "command-inject", 1)
+	s := res.Score
+	if s.Lockouts != 1 || !res.Locked["plug"] {
+		t.Fatalf("score = %+v locked=%v, want lockout", s, res.Locked)
+	}
+	if s.AttackerBlocked == 0 || s.TimeToDetectMs < 0 {
+		t.Fatalf("score = %+v, want blocked packets and detection", s)
+	}
+	if s.AttackerAdmitted >= s.AttackerBlocked {
+		t.Fatalf("score = %+v, want most attacker packets blocked (only grace heads admitted)", s)
+	}
+	// The post-lockout benign interaction is collateral damage.
+	if s.BenignBlocked == 0 {
+		t.Fatalf("score = %+v, want benign collateral after lockout", s)
+	}
+}
+
+// TestAttestReplayRejected pins the anti-replay guard end-to-end: captured
+// valid bytes re-delivered inside the window are rejected as replays, and no
+// forged attestation opens the gate.
+func TestAttestReplayRejected(t *testing.T) {
+	res := runAttack(t, "attest-replay", 1)
+	s := res.Score
+	if s.AttestForged != 2 || s.AttestAccepted != 0 || s.AttestRejected != 2 {
+		t.Fatalf("score = %+v, want 2 forged, all rejected", s)
+	}
+	if s.AttestReplayed != 2 || s.AttestStale != 0 {
+		t.Fatalf("score = %+v, want replay cell, not stale", s)
+	}
+	if s.TimeToDetectMs < 0 {
+		t.Fatalf("score = %+v, want detection", s)
+	}
+}
+
+// TestAttestTimeShiftStale pins the freshness boundary end-to-end: the same
+// captured bytes re-delivered past the window are stale, not replayed.
+func TestAttestTimeShiftStale(t *testing.T) {
+	res := runAttack(t, "attest-timeshift", 1)
+	s := res.Score
+	if s.AttestForged != 2 || s.AttestAccepted != 0 || s.AttestRejected != 2 {
+		t.Fatalf("score = %+v, want 2 forged, all rejected", s)
+	}
+	if s.AttestStale != 2 || s.AttestReplayed != 0 {
+		t.Fatalf("score = %+v, want stale cell, not replay", s)
+	}
+}
+
+// TestMachineTouchRejectedByValidator pins the humanness model against
+// on-phone malware: synthetic machine windows ship under the real pairing
+// key and the model rejects them, so the paired commands drop.
+func TestMachineTouchRejectedByValidator(t *testing.T) {
+	res := runAttack(t, "machine-touch", 1)
+	s := res.Score
+	if s.AttestForged != 4 {
+		t.Fatalf("score = %+v, want 4 forged attestations", s)
+	}
+	if s.AttestRejected < 3 {
+		t.Fatalf("score = %+v, want the validator to reject most machine windows", s)
+	}
+	if s.AttackerBlocked == 0 || s.TimeToDetectMs < 0 {
+		t.Fatalf("score = %+v, want blocked bursts and detection", s)
+	}
+}
+
+// TestRobotArmBypassPinned pins the reproduced physical-tap bypass: the
+// validator accepts robotic windows and the paired bursts are admitted as
+// verified-human. This row records a real limitation — the test fails if
+// the bypass silently narrows (improvement: update the baseline) or widens.
+func TestRobotArmBypassPinned(t *testing.T) {
+	res := runAttack(t, "robot-arm", 1)
+	s := res.Score
+	if s.AttestForged != 4 {
+		t.Fatalf("score = %+v, want 4 forged attestations", s)
+	}
+	if s.AttestAccepted < 2 {
+		t.Fatalf("score = %+v, want the tap-energy validator fooled by robotic taps", s)
+	}
+	if s.AttackerAdmitted <= s.AttackerBlocked {
+		t.Fatalf("score = %+v, want most robotic bursts admitted as human", s)
+	}
+	if !strings.Contains(res.DecisionTrace(), string(core.ReasonHumanOK)+" atk") {
+		t.Fatalf("no attacker human-ok admission in trace")
+	}
+}
+
+// TestMultiUserPiggybackWindow pins the shared-TTL weakness: the burst
+// inside the guest's validation window is admitted as human, the one
+// outside drops.
+func TestMultiUserPiggybackWindow(t *testing.T) {
+	res := runAttack(t, "multiuser-piggyback", 1)
+	s := res.Score
+	if s.AttackerAdmitted == 0 || !strings.Contains(res.DecisionTrace(), string(core.ReasonHumanOK)+" atk") {
+		t.Fatalf("score = %+v, want in-TTL piggyback admitted as human", s)
+	}
+	if s.AttackerBlocked == 0 || s.TimeToDetectMs < 0 {
+		t.Fatalf("score = %+v, want the out-of-TTL control burst blocked", s)
+	}
+	if s.Lockouts != 0 {
+		t.Fatalf("score = %+v, want no lockout (one drop only)", s)
+	}
+}
+
+// TestRogueOnboardPartialDetection pins the churn-takeover boundary: the
+// spoofed camera's in-period heartbeats ride the learned rules (admitted,
+// even after lockout), while its novel bursts drop and lock the ghost out.
+func TestRogueOnboardPartialDetection(t *testing.T) {
+	res := runAttack(t, "rogue-onboard", 1)
+	s := res.Score
+	if !res.Locked["cam"] || res.Locked["plug"] {
+		t.Fatalf("locked = %v, want cam locked, plug clean", res.Locked)
+	}
+	if s.AttackerAdmitted == 0 || s.AttackerBlocked == 0 {
+		t.Fatalf("score = %+v, want mixed admissions (rule-riding) and blocks (novel bursts)", s)
+	}
+	if s.BenignBlocked != 0 {
+		t.Fatalf("score = %+v, want the plug's benign traffic untouched", s)
+	}
+}

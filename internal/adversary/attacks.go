@@ -1,0 +1,302 @@
+package adversary
+
+import (
+	"time"
+
+	"fiat/internal/flows"
+)
+
+// Catalog returns the full attack corpus, in matrix order. Every entry is
+// deterministic in the scenario seed; RunAll scores each into one matrix
+// row. The catalog deliberately mixes attacks FIAT stops (command
+// injection, attestation replay and time-shift, machine-driven touch) with
+// reproduced bypasses it does not (rule mimicry, robotic-arm taps, TTL
+// piggybacking, churn takeover), so the baseline pins both boundaries of
+// the authenticator.
+func Catalog() []Attack {
+	return []Attack{
+		mimicryPeriod{},
+		mimicryOffPeriod{},
+		commandInject{},
+		attestReplay{},
+		attestTimeShift{},
+		machineTouch{},
+		robotArm{},
+		multiUserPiggyback{},
+		rogueOnboard{},
+	}
+}
+
+// dormantRecord is the bootstrap-only periodic flow the mimicry attacks
+// continue: the attacker observed its cadence on the wire and keeps emitting
+// it with the victim's source IP after the real sender went silent.
+func dormantRecord(now time.Time) flows.Record {
+	return flows.Record{
+		Time: now, Size: 96, Proto: "udp", Dir: flows.DirOutbound,
+		RemoteIP: cloudIP, LocalPort: 41000, RemotePort: 8443,
+		Category: flows.CategoryControl,
+	}
+}
+
+// mimicryPeriod continues a learned periodic flow at exactly its learned
+// period. Stage 1 admits every in-period packet as a predictable rule hit —
+// the known mimicry boundary of rule-based authentication: once an IAT is
+// learned, anyone who can spoof the source IP rides the rule.
+type mimicryPeriod struct{}
+
+func (mimicryPeriod) Spec() Spec {
+	return Spec{
+		Name:        "mimicry-period",
+		Mechanism:   "learned periodic rules (stage 1 predictability)",
+		Cell:        "attacker-admitted",
+		Description: "Attacker continues a bootstrap-learned periodic flow at its exact period with a spoofed source IP; every packet is admitted as a rule hit.",
+		DormantFlow: true,
+	}
+}
+
+func (mimicryPeriod) Arm(w *World) {
+	for off := 15 * time.Second; off < w.scn.Duration; off += 15 * time.Second {
+		o := off
+		w.AfterBoot(o, func(now time.Time) { w.SpoofDeviceFrame(devIP, dormantRecord(now)) })
+	}
+}
+
+// mimicryOffPeriod replays the same flow off-period. The packets miss the
+// rule but land in the non-manual event bucket, which FIAT admits by design
+// (its gate is for manual commands) — the row pins that the non-manual
+// lane is a free pass for machine-shaped traffic.
+type mimicryOffPeriod struct{}
+
+func (mimicryOffPeriod) Spec() Spec {
+	return Spec{
+		Name:        "mimicry-offperiod",
+		Mechanism:   "manual/non-manual event classification (stage 3)",
+		Cell:        "attacker-admitted",
+		Description: "Attacker replays the learned flow at the wrong period; the misses classify as non-manual events and are admitted without any humanness check.",
+		DormantFlow: true,
+	}
+}
+
+func (mimicryOffPeriod) Arm(w *World) {
+	// Start well clear of the victim's +15 s interaction: the event grouper
+	// works on a 5 s gap, and a train butted against the benign manual event
+	// would ride its verdict instead of being classified itself.
+	for i := 0; i < 10; i++ {
+		off := 30*time.Second + time.Duration(i)*3*time.Second
+		w.AfterBoot(off, func(now time.Time) { w.SpoofDeviceFrame(devIP, dormantRecord(now)) })
+	}
+}
+
+// commandInject forges the §4 manual-command signature (cloud→device burst
+// headed by the notification size) with no attestation at all. The humanness
+// gate drops each event past the grace head, and the third drop inside the
+// lockout window disconnects the device — FIAT's brute-force detection,
+// with the grace-head packets as the measured cost.
+type commandInject struct{}
+
+func (commandInject) Spec() Spec {
+	return Spec{
+		Name:        "command-inject",
+		Mechanism:   "humanness gate + brute-force lockout (stage 4)",
+		Cell:        "lockouts",
+		Description: "Attacker injects manual-shaped command bursts with no attestation; events drop past the grace head and the third drop locks the device out.",
+	}
+}
+
+func (commandInject) Arm(w *World) {
+	for _, off := range []time.Duration{30 * time.Second, 45 * time.Second, 58 * time.Second, 90 * time.Second} {
+		w.CommandBurst(off, devIP, 235, 134)
+	}
+}
+
+// attestReplay captures the victim's legitimate attestation off the wire and
+// re-delivers the exact bytes alongside forged commands. The MAC verifies —
+// the attacker holds a valid transcript — but the replay guard's byte-exact
+// dedup rejects it, and the commands drop unattested.
+type attestReplay struct{}
+
+func (attestReplay) Spec() Spec {
+	return Spec{
+		Name:        "attest-replay",
+		Mechanism:   "attestation anti-replay (byte-exact dedup)",
+		Cell:        "attest-replayed",
+		Description: "Attacker replays a captured valid attestation inside the freshness window; the dedup tag rejects it and the paired command bursts drop.",
+	}
+}
+
+func (attestReplay) Arm(w *World) {
+	for _, off := range []time.Duration{30 * time.Second, 45 * time.Second} {
+		o := off
+		w.AfterBoot(o, func(time.Time) {
+			if len(w.BenignAttests) > 0 {
+				w.ShipAttackerAttest(w.BenignAttests[0], false)
+			}
+		})
+		w.CommandBurst(o+500*time.Millisecond, devIP, 235, 134)
+	}
+}
+
+// attestTimeShift re-delivers the captured attestation outside the freshness
+// window — the time-shifted variant. The guard's exclusive boundary marks it
+// stale regardless of the valid MAC.
+type attestTimeShift struct{}
+
+func (attestTimeShift) Spec() Spec {
+	return Spec{
+		Name:        "attest-timeshift",
+		Mechanism:   "attestation freshness window (exclusive boundary)",
+		Cell:        "attest-stale",
+		Description: "Attacker re-delivers a captured attestation after the freshness window; the claimed interaction time marks it stale and the paired bursts drop.",
+	}
+}
+
+func (attestTimeShift) Arm(w *World) {
+	for _, off := range []time.Duration{50 * time.Second, 61500 * time.Millisecond} {
+		o := off
+		w.AfterBoot(o, func(time.Time) {
+			if len(w.BenignAttests) > 0 {
+				w.ShipAttackerAttest(w.BenignAttests[0], false)
+			}
+		})
+		w.CommandBurst(o+500*time.Millisecond, devIP, 235, 134)
+	}
+}
+
+// machineTouch is on-phone malware: it holds the real pairing key and ships
+// fresh, well-formed attestations — but the sensor windows are synthetic
+// machine input with no human micro-tremor. The humanness model is the only
+// line left, and it rejects the windows; the paired commands then drop and
+// lock the device.
+type machineTouch struct{}
+
+func (machineTouch) Spec() Spec {
+	return Spec{
+		Name:        "machine-touch",
+		Mechanism:   "humanness validator (sensor-feature model)",
+		Cell:        "attest-rejected",
+		Description: "Phone malware attests with synthetic machine-input sensor windows under the real pairing key; the humanness model rejects them and the commands drop.",
+	}
+}
+
+func (machineTouch) Arm(w *World) {
+	for _, off := range []time.Duration{29 * time.Second, 41 * time.Second, 53 * time.Second, 65 * time.Second} {
+		o := off
+		win := w.AtkGen.NonHuman()
+		w.AfterBoot(o, func(time.Time) {
+			payload, err := w.App.Attest("com.plug.app", win)
+			if err != nil {
+				return
+			}
+			w.ShipAttackerAttest(payload, true)
+		})
+		w.CommandBurst(o+time.Second, devIP, 235, 134)
+	}
+}
+
+// robotArm drives the phone with a physical actuator: real taps, real
+// impulse energy, no human hand behind them. The tap-energy-keyed validator
+// accepts most robotic windows — the reproduced "Perils of Zero-Interaction
+// Security" bypass — and the paired commands ride in as verified-human.
+// The row pins the bypass honestly; shrinking it shows up as a baseline
+// improvement, not a silent pass.
+type robotArm struct{}
+
+func (robotArm) Spec() Spec {
+	return Spec{
+		Name:        "robot-arm",
+		Mechanism:   "humanness validator (tap-energy blind spot)",
+		Cell:        "attacker-admitted",
+		Description: "A robotic arm taps the real phone; the validator keys on tap impulse energy and accepts the windows, admitting the paired command bursts as human.",
+	}
+}
+
+func (robotArm) Arm(w *World) {
+	for _, off := range []time.Duration{29 * time.Second, 41 * time.Second, 53 * time.Second, 65 * time.Second} {
+		o := off
+		win := w.AtkGen.Robotic()
+		w.AfterBoot(o, func(time.Time) {
+			payload, err := w.App.Attest("com.plug.app", win)
+			if err != nil {
+				return
+			}
+			w.ShipAttackerAttest(payload, true)
+		})
+		w.CommandBurst(o+time.Second, devIP, 235, 134)
+	}
+}
+
+// multiUserPiggyback is the Discussion's piggybacking window in a multi-user
+// home: a guest phone (enrolled under its own pairing alias) attests a
+// legitimate interaction, and the attacker slips a command burst into the
+// ValidationTTL that interaction opened. The in-window burst is admitted as
+// verified-human; a control burst outside the window drops.
+type multiUserPiggyback struct{}
+
+func (multiUserPiggyback) Spec() Spec {
+	return Spec{
+		Name:        "multiuser-piggyback",
+		Mechanism:   "validation TTL shared across users (phone hand-off)",
+		Cell:        "attacker-admitted",
+		Description: "A guest phone's legitimate attestation opens the validation TTL; the attacker's burst inside the window is admitted as human, the one outside drops.",
+		GuestPhone:  true,
+	}
+}
+
+func (multiUserPiggyback) Arm(w *World) {
+	guestWin := w.HumanWindow()
+	// The guest's own legitimate interaction: attestation at +30 s, command
+	// burst ~1 s later (benign — it is a real user).
+	w.AfterBoot(30*time.Second, func(time.Time) {
+		payload, err := w.GuestApp.Attest("com.plug.app", guestWin)
+		if err != nil {
+			return
+		}
+		w.ShipGuestAttest(payload)
+	})
+	for j, lag := range []time.Duration{time.Second, 1100 * time.Millisecond, 1200 * time.Millisecond} {
+		size := 235
+		if j > 0 {
+			size = 134
+		}
+		sz := size
+		w.AfterBoot(30*time.Second+lag, func(time.Time) { w.SendBenignCommand(sz) })
+	}
+	// The attack: one burst inside the TTL the guest opened, one outside.
+	w.CommandBurst(37*time.Second, devIP, 235, 134)
+	w.CommandBurst(70*time.Second, devIP, 235, 134)
+}
+
+// rogueOnboard exploits device churn: the camera leaves the home, and the
+// attacker onboards a spoofed replacement claiming its IP and traffic
+// shape. In-period heartbeats ride the camera's learned rules; the novel
+// command bursts drop unattested and lock the ghost device out — but the
+// rule-riding admissions persist even after lockout, which the row pins.
+type rogueOnboard struct{}
+
+func (rogueOnboard) Spec() Spec {
+	return Spec{
+		Name:         "rogue-onboard",
+		Mechanism:    "per-device identity under churn (IP takeover)",
+		Cell:         "lockouts",
+		Description:  "After the camera churns away, the attacker claims its IP: in-period heartbeats are admitted by the learned rules, novel bursts drop and trigger lockout.",
+		SecondDevice: true,
+	}
+}
+
+func (rogueOnboard) Arm(w *World) {
+	// In-period heartbeats continuing the camera's 12 s cadence.
+	for off := 40 * time.Second; off < w.scn.Duration; off += 12 * time.Second {
+		o := off
+		w.AfterBoot(o, func(now time.Time) {
+			w.SpoofDeviceFrame(camIP, flows.Record{
+				Time: now, Size: 180, Proto: "tcp", Dir: flows.DirOutbound,
+				RemoteIP: cloudIP, LocalPort: 41000, RemotePort: 8883,
+				Category: flows.CategoryControl,
+			})
+		})
+	}
+	// Novel command bursts against the ghost camera.
+	for _, off := range []time.Duration{45 * time.Second, 57 * time.Second, 69 * time.Second} {
+		w.CommandBurst(off, camIP, 300, 150)
+	}
+}

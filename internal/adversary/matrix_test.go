@@ -1,0 +1,125 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMatrixDeterministicAcrossShards is the corpus's determinism oracle:
+// for every attack, the sharded engine and the sequential reference produce
+// byte-identical decision traces, audit logs, scores, and obs snapshots,
+// and the assembled matrix JSON is byte-identical. The matrix is therefore
+// a function of the seed alone — the property the baseline gate rests on.
+func TestMatrixDeterministicAcrossShards(t *testing.T) {
+	seq, seqRes, err := RunAll(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, shRes, err := RunAll(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range seqRes {
+		b := shRes[name]
+		if b == nil {
+			t.Fatalf("%s: missing sharded result", name)
+		}
+		if a.DecisionTrace() != b.DecisionTrace() {
+			t.Errorf("%s: decision trace differs between 1 and 4 shards", name)
+		}
+		if a.Metrics != b.Metrics {
+			t.Errorf("%s: obs snapshot differs between 1 and 4 shards", name)
+		}
+		if a.Score != b.Score {
+			t.Errorf("%s: score differs: seq %+v sharded %+v", name, a.Score, b.Score)
+		}
+	}
+	seqJSON, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard width is part of the matrix header but must not touch any row.
+	sh.Shards = 1
+	shJSON, err := sh.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, shJSON) {
+		t.Fatalf("matrix JSON differs across shard widths:\n%s\n--- vs ---\n%s", seqJSON, shJSON)
+	}
+}
+
+// TestMatrixDeterministicReplay: a fixed-seed rerun reproduces every byte.
+func TestMatrixDeterministicReplay(t *testing.T) {
+	for _, a := range Catalog() {
+		r1, err := Run(Scenario{Attack: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(Scenario{Attack: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := a.Spec().Name
+		if r1.DecisionTrace() != r2.DecisionTrace() {
+			t.Errorf("%s: decision trace not replay-stable", name)
+		}
+		if r1.Metrics != r2.Metrics {
+			t.Errorf("%s: obs snapshot not replay-stable", name)
+		}
+		if r1.Score != r2.Score {
+			t.Errorf("%s: score not replay-stable: %+v vs %+v", name, r1.Score, r2.Score)
+		}
+	}
+}
+
+// TestBaselineGate is the committed regression gate: the default matrix must
+// match the embedded baseline.json exactly — not just pass Compare. A
+// legitimate behavior change regenerates the baseline (fiat-analyze
+// -attacks -attacks-write-baseline) and commits the diff for review.
+func TestBaselineGate(t *testing.T) {
+	base, err := Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := RunAll(base.Seed, base.Shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range Compare(cur, base) {
+		t.Errorf("regression: %s", reg)
+	}
+	curJSON, err := cur.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(curJSON, baselineJSON) {
+		t.Errorf("matrix drifted from committed baseline.json; regenerate with\n  go run ./cmd/fiat-analyze -attacks -attacks-write-baseline internal/adversary/baseline.json\nand commit the diff:\n%s", curJSON)
+	}
+}
+
+// TestCompareSemantics exercises the gate logic itself on synthetic rows.
+func TestCompareSemantics(t *testing.T) {
+	base := &Matrix{Attacks: []Score{{
+		Attack: "x", AttackerAdmitted: 2, AttestAccepted: 1,
+		Lockouts: 1, TimeToDetectMs: 100, BenignBlocked: 0,
+	}}}
+	ok := &Matrix{Attacks: []Score{{
+		Attack: "x", AttackerAdmitted: 1, AttestAccepted: 0,
+		Lockouts: 2, TimeToDetectMs: 50, BenignBlocked: 0,
+	}}}
+	if regs := Compare(ok, base); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+	bad := &Matrix{Attacks: []Score{{
+		Attack: "x", AttackerAdmitted: 3, AttestAccepted: 2,
+		Lockouts: 0, TimeToDetectMs: -1, BenignBlocked: 4,
+	}}}
+	if regs := Compare(bad, base); len(regs) != 5 {
+		t.Fatalf("want 5 regressions, got %d: %v", len(regs), regs)
+	}
+	missing := &Matrix{}
+	if regs := Compare(missing, base); len(regs) != 1 {
+		t.Fatalf("missing attack not flagged: %v", regs)
+	}
+}

@@ -159,13 +159,23 @@ func (s *validationStore) add(device string, at time.Time, human bool) {
 	s.byDevice[device] = append(keep, validation{at: at, human: human})
 }
 
+// skewTolerance bounds how far into the decision's future a validation
+// timestamp may sit and still vouch for it — the batched engine stamps a
+// whole batch with one instant, so an attestation landing mid-batch can be
+// marginally "ahead" of the packets it authorizes.
+const skewTolerance = time.Second
+
 // humanRecently reports whether a verified-human interaction for device is
-// live at now.
+// live at now. Both edges of the liveness window are exclusive: a
+// validation aged exactly ValidationTTL is dead, and one stamped exactly
+// skewTolerance ahead does not vouch yet. (The future edge used to be
+// inclusive — `!After` — admitting a validation time-shifted to exactly
+// now+skewTolerance; the adversarial replay scenarios pin both sides.)
 func (s *validationStore) humanRecently(device string, now time.Time) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, v := range s.byDevice[device] {
-		if v.human && now.Sub(v.at) < ValidationTTL && !v.at.After(now.Add(time.Second)) {
+		if v.human && now.Sub(v.at) < ValidationTTL && v.at.Before(now.Add(skewTolerance)) {
 			return true
 		}
 	}

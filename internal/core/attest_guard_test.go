@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"fiat/internal/keystore"
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+)
+
+// guardWorld builds a proxy with the anti-replay guard enabled and a paired
+// phone app, on a virtual clock.
+func guardWorld(t *testing.T, window time.Duration) (*Proxy, *ClientApp, *simclock.VirtualClock, *sensors.Generator) {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	proxyKS, err := keystore.New(mrand.New(mrand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phoneKS, err := keystore.New(mrand.New(mrand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offer, err := keystore.NewPairingOffer(proxyKS, mrand.New(mrand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := keystore.AcceptPairing(phoneKS, offer); err != nil {
+		t.Fatal(err)
+	}
+	validator, gen, err := sensors.DefaultValidator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProxy(clock, proxyKS, validator, Config{
+		Bootstrap:    time.Minute,
+		Shards:       1,
+		AttestWindow: window,
+	})
+	if err := p.AddDevice(DeviceConfig{Name: "plug", Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	app := NewClientApp(clock, phoneKS)
+	app.BindApp("com.plug.app", "plug")
+	return p, app, clock, gen
+}
+
+// TestAttestationReplayRejected: the byte-exact re-delivery of an admitted
+// attestation is rejected and counted, and does not refresh the humanness
+// window.
+func TestAttestationReplayRejected(t *testing.T) {
+	p, app, clock, gen := guardWorld(t, 30*time.Second)
+	payload, err := app.Attest("com.plug.app", gen.Human())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.HandleAttestation(payload); err != nil {
+		t.Fatalf("first delivery rejected: %v", err)
+	}
+	clock.Advance(2 * time.Second)
+	if _, err := p.HandleAttestation(payload); !errors.Is(err, sensors.ErrReplayedAttestation) {
+		t.Fatalf("replay = %v, want ErrReplayedAttestation", err)
+	}
+	st := p.StatsSnapshot()
+	if st.AttestationsReplayed != 1 || st.AttestationsBad != 1 || st.AttestationsOK != 1 {
+		t.Fatalf("stats = %+v, want OK=1 Bad=1 Replayed=1", st)
+	}
+}
+
+// TestAttestationTimeShiftBoundary pins the freshness edge end-to-end
+// through HandleAttestation: delivery at window minus one nanosecond after
+// the claimed interaction time is admitted; delivery at exactly the window
+// is stale. (The sensors-level unit test pins the pure guard; this one
+// proves the proxy wires claimed-time-vs-receipt-clock through it.)
+func TestAttestationTimeShiftBoundary(t *testing.T) {
+	const window = 30 * time.Second
+
+	// Just inside: admitted.
+	p, app, clock, gen := guardWorld(t, window)
+	payload, err := app.Attest("com.plug.app", gen.Human())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(window - time.Nanosecond)
+	if _, err := p.HandleAttestation(payload); err != nil {
+		t.Fatalf("delivery just inside window rejected: %v", err)
+	}
+
+	// Exactly at the boundary: stale (exclusive edge).
+	p2, app2, clock2, gen2 := guardWorld(t, window)
+	payload2, err := app2.Attest("com.plug.app", gen2.Human())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock2.Advance(window)
+	if _, err := p2.HandleAttestation(payload2); !errors.Is(err, sensors.ErrStaleAttestation) {
+		t.Fatalf("delivery at exact window boundary = %v, want ErrStaleAttestation", err)
+	}
+	st := p2.StatsSnapshot()
+	if st.AttestationsStale != 1 || st.AttestationsBad != 1 {
+		t.Fatalf("stats = %+v, want Bad=1 Stale=1", st)
+	}
+}
+
+// TestGuardDisabledKeepsLegacyBehavior: with AttestWindow zero the guard is
+// off and replays are (still) accepted — the pre-existing contract relied on
+// by the chaos courier, whose retransmits re-deliver identical bytes.
+func TestGuardDisabledKeepsLegacyBehavior(t *testing.T) {
+	p, app, clock, gen := guardWorld(t, 0)
+	payload, err := app.Attest("com.plug.app", gen.Human())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.HandleAttestation(payload); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Hour) // arbitrarily time-shifted
+	if _, err := p.HandleAttestation(payload); err != nil {
+		t.Fatalf("guard-off replay rejected: %v", err)
+	}
+	st := p.StatsSnapshot()
+	if st.AttestationsOK != 2 || st.AttestationsBad != 0 {
+		t.Fatalf("stats = %+v, want OK=2 Bad=0", st)
+	}
+}
+
+// TestHumanRecentlySkewBoundaryExclusive pins both edges of the validation
+// liveness window: the TTL edge (aged exactly ValidationTTL: dead; one
+// nanosecond younger: live) and the future-skew edge (stamped exactly
+// skewTolerance ahead: not yet vouching; one nanosecond less: vouching).
+// The future edge was inclusive before the adversarial corpus landed.
+func TestHumanRecentlySkewBoundaryExclusive(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0).UTC()
+	cases := []struct {
+		name string
+		at   time.Time
+		want bool
+	}{
+		{"aged exactly TTL", now.Add(-ValidationTTL), false},
+		{"aged TTL minus 1ns", now.Add(-ValidationTTL + time.Nanosecond), true},
+		{"future exactly skew", now.Add(skewTolerance), false},
+		{"future skew minus 1ns", now.Add(skewTolerance - time.Nanosecond), true},
+		{"at now", now, true},
+	}
+	for _, tc := range cases {
+		s := newValidationStore()
+		s.add("plug", tc.at, true)
+		if got := s.humanRecently("plug", now); got != tc.want {
+			t.Errorf("%s: humanRecently = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -34,6 +34,8 @@ type coreMetrics struct {
 	ruleHits                        *obs.Counter
 	eventsManual, eventsNonManual   *obs.Counter
 	attestationsOK, attestationsBad *obs.Counter
+	attestationsStale               *obs.Counter
+	attestationsReplayed            *obs.Counter
 	pendingHeld, lateAdmitted       *obs.Counter
 	pendingExpired, outageExcused   *obs.Counter
 	ruleCompiles, ruleMatches       *obs.Counter
@@ -67,30 +69,32 @@ var (
 // handles, costing a few dead atomic adds per packet).
 func newCoreMetrics(reg *obs.Registry, clock simclock.Clock) *coreMetrics {
 	m := &coreMetrics{
-		reg:                reg,
-		packets:            reg.Counter("fiat_core_packets_total"),
-		allowed:            reg.Counter("fiat_core_allowed_total"),
-		dropped:            reg.Counter("fiat_core_dropped_total"),
-		ruleHits:           reg.Counter("fiat_core_rule_hits_total"),
-		eventsManual:       reg.Counter("fiat_core_events_manual_total"),
-		eventsNonManual:    reg.Counter("fiat_core_events_non_manual_total"),
-		attestationsOK:     reg.Counter("fiat_core_attestations_ok_total"),
-		attestationsBad:    reg.Counter("fiat_core_attestations_bad_total"),
-		pendingHeld:        reg.Counter("fiat_core_pending_held_total"),
-		lateAdmitted:       reg.Counter("fiat_core_late_admitted_total"),
-		pendingExpired:     reg.Counter("fiat_core_pending_expired_total"),
-		outageExcused:      reg.Counter("fiat_core_outage_excused_total"),
-		ruleCompiles:       reg.Counter("fiat_core_rule_compiles_total"),
-		ruleMatches:        reg.Counter("fiat_core_rule_match_total"),
-		classifierCompiles: reg.Counter("fiat_core_classifier_compiles_total"),
-		reasons:            make(map[Reason]*obs.Counter, len(allReasons)),
-		lockedDevices:      reg.Gauge("fiat_core_locked_devices"),
-		pendingDepth:       reg.Gauge("fiat_core_pending_depth"),
-		compiledKeys:       reg.Gauge("fiat_core_compiled_rule_keys"),
-		batchNanos:         reg.Histogram("fiat_core_batch_ns", batchNanoBounds),
-		batchSize:          reg.Histogram("fiat_core_batch_size", batchSizeBounds),
-		matchNanos:         reg.Histogram("fiat_core_rule_match_ns", matchNanoBounds),
-		inferNanos:         reg.Histogram("fiat_core_classify_infer_ns", inferNanoBounds),
+		reg:                  reg,
+		packets:              reg.Counter("fiat_core_packets_total"),
+		allowed:              reg.Counter("fiat_core_allowed_total"),
+		dropped:              reg.Counter("fiat_core_dropped_total"),
+		ruleHits:             reg.Counter("fiat_core_rule_hits_total"),
+		eventsManual:         reg.Counter("fiat_core_events_manual_total"),
+		eventsNonManual:      reg.Counter("fiat_core_events_non_manual_total"),
+		attestationsOK:       reg.Counter("fiat_core_attestations_ok_total"),
+		attestationsBad:      reg.Counter("fiat_core_attestations_bad_total"),
+		attestationsStale:    reg.Counter("fiat_core_attestations_stale_total"),
+		attestationsReplayed: reg.Counter("fiat_core_attestations_replayed_total"),
+		pendingHeld:          reg.Counter("fiat_core_pending_held_total"),
+		lateAdmitted:         reg.Counter("fiat_core_late_admitted_total"),
+		pendingExpired:       reg.Counter("fiat_core_pending_expired_total"),
+		outageExcused:        reg.Counter("fiat_core_outage_excused_total"),
+		ruleCompiles:         reg.Counter("fiat_core_rule_compiles_total"),
+		ruleMatches:          reg.Counter("fiat_core_rule_match_total"),
+		classifierCompiles:   reg.Counter("fiat_core_classifier_compiles_total"),
+		reasons:              make(map[Reason]*obs.Counter, len(allReasons)),
+		lockedDevices:        reg.Gauge("fiat_core_locked_devices"),
+		pendingDepth:         reg.Gauge("fiat_core_pending_depth"),
+		compiledKeys:         reg.Gauge("fiat_core_compiled_rule_keys"),
+		batchNanos:           reg.Histogram("fiat_core_batch_ns", batchNanoBounds),
+		batchSize:            reg.Histogram("fiat_core_batch_size", batchSizeBounds),
+		matchNanos:           reg.Histogram("fiat_core_rule_match_ns", matchNanoBounds),
+		inferNanos:           reg.Histogram("fiat_core_classify_infer_ns", inferNanoBounds),
 	}
 	for _, r := range allReasons {
 		m.reasons[r] = reg.Counter(obs.Label("fiat_core_decisions_total", "reason", string(r)))

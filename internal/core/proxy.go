@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -117,6 +118,14 @@ type Config struct {
 	// PendingMax bounds the held-decision queue (default 64); overflow
 	// evicts the oldest entry, which is then finalized as expired.
 	PendingMax int
+	// AttestWindow, when positive, enables attestation anti-replay: an
+	// attestation is rejected when its claimed interaction time lies outside
+	// this window around receipt (time-shifted capture, exclusive boundary —
+	// see sensors.ReplayGuard), or when its authentication tag was already
+	// admitted inside the window (byte-exact replay). Zero disables the
+	// guard, keeping the transport's anti-replay (quicfast packet numbers)
+	// as the only line of defense.
+	AttestWindow time.Duration
 	// LegacyRules keeps stage-1 matching on the serialized mutable
 	// RuleTable.Match path after the freeze instead of the compiled
 	// lock-free engine. It exists as the reference arm of the differential
@@ -177,6 +186,7 @@ type Proxy struct {
 	pending     *pendingStore
 	channel     *channelHealth
 	metrics     *coreMetrics
+	guard       *sensors.ReplayGuard // nil when Config.AttestWindow == 0
 
 	mu      sync.Mutex // guards aliases, log, Stats
 	aliases []string
@@ -195,6 +205,10 @@ type ProxyStats struct {
 	EventsNonManual           int
 	AttestationsOK            int
 	AttestationsBad           int
+	// Anti-replay rejections (Config.AttestWindow > 0); both also count
+	// into AttestationsBad, so existing reconciliations keep holding.
+	AttestationsStale    int
+	AttestationsReplayed int
 	// RuleCompiles counts devices whose rule tables hit the freeze point
 	// and were compiled into the immutable enforcement form.
 	RuleCompiles int
@@ -216,6 +230,10 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 	for i := range shards {
 		shards[i] = &shard{devices: make(map[string]*deviceState)}
 	}
+	var guard *sensors.ReplayGuard
+	if cfg.AttestWindow > 0 {
+		guard = sensors.NewReplayGuard(cfg.AttestWindow)
+	}
 	return &Proxy{
 		clock:       clock,
 		cfg:         cfg,
@@ -229,6 +247,7 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 		pending:     newPendingStore(cfg.PendingMax),
 		channel:     &channelHealth{},
 		metrics:     newCoreMetrics(cfg.Obs, clock),
+		guard:       guard,
 	}
 }
 
@@ -306,8 +325,30 @@ func (p *Proxy) HandleAttestation(payload []byte) (human bool, err error) {
 		p.mu.Unlock()
 		return false, err
 	}
-	human = p.human.Validate(a.Features)
 	now := p.clock.Now()
+	if p.guard != nil {
+		// Anti-replay: the MAC trailer is unique per encoded payload, so it
+		// doubles as the dedup tag. A rejection still proves possession of
+		// the pairing key, but admits nothing.
+		var tag [32]byte
+		copy(tag[:], payload[len(payload)-32:])
+		if err := p.guard.Admit(tag, a.At, now); err != nil {
+			p.mu.Lock()
+			p.Stats.AttestationsBad++
+			p.metrics.attestationsBad.Inc()
+			switch {
+			case errors.Is(err, sensors.ErrStaleAttestation):
+				p.Stats.AttestationsStale++
+				p.metrics.attestationsStale.Inc()
+			case errors.Is(err, sensors.ErrReplayedAttestation):
+				p.Stats.AttestationsReplayed++
+				p.metrics.attestationsReplayed.Inc()
+			}
+			p.mu.Unlock()
+			return false, err
+		}
+	}
+	human = p.human.Validate(a.Features)
 	// A decodable attestation proves the channel works right now.
 	p.channel.markUp(now)
 	p.validations.add(a.Device, now, human)

@@ -162,6 +162,20 @@ func (g *Generator) NonHuman() Window {
 	return w
 }
 
+// Robotic generates a window of a machine physically tapping the phone — the
+// robotic-arm data-collection rig turned attack tool: a real tap impulse
+// lands on the screen, but with actuator precision (fixed offset, tightly
+// repeatable amplitude) and none of the physiological 8-12 Hz tremor a hand
+// holding the device shows. The validator's tremor-band features are what
+// separate this from Human windows.
+func (g *Generator) Robotic() Window {
+	w := g.base()
+	// Actuator repeatability is sub-percent; jitter only within it.
+	amp := g.rng.Jitter(1.0, 0.01)
+	g.addTap(w, g.WindowLen/4, amp)
+	return w
+}
+
 // Replayed returns a byte-identical copy of a previously captured window —
 // the replay-attack input which must be stopped by the transport's
 // anti-replay machinery (§5.3), not by the classifier.

@@ -1,0 +1,100 @@
+package sensors
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Replay-guard errors. The proxy surfaces them from attestation handling so
+// callers (and the audit trail) can tell a stale capture from an exact
+// replay.
+var (
+	// ErrStaleAttestation marks an attestation whose claimed interaction
+	// time lies outside the freshness window — the time-shifted delivery of
+	// a captured attestation.
+	ErrStaleAttestation = errors.New("sensors: attestation outside freshness window")
+	// ErrReplayedAttestation marks a byte-exact re-delivery of an
+	// attestation already admitted inside the window.
+	ErrReplayedAttestation = errors.New("sensors: attestation replayed")
+)
+
+// DefaultReplayWindow is the freshness window the proxy applies to
+// attestation timestamps when anti-replay is enabled: generous enough for
+// degraded-mode late delivery (pending windows run tens of seconds), tight
+// enough that an attacker cannot bank a captured attestation for later.
+const DefaultReplayWindow = 30 * time.Second
+
+// ReplayGuard enforces attestation freshness and uniqueness: an attestation
+// is admitted only if its claimed interaction time lies strictly inside the
+// window around the receipt time, and its authentication tag has not been
+// seen inside the window before.
+//
+// Both window boundaries are exclusive. An attestation time-shifted by
+// exactly the window length is rejected on either side — the "Perils of
+// Zero-Interaction Security" replay result is precisely about schemes that
+// leave such edges open (an attacker who can delay delivery controls the
+// arrival instant, so the boundary must not be theirs to land on).
+type ReplayGuard struct {
+	window time.Duration
+
+	mu   sync.Mutex
+	seen map[[32]byte]time.Time // auth tag -> claimed interaction time
+}
+
+// NewReplayGuard builds a guard. window <= 0 selects DefaultReplayWindow.
+func NewReplayGuard(window time.Duration) *ReplayGuard {
+	if window <= 0 {
+		window = DefaultReplayWindow
+	}
+	return &ReplayGuard{window: window, seen: make(map[[32]byte]time.Time)}
+}
+
+// Window reports the configured freshness window.
+func (g *ReplayGuard) Window() time.Duration { return g.window }
+
+// Fresh reports whether an attestation claiming interaction time at is
+// inside the freshness window at receipt time now. The boundary is
+// exclusive on both sides: |now - at| must be strictly less than the
+// window, so a delivery shifted by exactly the window length — early or
+// late — is stale.
+func (g *ReplayGuard) Fresh(at, now time.Time) bool {
+	d := now.Sub(at)
+	if d < 0 {
+		d = -d
+	}
+	return d < g.window
+}
+
+// Admit checks one attestation: tag is its authentication tag (the MAC
+// trailer, unique per encoded payload), at its claimed interaction time,
+// now the receipt time. It returns ErrStaleAttestation outside the window,
+// ErrReplayedAttestation for a tag already admitted inside the window, and
+// nil for a fresh first delivery — which is then remembered.
+func (g *ReplayGuard) Admit(tag [32]byte, at, now time.Time) error {
+	if !g.Fresh(at, now) {
+		return ErrStaleAttestation
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Drop remembered tags that can no longer collide: their claimed time
+	// is already stale, so a re-delivery would fail the freshness check
+	// before reaching the dedup table.
+	for t, seenAt := range g.seen {
+		if !g.Fresh(seenAt, now) {
+			delete(g.seen, t)
+		}
+	}
+	if _, dup := g.seen[tag]; dup {
+		return ErrReplayedAttestation
+	}
+	g.seen[tag] = at
+	return nil
+}
+
+// Remembered reports how many admitted tags are currently held for dedup.
+func (g *ReplayGuard) Remembered() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}

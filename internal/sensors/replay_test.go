@@ -1,0 +1,129 @@
+package sensors
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fiat/internal/simclock"
+)
+
+// TestReplayWindowBoundaryExclusive pins both sides of the freshness
+// boundary: one nanosecond inside the window is fresh, exactly the window
+// length is stale — on the late side (captured attestation delivered
+// delayed) and the early side (attestation timestamped in the future). The
+// regression this prevents: an inclusive boundary hands the attacker, who
+// controls delivery timing, a landable edge.
+func TestReplayWindowBoundaryExclusive(t *testing.T) {
+	const window = 30 * time.Second
+	g := NewReplayGuard(window)
+	now := time.Unix(1_700_000_000, 0).UTC()
+
+	cases := []struct {
+		name  string
+		at    time.Time
+		fresh bool
+	}{
+		{"late just inside", now.Add(-window + time.Nanosecond), true},
+		{"late exactly at boundary", now.Add(-window), false},
+		{"late beyond boundary", now.Add(-window - time.Nanosecond), false},
+		{"early just inside", now.Add(window - time.Nanosecond), true},
+		{"early exactly at boundary", now.Add(window), false},
+		{"early beyond boundary", now.Add(window + time.Nanosecond), false},
+		{"exact receipt time", now, true},
+	}
+	for _, tc := range cases {
+		if got := g.Fresh(tc.at, now); got != tc.fresh {
+			t.Errorf("%s: Fresh(%v, %v) = %v, want %v", tc.name, tc.at, now, got, tc.fresh)
+		}
+	}
+
+	// Admit agrees with Fresh on the boundary.
+	var tag [32]byte
+	tag[0] = 1
+	if err := g.Admit(tag, now.Add(-window), now); !errors.Is(err, ErrStaleAttestation) {
+		t.Fatalf("Admit at exact late boundary = %v, want ErrStaleAttestation", err)
+	}
+	tag[0] = 2
+	if err := g.Admit(tag, now.Add(window), now); !errors.Is(err, ErrStaleAttestation) {
+		t.Fatalf("Admit at exact early boundary = %v, want ErrStaleAttestation", err)
+	}
+	tag[0] = 3
+	if err := g.Admit(tag, now.Add(-window+time.Nanosecond), now); err != nil {
+		t.Fatalf("Admit just inside late boundary = %v, want nil", err)
+	}
+}
+
+// TestReplayGuardDedup: the same tag admitted twice inside the window is a
+// replay; once its claimed time ages out, the tag is forgotten (a re-use
+// then fails freshness, not dedup) and the table does not grow unboundedly.
+func TestReplayGuardDedup(t *testing.T) {
+	const window = 10 * time.Second
+	g := NewReplayGuard(window)
+	base := time.Unix(1_700_000_000, 0).UTC()
+	var tag [32]byte
+	tag[5] = 0xAA
+
+	if err := g.Admit(tag, base, base.Add(time.Second)); err != nil {
+		t.Fatalf("first delivery rejected: %v", err)
+	}
+	if err := g.Admit(tag, base, base.Add(2*time.Second)); !errors.Is(err, ErrReplayedAttestation) {
+		t.Fatalf("exact replay = %v, want ErrReplayedAttestation", err)
+	}
+	// 11 s after the claimed time: now stale, and pruned from the table.
+	if err := g.Admit(tag, base, base.Add(11*time.Second)); !errors.Is(err, ErrStaleAttestation) {
+		t.Fatalf("aged replay = %v, want ErrStaleAttestation", err)
+	}
+	var other [32]byte
+	other[1] = 7
+	if err := g.Admit(other, base.Add(11*time.Second), base.Add(11*time.Second)); err != nil {
+		t.Fatalf("fresh tag after prune rejected: %v", err)
+	}
+	if n := g.Remembered(); n != 1 {
+		t.Fatalf("Remembered = %d after prune, want 1", n)
+	}
+}
+
+// TestReplayGuardDefaults: zero window selects the default.
+func TestReplayGuardDefaults(t *testing.T) {
+	if w := NewReplayGuard(0).Window(); w != DefaultReplayWindow {
+		t.Fatalf("default window = %v, want %v", w, DefaultReplayWindow)
+	}
+}
+
+// TestRoboticWindowFoolsValidator documents the validator's known physical
+// bypass: a robotic-arm tap carries a genuine impulse, and the tree —
+// trained to separate touch from the resting noise floor — accepts most of
+// them despite the missing hand tremor. This is the "Perils of
+// Zero-Interaction Security" result reproduced: sensor-based humanness
+// checks distinguish *contact*, not *humans*. The adversarial corpus
+// (internal/adversary, robot-arm attack) scores the resulting false
+// admissions and the baseline gate keeps the number from silently growing.
+func TestRoboticWindowFoolsValidator(t *testing.T) {
+	v, gen, err := DefaultValidator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		if v.ValidateWindow(gen.Robotic()) {
+			accepted++
+		}
+	}
+	if frac := float64(accepted) / n; frac < 0.5 {
+		t.Fatalf("validator accepted only %.0f%% of robotic windows; the documented physical-tap bypass no longer reproduces — if the validator learned to reject actuator taps, update this pin and the adversary baseline", frac*100)
+	}
+	// Determinism: same seed, same windows.
+	g1 := NewGenerator(simclock.NewRNG(42))
+	g2 := NewGenerator(simclock.NewRNG(42))
+	a, b := g1.Robotic(), g2.Robotic()
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("robotic windows differ in length across same-seed generators")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("robotic window not deterministic in the seed")
+		}
+	}
+}
