@@ -8,10 +8,16 @@
 //
 // Usage:
 //
+// With -verify-state it instead runs a strictly read-only integrity check
+// of a fiat-proxy durable state directory: every snapshot checksum, every
+// WAL segment's framing and record CRCs, and sequence continuity — exiting
+// nonzero when recovery would fail closed.
+//
 //	trafficgen -device WyzeCam -hours 6 -out wyze.pcap
 //	fiat-analyze -pcap wyze.pcap -device 192.168.1.50
 //	fiat-analyze -attacks
 //	fiat-analyze -attacks -attacks-baseline internal/adversary/baseline.json
+//	fiat-analyze -verify-state /var/lib/fiat/state
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"fiat/internal/adversary"
 	"fiat/internal/devices"
+	"fiat/internal/durable"
 	"fiat/internal/events"
 	"fiat/internal/flows"
 	"fiat/internal/mud"
@@ -43,7 +50,16 @@ func main() {
 	attacksJSON := flag.String("attacks-json", "", "also write the matrix JSON to this path")
 	attacksBaseline := flag.String("attacks-baseline", "", "gate the matrix against this baseline file (\"embedded\" = the committed baseline); exit 1 on regression")
 	attacksWrite := flag.String("attacks-write-baseline", "", "write the matrix as the new baseline to this path and exit")
+	verifyState := flag.String("verify-state", "", "read-only integrity check of a fiat-proxy durable state directory; exit 1 if recovery would fail closed")
 	flag.Parse()
+	if *verifyState != "" {
+		report := durable.Verify(*verifyState)
+		fmt.Print(report.String())
+		if report.Err != nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if *attacks {
 		os.Exit(runAttacks(*attacksSeed, *attacksShards, *attacksJSON, *attacksBaseline, *attacksWrite))
 	}

@@ -9,6 +9,14 @@
 //
 // Inject a command while a human attestation is fresh and the proxy allows
 // it; inject without one and it drops.
+//
+// With -state-dir the proxy runs durably: every input operation is
+// write-ahead logged with per-record checksums before it is applied,
+// periodic checkpoints snapshot the full engine state, and a restart with
+// the same directory recovers snapshot+WAL and resumes. -wal-sync picks the
+// fsync policy (always, tick, off); SIGINT/SIGTERM triggers a graceful
+// shutdown that flushes the WAL, takes a final checkpoint, and prints the
+// closing obs snapshot.
 package main
 
 import (
@@ -19,9 +27,12 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fiat/internal/core"
+	"fiat/internal/durable"
 	"fiat/internal/flows"
 	"fiat/internal/keystore"
 	"fiat/internal/mud"
@@ -44,7 +55,15 @@ func main() {
 	pendingMax := flag.Int("pending-max", 0, "degraded mode: held-decision queue bound (0 = default 64)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, expvar, and pprof on this HTTP address (empty = disabled)")
 	obsInterval := flag.Duration("obs-interval", 0, "print runtime stats every interval (0 = disabled)")
+	stateDir := flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
+	walSync := flag.String("wal-sync", "tick", "WAL fsync policy with -state-dir: always, tick, or off")
+	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic snapshot cadence with -state-dir (0 = only on shutdown)")
 	flag.Parse()
+
+	syncMode, err := durable.ParseSyncMode(*walSync)
+	if err != nil {
+		fatal(err)
+	}
 
 	code := make([]byte, 32)
 	if *codeHex == "" {
@@ -79,17 +98,6 @@ func main() {
 	}
 	clock := simclock.RealClock{}
 	reg := obs.NewRegistry()
-	proxy := core.NewProxy(clock, ks, validator, core.Config{
-		Bootstrap: *bootstrap, Shards: *shards,
-		PendingWindow: *pendingWindow, PendingMax: *pendingMax,
-		Obs: reg,
-	})
-	if *obsAddr != "" {
-		serveObs(reg, *obsAddr)
-	}
-	if *obsInterval > 0 {
-		reportRuntime(reg, *obsInterval)
-	}
 	if *nDevices < 1 {
 		*nDevices = 1
 	}
@@ -101,13 +109,52 @@ func main() {
 		if i > 0 {
 			names[i] = fmt.Sprintf("plug%d", i+1)
 		}
-		if err := proxy.AddDevice(core.DeviceConfig{
-			Name:       names[i],
-			Classifier: core.RuleClassifier{NotificationSize: 235},
-			GraceN:     1,
-		}); err != nil {
+	}
+	// buildProxy performs the complete, deterministic proxy construction.
+	// With -state-dir it doubles as the recovery constructor: durable.Open
+	// rebuilds the same proxy and restores snapshot+WAL state into it.
+	buildProxy := func(c simclock.Clock) (*core.Proxy, error) {
+		p := core.NewProxy(c, ks, validator, core.Config{
+			Bootstrap: *bootstrap, Shards: *shards,
+			PendingWindow: *pendingWindow, PendingMax: *pendingMax,
+			Obs: reg,
+		})
+		for _, name := range names {
+			if err := p.AddDevice(core.DeviceConfig{
+				Name:       name,
+				Classifier: core.RuleClassifier{NotificationSize: 235},
+				GraceN:     1,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+
+	var (
+		proxy *core.Proxy
+		mgr   *durable.Manager
+	)
+	if *stateDir != "" {
+		replayed := 0
+		mgr, err = durable.Open(durable.Config{
+			Dir: *stateDir, Sync: syncMode,
+			OnReplay: func(*durable.Op, []core.Decision) { replayed++ },
+		}, clock, buildProxy)
+		if err != nil {
 			fatal(err)
 		}
+		proxy = mgr.Proxy()
+		fmt.Printf("fiat-proxy: durable state in %s (wal-sync=%s, recovered to seq %d, %d op(s) replayed)\n",
+			*stateDir, syncMode, mgr.LastSeq(), replayed)
+	} else if proxy, err = buildProxy(clock); err != nil {
+		fatal(err)
+	}
+	if *obsAddr != "" {
+		serveObs(reg, *obsAddr)
+	}
+	if *obsInterval > 0 {
+		reportRuntime(reg, *obsInterval)
 	}
 	fmt.Printf("fiat-proxy: %d devices on %d engine shards\n", len(names), proxy.ShardCount())
 
@@ -116,6 +163,21 @@ func main() {
 		fatal(err)
 	}
 	srv := quicfast.NewServer(conn, psk, func(m quicfast.Message) {
+		if mgr != nil {
+			// The manager write-ahead-logs the raw payload and folds the
+			// verdict into durably replayed state; the authenticated-or-not
+			// outcome is recovered from the attestation counter.
+			before := proxy.StatsSnapshot().AttestationsOK
+			if err := mgr.HandleAttestation(m.Payload); err != nil {
+				fmt.Printf("[attest] durable log failed: %v\n", err)
+			} else if proxy.StatsSnapshot().AttestationsOK > before {
+				fmt.Printf("[attest] authenticated and durably logged (0-RTT=%v) — verdict governs manual traffic for %s\n",
+					m.ZeroRTT, core.ValidationTTL)
+			} else {
+				fmt.Printf("[attest] rejected (malformed, stale, or replayed)\n")
+			}
+			return
+		}
 		human, err := proxy.HandleAttestation(m.Payload)
 		switch {
 		case err != nil:
@@ -160,34 +222,99 @@ func main() {
 	defer atk.Stop()
 	sweep := time.NewTicker(time.Second)
 	defer sweep.Stop()
+	var ckpt <-chan time.Time
+	if mgr != nil && *checkpointEvery > 0 {
+		t := time.NewTicker(*checkpointEvery)
+		defer t.Stop()
+		ckpt = t.C
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	end := time.After(*duration)
+
+	// processBatch routes one packet batch through the durable log when
+	// -state-dir is set, straight to the engine otherwise.
+	processBatch := func(batch []core.PacketIn) []core.Decision {
+		if mgr != nil {
+			ds, err := mgr.ProcessBatch(batch)
+			if err != nil {
+				fatal(err)
+			}
+			return ds
+		}
+		return proxy.ProcessBatch(batch)
+	}
+	// shutdown is shared by the duration end and the signal path: final
+	// stats, MUD export, and — when durable — WAL flush + final checkpoint
+	// and the closing obs snapshot.
+	shutdown := func() {
+		s := proxy.StatsSnapshot()
+		fmt.Printf("fiat-proxy: done. packets=%d allowed=%d dropped=%d rule-hits=%d attestations=%d\n",
+			s.Packets, s.Allowed, s.Dropped, s.RuleHits, s.AttestationsOK)
+		if *mudOut != "" {
+			exportMUD(*mudOut, proxy)
+		}
+		if mgr != nil {
+			if err := mgr.Close(); err != nil {
+				fatal(fmt.Errorf("durable shutdown: %w", err))
+			}
+			fmt.Printf("fiat-proxy: durable state flushed (final checkpoint at seq %d)\n", mgr.SnapshotSeq())
+			fmt.Println("--- closing obs snapshot ---")
+			fmt.Print(reg.Snapshot())
+			fmt.Println("--- end closing obs snapshot ---")
+		}
+	}
+
 	for {
 		select {
 		case <-sweep.C:
-			if n := proxy.SweepPending(); n > 0 {
+			before := proxy.PendingDepth()
+			if mgr != nil {
+				if err := mgr.SweepPending(); err != nil {
+					fatal(err)
+				}
+				// Tick batches the deferred WAL fsync under -wal-sync=tick
+				// and refreshes the snapshot-age gauge.
+				if err := mgr.Tick(); err != nil {
+					fatal(err)
+				}
+				if n := before - proxy.PendingDepth(); n > 0 {
+					fmt.Printf("[pending ] %d held decision(s) expired unattested\n", n)
+				}
+			} else if n := proxy.SweepPending(); n > 0 {
 				fmt.Printf("[pending ] %d held decision(s) expired unattested\n", n)
 			}
+		case <-ckpt: // nil (blocks forever) unless durable
+			if err := mgr.Checkpoint(); err != nil {
+				fatal(fmt.Errorf("checkpoint: %w", err))
+			}
+			fmt.Printf("[durable ] checkpoint at seq %d\n", mgr.SnapshotSeq())
 		case <-hb.C:
 			batch := make([]core.PacketIn, len(names))
 			for i, name := range names {
 				batch[i] = core.PacketIn{Device: name, Rec: heartbeat()}
 			}
-			for i, d := range proxy.ProcessBatch(batch) {
+			for i, d := range processBatch(batch) {
 				if proxy.Bootstrapped() && d.Reason != core.ReasonRuleHit {
 					fmt.Printf("[heartbeat] %s: %s (%s)\n", names[i], d.Verdict, d.Reason)
 				}
 			}
 		case <-atk.C:
-			d := proxy.Process("plug", command(), "")
-			fmt.Printf("[command ] turn on/off -> %s (%s)\n", d.Verdict, d.Reason)
-			proxy.FlushEvent("plug")
-		case <-end:
-			s := proxy.StatsSnapshot()
-			fmt.Printf("fiat-proxy: done. packets=%d allowed=%d dropped=%d rule-hits=%d attestations=%d\n",
-				s.Packets, s.Allowed, s.Dropped, s.RuleHits, s.AttestationsOK)
-			if *mudOut != "" {
-				exportMUD(*mudOut, proxy)
+			ds := processBatch([]core.PacketIn{{Device: "plug", Rec: command()}})
+			fmt.Printf("[command ] turn on/off -> %s (%s)\n", ds[0].Verdict, ds[0].Reason)
+			if mgr != nil {
+				if _, err := mgr.FlushEvent("plug"); err != nil {
+					fatal(err)
+				}
+			} else {
+				proxy.FlushEvent("plug")
 			}
+		case sig := <-sigc:
+			fmt.Printf("fiat-proxy: %s — shutting down gracefully\n", sig)
+			shutdown()
+			return
+		case <-end:
+			shutdown()
 			return
 		}
 	}

@@ -6,6 +6,7 @@
 //	fiatbench [-scale quick|full] [-seed N] [all|ablations|<id>...]
 //	fiatbench -rulebench [-rulebench-out BENCH_4.json] [-devices N] [-shards N] [-seed N]
 //	fiatbench -clfbench [-clfbench-out BENCH_5.json] [-events N] [-shards N] [-seed N]
+//	fiatbench -recoverybench [-recoverybench-out BENCH_7.json] [-seed N]
 //
 // -rulebench skips the experiments and instead runs the rule-match
 // microbenchmark: the legacy mutex-serialized RuleTable.Match path against
@@ -18,6 +19,12 @@
 // (BernoulliNB) against the compiled zero-allocation extract→scale→infer
 // engine, on the same seeded probe-event corpus, writing the comparison to
 // -clfbench-out.
+//
+// -recoverybench measures the durable-state layer: WAL append cost per
+// operation (fsync-batched vs fsync-per-append), cold-restart time against
+// the WAL suffix length recovery replays, and the chaos crash matrix — every
+// seeded kill point reconciled byte-for-byte against an uninterrupted
+// reference run — writing BENCH_7.json.
 //
 // Experiment ids: fig1a fig1b fig1c inspector fig2 ncomplete table2 table3
 // table4 table5 table6 table7 delay, plus the ablations
@@ -50,6 +57,8 @@ func main() {
 	clfBench := flag.Bool("clfbench", false, "run the legacy-vs-compiled event-classification microbenchmark instead of the experiments")
 	clfBenchOut := flag.String("clfbench-out", "BENCH_5.json", "where -clfbench writes its JSON result")
 	benchEvents := flag.Int("events", 512, "probe-event count for -clfbench")
+	recoveryBench := flag.Bool("recoverybench", false, "run the durable-state recovery benchmark instead of the experiments")
+	recoveryBenchOut := flag.String("recoverybench-out", "BENCH_7.json", "where -recoverybench writes its JSON result")
 	flag.Parse()
 
 	if *ruleBench {
@@ -58,6 +67,10 @@ func main() {
 	}
 	if *clfBench {
 		runClfBench(*benchEvents, *benchShards, *seed, *clfBenchOut)
+		return
+	}
+	if *recoveryBench {
+		runRecoveryBench(*seed, *recoveryBenchOut)
 		return
 	}
 
@@ -159,6 +172,40 @@ func runRuleBench(devices, shards int, seed int64, out string) {
 		os.Exit(1)
 	}
 	fmt.Printf("fiatbench: rule-match benchmark -> %s\n", out)
+}
+
+// runRecoveryBench measures the durable-state layer and writes the
+// BENCH_7.json comparison: append overhead, cold-restart scaling, and the
+// crash-reconciliation matrix.
+func runRecoveryBench(seed int64, out string) {
+	fmt.Printf("fiatbench: durable-state recovery benchmark, seed=%d\n", seed)
+	res, err := experiments.RecoveryBench(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  append (fsync on tick)   %8.1f ns/op  %5.1f allocs/op\n",
+		res.AppendBuffered.NsPerOp, res.AppendBuffered.AllocsPerOp)
+	fmt.Printf("  append (fsync always)    %8.1f ns/op  %5.1f allocs/op\n",
+		res.AppendFsync.NsPerOp, res.AppendFsync.AllocsPerOp)
+	fmt.Printf("  append (sweep, no body)  %8.1f ns/op  %5.1f allocs/op\n",
+		res.AppendSweep.NsPerOp, res.AppendSweep.AllocsPerOp)
+	for _, cr := range res.ColdRestarts {
+		fmt.Printf("  cold restart %6d wal ops  %8.2f ms  (%d replayed)\n", cr.WALOps, cr.RestartMs, cr.Replayed)
+	}
+	for _, c := range res.CrashMatrix {
+		fmt.Printf("  crash %-22s crash@%-4d replayed=%-4d resumed=%-4d truncated=%d identical=%v\n",
+			c.Point, c.CrashOp, c.Replayed, c.Resumed, c.Truncated, c.Identical)
+	}
+	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		os.Exit(1)
+	}
+	if !res.Identical() {
+		fmt.Fprintln(os.Stderr, "fiatbench: crash matrix reconciliation FAILED")
+		os.Exit(1)
+	}
+	fmt.Printf("fiatbench: recovery benchmark -> %s\n", out)
 }
 
 // runClfBench measures the event-classification path of the trained

@@ -139,6 +139,20 @@ func (r *Result) HasReason(reason core.Reason) bool {
 	return false
 }
 
+// engine is the proxy surface a scenario drives. Run feeds the *core.Proxy
+// straight through; the crash harness (crash.go) interposes a recording
+// wrapper here so the exact input stream of a run can be replayed through
+// the durability layer. Any wrapper must be transparent: same arguments in,
+// same results out.
+type engine interface {
+	ProcessBatch(batch []core.PacketIn) []core.Decision
+	HandleAttestation(payload []byte) (bool, error)
+	SweepPending() int
+	AttestationChannelDown()
+	AttestationChannelUp()
+	FlushEvent(device string) *core.Decision
+}
+
 // The humanness validator trains once per test binary (it fits a model);
 // each run still gets its own seeded window generator so draws replay.
 var (
@@ -172,7 +186,8 @@ var (
 // batches them through ProcessBatch (exercising the sharded engine), records
 // the rendered decision stream, and returns the forwarding verdicts.
 type inspector struct {
-	proxy *core.Proxy
+	eng   engine
+	clock simclock.Clock
 	epoch time.Time
 	res   *Result
 }
@@ -191,10 +206,15 @@ func (in *inspector) InspectBatch(frames [][]byte, now time.Time) []bool {
 		pkts = append(pkts, core.PacketIn{Device: "plug", Rec: rec})
 		backrefs = append(backrefs, i)
 	}
-	for j, d := range in.proxy.ProcessBatch(pkts) {
+	// Decisions are stamped with the instant the proxy applied them (the
+	// flush), not the instant the frames were queued — the same timeline the
+	// durable WAL records, so recorded and replayed traces compare
+	// byte-for-byte.
+	at := in.clock.Now()
+	for j, d := range in.eng.ProcessBatch(pkts) {
 		allow[backrefs[j]] = d.Verdict == core.Allow
 		in.res.Decisions = append(in.res.Decisions,
-			fmt.Sprintf("+%07dms plug %s %s", now.Sub(in.epoch)/time.Millisecond, d.Verdict, d.Reason))
+			fmt.Sprintf("+%07dms plug %s %s", at.Sub(in.epoch)/time.Millisecond, d.Verdict, d.Reason))
 	}
 	return allow
 }
@@ -208,7 +228,7 @@ func (in *inspector) InspectBatch(frames [][]byte, now time.Time) []bool {
 type courier struct {
 	nw    *netsim.Network
 	clock *simclock.VirtualClock
-	proxy *core.Proxy
+	eng   engine
 	res   *Result
 	end   time.Time
 
@@ -262,7 +282,7 @@ func (c *courier) onTimeout(s *shipment) {
 	}
 	c.strikes++
 	if c.strikes >= courierStrikeLimit {
-		c.proxy.AttestationChannelDown()
+		c.eng.AttestationChannelDown()
 	}
 	s.timeout *= 2
 	if s.timeout > courierMaxTimeout {
@@ -283,7 +303,11 @@ func (c *courier) onAck(id uint32) {
 
 // Run executes the scenario to completion on a virtual clock and returns
 // the collected result. Everything is deterministic in s.Seed.
-func Run(s Scenario) (*Result, error) {
+func Run(s Scenario) (*Result, error) { return run(s, nil) }
+
+// run is Run with an optional engine wrapper interposed between the
+// scenario fabric and the proxy.
+func run(s Scenario, wrap func(engine, *simclock.VirtualClock) engine) (*Result, error) {
 	s.defaults()
 	res := &Result{}
 	clock := simclock.NewVirtual()
@@ -329,6 +353,11 @@ func Run(s Scenario) (*Result, error) {
 	app := core.NewClientApp(clock, phoneKS)
 	app.BindApp("com.plug.app", "plug")
 
+	var eng engine = proxy
+	if wrap != nil {
+		eng = wrap(proxy, clock)
+	}
+
 	// Pre-screen one verified-human sensor window per interaction so runs
 	// assert degradation behavior, not validator recall.
 	gen := sensors.NewGenerator(simclock.NewRNG(s.Seed))
@@ -344,7 +373,7 @@ func Run(s Scenario) (*Result, error) {
 	// mobile, vendor cloud behind the gateway.
 	gw := netsim.NewGateway(nw, "router", gwMAC, gwIP)
 	gw.ARP.Learn(devIP, devMAC)
-	gw.SetInspector(&inspector{proxy: proxy, epoch: epoch, res: res}, 64)
+	gw.SetInspector(&inspector{eng: eng, clock: clock, epoch: epoch, res: res}, 64)
 
 	nw.Attach(&netsim.Node{Name: "plug", MAC: devMAC, IP: devIP, Loc: netsim.LocLAN,
 		Recv: func(_ *netsim.Node, f []byte, _ time.Time) {
@@ -354,7 +383,7 @@ func Run(s Scenario) (*Result, error) {
 		}})
 	nw.Attach(&netsim.Node{Name: "cloud", MAC: cloudMAC, IP: cloudIP, Loc: netsim.LocCloudUS})
 
-	cr := &courier{nw: nw, clock: clock, proxy: proxy, res: res, end: runEnd,
+	cr := &courier{nw: nw, clock: clock, eng: eng, res: res, end: runEnd,
 		inflight: make(map[uint32]*shipment)}
 	var ackB packet.Builder
 	nw.Attach(&netsim.Node{Name: "fiat-attest", MAC: attMAC, IP: attIP, Loc: netsim.LocLAN,
@@ -365,7 +394,7 @@ func Run(s Scenario) (*Result, error) {
 				return
 			}
 			body := udp.LayerPayload()
-			if _, err := proxy.HandleAttestation(body[4:]); err != nil {
+			if _, err := eng.HandleAttestation(body[4:]); err != nil {
 				// Corrupted or forged: no ack, the courier keeps trying
 				// with the original bytes.
 				return
@@ -451,7 +480,7 @@ func Run(s Scenario) (*Result, error) {
 	var tick func(now time.Time)
 	tick = func(now time.Time) {
 		gw.Flush()
-		proxy.SweepPending()
+		eng.SweepPending()
 		if now.Before(runEnd) {
 			clock.AfterFunc(time.Second, tick)
 		}

@@ -1,0 +1,670 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/features"
+	"fiat/internal/flows"
+	"fiat/internal/ml"
+	"fiat/internal/sensors"
+	"fiat/internal/wire"
+)
+
+// ProxyStateVersion versions the serialized proxy image. Bump it on any
+// layout change; recovery rejects mismatched versions outright rather than
+// guessing at field offsets.
+const ProxyStateVersion uint16 = 1
+
+var stateCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Classifier tags inside the config checksum. They identify *what kind* of
+// classifier a device wears — and, where the classifier has frozen content,
+// a digest of that content — so a snapshot written under one deployment
+// config cannot be restored into a proxy wearing different models.
+const (
+	clsTagNone       = 0 // no classifier configured
+	clsTagCompiledML = 1 // MLClassifier with a compiled template (+ checksum)
+	clsTagRule       = 2 // RuleClassifier (+ notification size)
+	clsTagLegacyML   = 3 // MLClassifier without a compiled template
+	clsTagOther      = 4 // externally provided EventClassifier implementation
+)
+
+// ConfigChecksum digests the proxy configuration that decisions depend on:
+// every Config field except Shards (decisions are proven shard-invariant by
+// the engine oracles, and recovery may legitimately run with a different
+// shard count), plus the DAG edges and the registered devices with their
+// grace budgets and classifier identities. A snapshot records this digest;
+// restore fails closed when it disagrees, because replaying a WAL against a
+// differently-configured pipeline would silently produce different
+// decisions.
+func (p *Proxy) ConfigChecksum() uint32 {
+	return crc32.Checksum(p.appendConfig(nil), stateCastagnoli)
+}
+
+func (p *Proxy) appendConfig(b []byte) []byte {
+	c := &p.cfg
+	b = wire.AppendU16(b, ProxyStateVersion)
+	b = wire.AppendI64(b, int64(c.Bootstrap))
+	b = wire.AppendU8(b, uint8(c.Mode))
+	b = wire.AppendI64(b, int64(c.EventGap))
+	b = wire.AppendI64(b, int64(c.LockoutThreshold))
+	b = wire.AppendI64(b, int64(c.LockoutWindow))
+	b = wire.AppendI64(b, int64(c.ExtraVerdictDelay))
+	b = wire.AppendI64(b, int64(c.PendingWindow))
+	b = wire.AppendI64(b, int64(c.PendingMax))
+	b = wire.AppendI64(b, int64(c.AttestWindow))
+	b = wire.AppendBool(b, c.LegacyRules)
+	b = wire.AppendBool(b, c.LegacyClassifier)
+	edges := p.dag.Edges()
+	b = wire.AppendU32(b, uint32(len(edges)))
+	for _, e := range edges {
+		b = wire.AppendString(b, e)
+	}
+	devs := p.deviceStates()
+	b = wire.AppendU32(b, uint32(len(devs)))
+	for _, ds := range devs {
+		b = wire.AppendString(b, ds.cfg.Name)
+		b = wire.AppendI64(b, int64(ds.cfg.GraceN))
+		b = appendClassifierTag(b, ds.cfg.Classifier)
+	}
+	return b
+}
+
+func appendClassifierTag(b []byte, c EventClassifier) []byte {
+	switch c := c.(type) {
+	case nil:
+		return wire.AppendU8(b, clsTagNone)
+	case RuleClassifier:
+		b = wire.AppendU8(b, clsTagRule)
+		return wire.AppendI64(b, int64(c.NotificationSize))
+	case *MLClassifier:
+		if c != nil && c.compiled != nil {
+			if sum, err := ml.CompiledChecksum(c.compiled); err == nil {
+				b = wire.AppendU8(b, clsTagCompiledML)
+				return wire.AppendU32(b, sum)
+			}
+		}
+		return wire.AppendU8(b, clsTagLegacyML)
+	default:
+		return wire.AppendU8(b, clsTagOther)
+	}
+}
+
+// deviceStates collects every registered device, sorted by name — the
+// canonical iteration order for both the config digest and the state image.
+func (p *Proxy) deviceStates() []*deviceState {
+	var out []*deviceState
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, ds := range sh.devices {
+			out = append(out, ds)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	return out
+}
+
+// AppendState serializes the proxy's complete mutable state: identity
+// (started instant, pairing aliases), the audit log and stats, every
+// device's pipeline state (rule table, compiled arena + arrival block,
+// compiled classifier, in-flight event, lockout bookkeeping), the
+// validation/pending/channel/replay-guard stores, and finally the metrics
+// registry. The encoding is canonical — equal state produces equal bytes —
+// which is what lets crash-recovery oracles compare a restored proxy against
+// an uninterrupted reference byte-for-byte.
+//
+// Call it only on a quiesced proxy (no Process/HandleAttestation/Sweep in
+// flight); the per-store locks taken here make the reads safe but do not
+// make the multi-section image atomic under concurrent mutation.
+func (p *Proxy) AppendState(b []byte) []byte {
+	b = wire.AppendU16(b, ProxyStateVersion)
+	b = wire.AppendU32(b, p.ConfigChecksum())
+	b = wire.AppendI64(b, p.started.UnixNano())
+
+	p.mu.Lock()
+	b = wire.AppendU32(b, uint32(len(p.aliases)))
+	for _, a := range p.aliases {
+		b = wire.AppendString(b, a)
+	}
+	b = wire.AppendU32(b, uint32(len(p.log)))
+	for i := range p.log {
+		e := &p.log[i]
+		b = wire.AppendI64(b, e.Time.UnixNano())
+		b = wire.AppendString(b, e.Device)
+		b = wire.AppendString(b, string(e.Reason))
+		b = wire.AppendU8(b, uint8(e.Verdict))
+		b = wire.AppendI64(b, int64(e.Packets))
+	}
+	st := p.Stats
+	p.mu.Unlock()
+	for _, v := range [...]int{
+		st.Packets, st.Allowed, st.Dropped, st.RuleHits, st.EventsManual,
+		st.EventsNonManual, st.AttestationsOK, st.AttestationsBad,
+		st.AttestationsStale, st.AttestationsReplayed, st.RuleCompiles,
+		st.PendingHeld, st.LateAdmitted, st.PendingExpired, st.OutageExcused,
+	} {
+		b = wire.AppendI64(b, int64(v))
+	}
+
+	devs := p.deviceStates()
+	b = wire.AppendU32(b, uint32(len(devs)))
+	for _, ds := range devs {
+		sh := p.shardFor(ds.cfg.Name)
+		sh.mu.Lock()
+		b = appendDeviceState(b, ds)
+		sh.mu.Unlock()
+	}
+
+	b = p.appendValidations(b)
+	b = p.appendPending(b)
+	b = p.appendChannel(b)
+	b = p.appendGuard(b)
+	// The registry goes last so RestoreState can overwrite every counter the
+	// earlier sections may have touched indirectly.
+	return p.metrics.reg.AppendState(b)
+}
+
+// EncodeState returns the canonical serialized proxy state.
+func (p *Proxy) EncodeState() []byte { return p.AppendState(nil) }
+
+func appendDeviceState(b []byte, ds *deviceState) []byte {
+	b = wire.AppendString(b, ds.cfg.Name)
+	b = ds.rules.AppendState(b)
+	if ds.compiled != nil {
+		b = wire.AppendBool(b, true)
+		arena := ds.compiled.EncodeArena()
+		b = wire.AppendBytes(b, arena)
+		b = wire.AppendU32(b, crc32.Checksum(arena, stateCastagnoli))
+		b = flows.AppendArrival(b, ds.arrival)
+	} else {
+		b = wire.AppendBool(b, false)
+	}
+	if cec, ok := ds.classifier.(*compiledEventClassifier); ok {
+		enc, err := ml.EncodeCompiled(cec.model)
+		if err != nil {
+			// An unencodable compiled model cannot exist (every family the
+			// compiler emits has a codec); falling back to the config
+			// classifier keeps encode total rather than panicking.
+			b = wire.AppendU8(b, 0)
+		} else {
+			b = wire.AppendU8(b, 1)
+			b = wire.AppendBytes(b, enc)
+			b = wire.AppendU32(b, crc32.Checksum(enc, stateCastagnoli))
+		}
+	} else {
+		// The device classifies through the config-provided classifier
+		// (rule classifier, legacy ML path, none); restore re-derives it
+		// from the config, whose identity the config checksum pins.
+		b = wire.AppendU8(b, 0)
+	}
+	b = wire.AppendI64(b, int64(ds.evPackets))
+	if ds.evDecision != nil {
+		b = wire.AppendBool(b, true)
+		b = wire.AppendU8(b, uint8(ds.evDecision.Verdict))
+		b = wire.AppendString(b, string(ds.evDecision.Reason))
+	} else {
+		b = wire.AppendBool(b, false)
+	}
+	b = wire.AppendU32(b, uint32(len(ds.drops)))
+	for _, t := range ds.drops {
+		b = wire.AppendI64(b, t.UnixNano())
+	}
+	b = wire.AppendBool(b, ds.locked)
+	if cur := ds.grouper.Current(); cur != nil {
+		b = wire.AppendBool(b, true)
+		b = wire.AppendU32(b, uint32(len(cur.Packets)))
+		for i := range cur.Packets {
+			b = flows.AppendRecord(b, &cur.Packets[i])
+		}
+	} else {
+		b = wire.AppendBool(b, false)
+	}
+	return b
+}
+
+func (p *Proxy) appendValidations(b []byte) []byte {
+	p.validations.mu.RLock()
+	defer p.validations.mu.RUnlock()
+	names := make([]string, 0, len(p.validations.byDevice))
+	for n, list := range p.validations.byDevice {
+		if len(list) > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	b = wire.AppendU32(b, uint32(len(names)))
+	for _, n := range names {
+		b = wire.AppendString(b, n)
+		list := p.validations.byDevice[n]
+		b = wire.AppendU32(b, uint32(len(list)))
+		for _, v := range list {
+			b = wire.AppendI64(b, v.at.UnixNano())
+			b = wire.AppendBool(b, v.human)
+		}
+	}
+	return b
+}
+
+func appendPendingList(b []byte, list []pendingDecision) []byte {
+	b = wire.AppendU32(b, uint32(len(list)))
+	for _, pd := range list {
+		b = wire.AppendString(b, pd.device)
+		b = wire.AppendI64(b, pd.decided.UnixNano())
+		b = wire.AppendI64(b, pd.expires.UnixNano())
+		b = wire.AppendI64(b, int64(pd.packets))
+	}
+	return b
+}
+
+func (p *Proxy) appendPending(b []byte) []byte {
+	p.pending.mu.Lock()
+	defer p.pending.mu.Unlock()
+	b = appendPendingList(b, p.pending.entries)
+	return appendPendingList(b, p.pending.overflow)
+}
+
+func (p *Proxy) appendChannel(b []byte) []byte {
+	p.channel.mu.Lock()
+	defer p.channel.mu.Unlock()
+	b = wire.AppendBool(b, p.channel.down)
+	if p.channel.down {
+		b = wire.AppendI64(b, p.channel.since.UnixNano())
+	}
+	b = wire.AppendU32(b, uint32(len(p.channel.outages)))
+	for _, iv := range p.channel.outages {
+		b = wire.AppendI64(b, iv.from.UnixNano())
+		b = wire.AppendI64(b, iv.to.UnixNano())
+	}
+	return b
+}
+
+func (p *Proxy) appendGuard(b []byte) []byte {
+	if p.guard == nil {
+		return wire.AppendBool(b, false)
+	}
+	b = wire.AppendBool(b, true)
+	tags := p.guard.ExportSeen()
+	b = wire.AppendU32(b, uint32(len(tags)))
+	for _, s := range tags {
+		b = append(b, s.Tag[:]...)
+		b = wire.AppendI64(b, s.At.UnixNano())
+	}
+	return b
+}
+
+// RestoreState overwrites the proxy's mutable state from a serialized image.
+// The receiving proxy must be freshly constructed with the same
+// configuration that produced the image — same Config (Shards excepted),
+// same DAG edges, same devices with the same classifiers; the embedded
+// config checksum enforces this and the restore fails closed on any skew,
+// version mismatch, truncation, or embedded-arena checksum disagreement.
+//
+// On error the proxy may be partially restored and must be discarded — the
+// recovery path builds a throwaway proxy per attempt, so there is nothing to
+// roll back.
+func (p *Proxy) RestoreState(data []byte) error {
+	rd := wire.NewReader(data)
+	if v := rd.U16(); rd.Err() == nil && v != ProxyStateVersion {
+		return fmt.Errorf("core: proxy state version %d, want %d", v, ProxyStateVersion)
+	}
+	sum := rd.U32()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if want := p.ConfigChecksum(); sum != want {
+		return fmt.Errorf("core: snapshot config checksum %08x does not match live config %08x", sum, want)
+	}
+	started := rd.I64()
+
+	naliases := int(rd.U32())
+	if rd.Err() != nil || naliases > rd.Len() {
+		return fmt.Errorf("core: restore aliases: %w", wire.ErrTruncated)
+	}
+	aliases := make([]string, 0, naliases)
+	for i := 0; i < naliases; i++ {
+		aliases = append(aliases, rd.String())
+	}
+	nlog := int(rd.U32())
+	if rd.Err() != nil || nlog > rd.Len() {
+		return fmt.Errorf("core: restore log: %w", wire.ErrTruncated)
+	}
+	log := make([]LogEntry, 0, nlog)
+	for i := 0; i < nlog; i++ {
+		log = append(log, LogEntry{
+			Time:    time.Unix(0, rd.I64()).UTC(),
+			Device:  rd.String(),
+			Reason:  Reason(rd.String()),
+			Verdict: Verdict(rd.U8()),
+			Packets: int(rd.I64()),
+		})
+	}
+	var stats ProxyStats
+	for _, f := range [...]*int{
+		&stats.Packets, &stats.Allowed, &stats.Dropped, &stats.RuleHits,
+		&stats.EventsManual, &stats.EventsNonManual, &stats.AttestationsOK,
+		&stats.AttestationsBad, &stats.AttestationsStale,
+		&stats.AttestationsReplayed, &stats.RuleCompiles, &stats.PendingHeld,
+		&stats.LateAdmitted, &stats.PendingExpired, &stats.OutageExcused,
+	} {
+		*f = int(rd.I64())
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore header: %w", err)
+	}
+
+	p.started = time.Unix(0, started).UTC()
+	p.mu.Lock()
+	p.aliases = aliases
+	p.log = log
+	p.Stats = stats
+	p.mu.Unlock()
+
+	devs := p.deviceStates()
+	ndev := int(rd.U32())
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore devices: %w", err)
+	}
+	if ndev != len(devs) {
+		return fmt.Errorf("core: snapshot has %d devices, live proxy has %d", ndev, len(devs))
+	}
+	seen := make(map[string]bool, ndev)
+	for i := 0; i < ndev; i++ {
+		name, err := p.restoreDevice(rd)
+		if err != nil {
+			return err
+		}
+		if seen[name] {
+			return fmt.Errorf("core: snapshot repeats device %q", name)
+		}
+		seen[name] = true
+	}
+
+	if err := p.restoreValidations(rd); err != nil {
+		return err
+	}
+	if err := p.restorePending(rd); err != nil {
+		return err
+	}
+	if err := p.restoreChannel(rd); err != nil {
+		return err
+	}
+	if err := p.restoreGuard(rd); err != nil {
+		return err
+	}
+	rest, err := p.metrics.reg.RestoreState(rd.Rest())
+	if err != nil {
+		return fmt.Errorf("core: restore registry: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after proxy state", len(rest))
+	}
+	return nil
+}
+
+// restoreDevice decodes one device section and installs it into the live
+// deviceState of the same name. The reader is advanced past the section.
+func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
+	name := rd.String()
+	if err := rd.Err(); err != nil {
+		return "", fmt.Errorf("core: restore device: %w", err)
+	}
+	sh := p.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds, ok := sh.devices[name]
+	if !ok {
+		return "", fmt.Errorf("core: snapshot device %q not registered in live proxy", name)
+	}
+
+	rt, rest, err := flows.DecodeRuleTable(rd.Rest())
+	if err != nil {
+		return "", fmt.Errorf("core: device %q rules: %w", name, err)
+	}
+	rd.Reset(rest)
+
+	var compiled *flows.CompiledRules
+	var arrival *flows.ArrivalState
+	if rd.Bool() {
+		arena := rd.Bytes()
+		storedSum := rd.U32()
+		if err := rd.Err(); err != nil {
+			return "", fmt.Errorf("core: device %q arena: %w", name, err)
+		}
+		if got := crc32.Checksum(arena, stateCastagnoli); got != storedSum {
+			return "", fmt.Errorf("core: device %q arena checksum %08x, stored %08x", name, got, storedSum)
+		}
+		var trail []byte
+		compiled, trail, err = flows.DecodeCompiledRules(arena)
+		if err != nil {
+			return "", fmt.Errorf("core: device %q arena: %w", name, err)
+		}
+		if len(trail) != 0 {
+			return "", fmt.Errorf("core: device %q arena has %d trailing bytes", name, len(trail))
+		}
+		if !rt.Frozen() {
+			return "", fmt.Errorf("core: device %q has a compiled arena but an unfrozen rule table", name)
+		}
+		// The arena must be the compilation of the restored rule table —
+		// not merely self-consistent. Recompile and compare digests.
+		if rsum, asum := rt.Compiled().Checksum(), compiled.Checksum(); rsum != asum {
+			return "", fmt.Errorf("core: device %q arena checksum %08x does not match recompiled rules %08x", name, asum, rsum)
+		}
+		arrival, rest, err = compiled.DecodeArrival(rd.Rest())
+		if err != nil {
+			return "", fmt.Errorf("core: device %q arrival state: %w", name, err)
+		}
+		rd.Reset(rest)
+	}
+
+	classifier := ds.classifier
+	switch kind := rd.U8(); kind {
+	case 0:
+		// Config-provided classifier; the live deviceState already wears it.
+	case 1:
+		enc := rd.Bytes()
+		storedSum := rd.U32()
+		if err := rd.Err(); err != nil {
+			return "", fmt.Errorf("core: device %q classifier: %w", name, err)
+		}
+		if got := crc32.Checksum(enc, stateCastagnoli); got != storedSum {
+			return "", fmt.Errorf("core: device %q classifier checksum %08x, stored %08x", name, got, storedSum)
+		}
+		model, trail, err := ml.DecodeCompiled(enc)
+		if err != nil {
+			return "", fmt.Errorf("core: device %q classifier: %w", name, err)
+		}
+		if len(trail) != 0 {
+			return "", fmt.Errorf("core: device %q classifier has %d trailing bytes", name, len(trail))
+		}
+		// Reject model skew: the snapshot's model must be the one the live
+		// config would deploy for this device.
+		mlc, ok := ds.cfg.Classifier.(*MLClassifier)
+		if !ok || mlc.compiled == nil {
+			return "", fmt.Errorf("core: device %q snapshot carries a compiled classifier but live config provides none", name)
+		}
+		cfgSum, err := ml.CompiledChecksum(mlc.compiled)
+		if err != nil {
+			return "", fmt.Errorf("core: device %q config classifier: %w", name, err)
+		}
+		snapSum, err := ml.CompiledChecksum(model)
+		if err != nil {
+			return "", fmt.Errorf("core: device %q classifier: %w", name, err)
+		}
+		if cfgSum != snapSum {
+			return "", fmt.Errorf("core: device %q classifier model %08x does not match config model %08x", name, snapSum, cfgSum)
+		}
+		classifier = &compiledEventClassifier{
+			model: model,
+			buf:   make([]float64, features.Dim),
+		}
+	default:
+		return "", fmt.Errorf("core: device %q unknown classifier kind %d", name, kind)
+	}
+
+	evPackets := int(rd.I64())
+	var evDecision *Decision
+	if rd.Bool() {
+		evDecision = &Decision{Verdict: Verdict(rd.U8()), Reason: Reason(rd.String())}
+	}
+	ndrops := int(rd.U32())
+	if rd.Err() != nil || ndrops > rd.Len() {
+		return "", fmt.Errorf("core: device %q drops: %w", name, wire.ErrTruncated)
+	}
+	drops := make([]time.Time, 0, ndrops)
+	for i := 0; i < ndrops; i++ {
+		drops = append(drops, time.Unix(0, rd.I64()).UTC())
+	}
+	locked := rd.Bool()
+	var cur *events.Event
+	if rd.Bool() {
+		nrec := int(rd.U32())
+		if rd.Err() != nil || nrec == 0 || nrec > rd.Len() {
+			return "", fmt.Errorf("core: device %q event: %w", name, wire.ErrTruncated)
+		}
+		recs := make([]flows.Record, 0, nrec)
+		for i := 0; i < nrec; i++ {
+			rec, err := flows.ReadRecord(rd)
+			if err != nil {
+				return "", fmt.Errorf("core: device %q event record: %w", name, err)
+			}
+			recs = append(recs, rec)
+		}
+		cur = &events.Event{Packets: recs, Start: recs[0].Time, End: recs[nrec-1].Time}
+	}
+	if err := rd.Err(); err != nil {
+		return "", fmt.Errorf("core: device %q: %w", name, err)
+	}
+
+	ds.rules = rt
+	ds.compiled = compiled
+	ds.arrival = arrival
+	ds.classifier = classifier
+	ds.evPackets = evPackets
+	ds.evDecision = evDecision
+	ds.drops = drops
+	ds.locked = locked
+	ds.grouper.RestoreCurrent(cur)
+	return name, nil
+}
+
+func (p *Proxy) restoreValidations(rd *wire.Reader) error {
+	n := int(rd.U32())
+	if rd.Err() != nil || n > rd.Len() {
+		return fmt.Errorf("core: restore validations: %w", wire.ErrTruncated)
+	}
+	byDevice := make(map[string][]validation, n)
+	for i := 0; i < n; i++ {
+		name := rd.String()
+		m := int(rd.U32())
+		if rd.Err() != nil || m > rd.Len() {
+			return fmt.Errorf("core: restore validations: %w", wire.ErrTruncated)
+		}
+		list := make([]validation, 0, m)
+		for j := 0; j < m; j++ {
+			list = append(list, validation{at: time.Unix(0, rd.I64()).UTC(), human: rd.Bool()})
+		}
+		byDevice[name] = list
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore validations: %w", err)
+	}
+	p.validations.mu.Lock()
+	p.validations.byDevice = byDevice
+	p.validations.mu.Unlock()
+	return nil
+}
+
+func readPendingList(rd *wire.Reader) ([]pendingDecision, error) {
+	n := int(rd.U32())
+	if rd.Err() != nil || n > rd.Len() {
+		return nil, wire.ErrTruncated
+	}
+	var list []pendingDecision
+	for i := 0; i < n; i++ {
+		list = append(list, pendingDecision{
+			device:  rd.String(),
+			decided: time.Unix(0, rd.I64()).UTC(),
+			expires: time.Unix(0, rd.I64()).UTC(),
+			packets: int(rd.I64()),
+		})
+	}
+	return list, rd.Err()
+}
+
+func (p *Proxy) restorePending(rd *wire.Reader) error {
+	entries, err := readPendingList(rd)
+	if err != nil {
+		return fmt.Errorf("core: restore pending: %w", err)
+	}
+	overflow, err := readPendingList(rd)
+	if err != nil {
+		return fmt.Errorf("core: restore pending overflow: %w", err)
+	}
+	p.pending.mu.Lock()
+	p.pending.entries = entries
+	p.pending.overflow = overflow
+	p.pending.mu.Unlock()
+	return nil
+}
+
+func (p *Proxy) restoreChannel(rd *wire.Reader) error {
+	down := rd.Bool()
+	var since time.Time
+	if down {
+		since = time.Unix(0, rd.I64()).UTC()
+	}
+	n := int(rd.U32())
+	if rd.Err() != nil || n > rd.Len() {
+		return fmt.Errorf("core: restore channel: %w", wire.ErrTruncated)
+	}
+	var outages []interval
+	for i := 0; i < n; i++ {
+		outages = append(outages, interval{
+			from: time.Unix(0, rd.I64()).UTC(),
+			to:   time.Unix(0, rd.I64()).UTC(),
+		})
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore channel: %w", err)
+	}
+	p.channel.mu.Lock()
+	p.channel.down = down
+	p.channel.since = since
+	p.channel.outages = outages
+	p.channel.mu.Unlock()
+	return nil
+}
+
+func (p *Proxy) restoreGuard(rd *wire.Reader) error {
+	present := rd.Bool()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore guard: %w", err)
+	}
+	if present != (p.guard != nil) {
+		return fmt.Errorf("core: snapshot replay-guard presence %v does not match live config %v", present, p.guard != nil)
+	}
+	if !present {
+		return nil
+	}
+	n := int(rd.U32())
+	if rd.Err() != nil || n > rd.Len()/40 {
+		return fmt.Errorf("core: restore guard: %w", wire.ErrTruncated)
+	}
+	tags := make([]sensors.SeenTag, 0, n)
+	for i := 0; i < n; i++ {
+		var s sensors.SeenTag
+		copy(s.Tag[:], rd.Take(32))
+		s.At = time.Unix(0, rd.I64()).UTC()
+		tags = append(tags, s)
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore guard: %w", err)
+	}
+	p.guard.RestoreSeen(tags)
+	return nil
+}

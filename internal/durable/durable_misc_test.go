@@ -1,0 +1,86 @@
+package durable
+
+import (
+	"strings"
+	"testing"
+
+	"fiat/internal/simclock"
+)
+
+func TestParseSyncMode(t *testing.T) {
+	for in, want := range map[string]SyncMode{
+		"": SyncTick, "tick": SyncTick, "always": SyncAlways, "off": SyncOff,
+	} {
+		got, err := ParseSyncMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncMode(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Fatalf("SyncMode(%v).String() = %q", got, got.String())
+		}
+	}
+	if _, err := ParseSyncMode("bogus"); err == nil {
+		t.Fatal("bogus sync mode accepted")
+	}
+}
+
+func TestVerifyReportRendering(t *testing.T) {
+	dir := t.TempDir()
+	ops := sampleOps(6)
+	w := writeTestWAL(t, dir, 1<<20, ops)
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(dir, 3, simclock.Epoch, 7, []byte("body"), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := Verify(dir).String()
+	for _, want := range []string{"snapshot snap-", "segment wal-", "seq range [1, 6]", "RESULT: recoverable"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	empty := t.TempDir()
+	out = Verify(empty).String()
+	for _, want := range []string{"no snapshots", "no wal segments", "RESULT: recoverable"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("empty-dir report missing %q:\n%s", want, out)
+		}
+	}
+
+	missing := empty + "/nope"
+	if r := Verify(missing); r.Err == nil {
+		t.Fatal("missing dir verified clean")
+	} else if !strings.Contains(r.String(), "FAIL CLOSED") {
+		t.Fatalf("missing-dir report:\n%s", r.String())
+	}
+}
+
+func TestWALFrameSeq(t *testing.T) {
+	op := sampleOps(1)[0]
+	frame := appendFrame(nil, EncodeOp(op))
+	seq, ok := walFrameSeq(frame)
+	if !ok || seq != op.Seq {
+		t.Fatalf("walFrameSeq = %d, %v", seq, ok)
+	}
+	if _, ok := walFrameSeq(frame[:10]); ok {
+		t.Fatal("short frame yielded a seq")
+	}
+}
+
+func TestSyncAlwaysAppend(t *testing.T) {
+	dir := t.TempDir()
+	w := &wal{dir: dir, segBytes: 1 << 20, mode: SyncAlways}
+	for _, op := range sampleOps(3) {
+		if err := w.append(op.Seq, EncodeOp(op)); err != nil {
+			t.Fatal(err)
+		}
+		if w.dirty || w.syncedSize != w.size {
+			t.Fatalf("append left unsynced bytes (dirty=%v synced=%d size=%d)", w.dirty, w.syncedSize, w.size)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -127,6 +127,15 @@ func (g *Grouper) Add(r flows.Record) *Event {
 // 5 s gap.
 func (g *Grouper) Current() *Event { return g.cur }
 
+// Gap reports the configured inter-packet threshold.
+func (g *Grouper) Gap() time.Duration { return g.gap }
+
+// RestoreCurrent installs e as the in-progress event, replacing any current
+// one. Snapshot recovery uses it to resume a grouper mid-event; e must be
+// the un-finished form (Category unset), exactly as Current would have
+// returned it when the snapshot was taken.
+func (g *Grouper) RestoreCurrent(e *Event) { g.cur = e }
+
 // Expired reports whether the in-progress event is already complete at the
 // given instant (the gap has elapsed with no new packets).
 func (g *Grouper) Expired(now time.Time) bool {

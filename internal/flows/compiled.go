@@ -98,27 +98,11 @@ func (rt *RuleTable) compileLocked() *CompiledRules {
 		mode:     rt.mode,
 		quantum:  rt.quantum,
 		keys:     keys,
-		index:    make(map[Key]uint32, len(keys)),
-		table:    make([]probeSlot, tableSize(len(keys))),
 		offsets:  make([]uint32, len(keys)+1),
 		initLast: make([]int64, len(keys)),
 		initHas:  make([]bool, len(keys)),
 	}
-	var addrs []addrSlot
 	for id, k := range keys {
-		c.index[k] = uint32(id)
-		if rt.mode == ModePortLess {
-			c.insert(hashPortLess(k.Dir, k.Proto, k.Size, k.Domain), uint32(id))
-			// Only canonical IP literals are reachable through the KeyOf
-			// fallback (it writes Addr.String(), which is canonical), so
-			// non-canonical spellings of the same address must not shadow
-			// the string-keyed bucket.
-			if a, err := netip.ParseAddr(k.Domain); err == nil && a.String() == k.Domain {
-				addrs = append(addrs, addrSlot{hash: hashAddr(k.Dir, k.Proto, k.Size, a), id: uint32(id) + 1, addr: a})
-			}
-		} else {
-			c.insert(hashClassic(k.Dir, k.Proto, k.Size, k.Remote, k.LPort, k.RPort), uint32(id))
-		}
 		b := rt.buckets[k]
 		periods := make([]int64, 0, len(b.periods))
 		for q := range b.periods {
@@ -135,6 +119,34 @@ func (rt *RuleTable) compileLocked() *CompiledRules {
 			c.initHas[id] = true
 		}
 	}
+	c.buildTables()
+	return c
+}
+
+// buildTables (re)derives every probe structure — the key→id index, the
+// open-addressing interner, and the PortLess address fallback — from the
+// sorted keys slice. Compile and the on-disk arena decoder both call it, so
+// the serialized format never has to carry the probe tables and the two
+// construction paths cannot drift apart.
+func (c *CompiledRules) buildTables() {
+	c.index = make(map[Key]uint32, len(c.keys))
+	c.table = make([]probeSlot, tableSize(len(c.keys)))
+	var addrs []addrSlot
+	for id, k := range c.keys {
+		c.index[k] = uint32(id)
+		if c.mode == ModePortLess {
+			c.insert(hashPortLess(k.Dir, k.Proto, k.Size, k.Domain), uint32(id))
+			// Only canonical IP literals are reachable through the KeyOf
+			// fallback (it writes Addr.String(), which is canonical), so
+			// non-canonical spellings of the same address must not shadow
+			// the string-keyed bucket.
+			if a, err := netip.ParseAddr(k.Domain); err == nil && a.String() == k.Domain {
+				addrs = append(addrs, addrSlot{hash: hashAddr(k.Dir, k.Proto, k.Size, a), id: uint32(id) + 1, addr: a})
+			}
+		} else {
+			c.insert(hashClassic(k.Dir, k.Proto, k.Size, k.Remote, k.LPort, k.RPort), uint32(id))
+		}
+	}
 	c.addrTable = make([]addrSlot, tableSize(len(addrs)))
 	mask := uint64(len(c.addrTable) - 1)
 	for _, s := range addrs {
@@ -144,7 +156,6 @@ func (rt *RuleTable) compileLocked() *CompiledRules {
 		}
 		c.addrTable[i] = s
 	}
-	return c
 }
 
 // tableSize picks an open-addressing capacity: the smallest power of two

@@ -1,0 +1,227 @@
+package flows
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"fiat/internal/wire"
+)
+
+// learnSchedule feeds a deterministic mixed schedule into a fresh table:
+// periodic heartbeats on a domain bucket, periodic frames on an IP-literal
+// fallback bucket, and a few one-off packets that never form a rule.
+func learnSchedule(t *testing.T, mode KeyMode) *RuleTable {
+	t.Helper()
+	rt := NewRuleTable(mode)
+	base := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(at time.Duration, size int, domain string, ip string, lport, rport uint16) Record {
+		return Record{
+			Time: base.Add(at), Size: size, Proto: "tcp", Dir: DirOutbound,
+			RemoteIP: netip.MustParseAddr(ip), RemoteDomain: domain,
+			LocalPort: lport, RemotePort: rport,
+		}
+	}
+	for i := 0; i < 6; i++ {
+		rt.Learn(mk(time.Duration(i)*10*time.Second, 128, "cloud.example.com", "10.0.0.1", 40000, 443))
+	}
+	for i := 0; i < 5; i++ {
+		rt.Learn(mk(time.Duration(i)*7*time.Second, 99, "", "192.168.1.9", 40001, 8883))
+	}
+	rt.Learn(mk(3*time.Second, 512, "cdn.example.net", "10.0.0.2", 40002, 443))
+	return rt
+}
+
+func TestRuleTableStateRoundTrip(t *testing.T) {
+	for _, mode := range []KeyMode{ModePortLess, ModeClassic} {
+		rt := learnSchedule(t, mode)
+		enc := rt.EncodeState()
+		dec, rest, err := DecodeRuleTable(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", mode, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d trailing bytes", mode, len(rest))
+		}
+		if !bytes.Equal(dec.EncodeState(), enc) {
+			t.Fatalf("%v: re-encode differs", mode)
+		}
+		if dec.Rules() != rt.Rules() {
+			t.Fatalf("%v: rules %d != %d", mode, dec.Rules(), rt.Rules())
+		}
+		// The decoded table must keep learning identically.
+		next := Record{Time: time.Date(2022, 6, 1, 0, 1, 0, 0, time.UTC), Size: 128, Proto: "tcp",
+			Dir: DirOutbound, RemoteIP: netip.MustParseAddr("10.0.0.1"), RemoteDomain: "cloud.example.com"}
+		rt.Learn(next)
+		dec.Learn(next)
+		if !bytes.Equal(dec.EncodeState(), rt.EncodeState()) {
+			t.Fatalf("%v: post-learn state diverges", mode)
+		}
+	}
+}
+
+func TestRuleTableStateFrozenRecompiles(t *testing.T) {
+	rt := learnSchedule(t, ModePortLess)
+	rt.Freeze()
+	enc := rt.EncodeState()
+	dec, _, err := DecodeRuleTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Frozen() {
+		t.Fatal("decoded table not frozen")
+	}
+	if dec.Compiled() == nil {
+		t.Fatal("decoded frozen table has no compiled form")
+	}
+	if got, want := dec.Compiled().Checksum(), rt.Compiled().Checksum(); got != want {
+		t.Fatalf("recompiled checksum %08x != original %08x", got, want)
+	}
+}
+
+func TestCompiledArenaRoundTrip(t *testing.T) {
+	for _, mode := range []KeyMode{ModePortLess, ModeClassic} {
+		rt := learnSchedule(t, mode)
+		rt.Freeze()
+		c := rt.Compiled()
+		enc := c.EncodeArena()
+		dec, rest, err := DecodeCompiledRules(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", mode, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d trailing bytes", mode, len(rest))
+		}
+		if !bytes.Equal(dec.EncodeArena(), enc) {
+			t.Fatalf("%v: re-encode differs", mode)
+		}
+		if dec.Checksum() != c.Checksum() {
+			t.Fatalf("%v: checksum differs", mode)
+		}
+		if dec.Rules() != c.Rules() || dec.NumKeys() != c.NumKeys() {
+			t.Fatalf("%v: rules/keys (%d,%d) != (%d,%d)", mode, dec.Rules(), dec.NumKeys(), c.Rules(), c.NumKeys())
+		}
+		// The decoded arena must match identically: same hits, same arrival
+		// evolution, through both the domain and the addr-fallback paths.
+		st1, st2 := c.NewArrivalState(), dec.NewArrivalState()
+		base := time.Date(2022, 6, 1, 0, 2, 0, 0, time.UTC)
+		probe := []Record{
+			{Time: base, Size: 128, Proto: "tcp", Dir: DirOutbound,
+				RemoteIP: netip.MustParseAddr("10.0.0.1"), RemoteDomain: "cloud.example.com"},
+			{Time: base.Add(10 * time.Second), Size: 128, Proto: "tcp", Dir: DirOutbound,
+				RemoteIP: netip.MustParseAddr("10.0.0.1"), RemoteDomain: "cloud.example.com"},
+			{Time: base.Add(14 * time.Second), Size: 99, Proto: "tcp", Dir: DirOutbound,
+				RemoteIP: netip.MustParseAddr("192.168.1.9"), LocalPort: 40001, RemotePort: 8883},
+			{Time: base.Add(21 * time.Second), Size: 99, Proto: "tcp", Dir: DirOutbound,
+				RemoteIP: netip.MustParseAddr("192.168.1.9"), LocalPort: 40001, RemotePort: 8883},
+		}
+		for i, rec := range probe {
+			if h1, h2 := c.Match(&rec, st1), dec.Match(&rec, st2); h1 != h2 {
+				t.Fatalf("%v: probe %d: original hit=%v decoded hit=%v", mode, i, h1, h2)
+			}
+		}
+	}
+}
+
+func TestCompiledArenaChecksumDetectsSkew(t *testing.T) {
+	rt := learnSchedule(t, ModePortLess)
+	rt.Freeze()
+	c := rt.Compiled()
+	rt2 := learnSchedule(t, ModePortLess)
+	rt2.Learn(Record{Time: time.Date(2022, 6, 1, 0, 3, 0, 0, time.UTC), Size: 128, Proto: "tcp",
+		Dir: DirOutbound, RemoteIP: netip.MustParseAddr("10.0.0.1"), RemoteDomain: "cloud.example.com"})
+	rt2.Freeze()
+	if c.Checksum() == rt2.Compiled().Checksum() {
+		t.Fatal("checksum failed to distinguish different learned states")
+	}
+}
+
+func TestDecodeCompiledRulesRejectsCorruption(t *testing.T) {
+	rt := learnSchedule(t, ModePortLess)
+	rt.Freeze()
+	enc := rt.Compiled().EncodeArena()
+
+	if _, _, err := DecodeCompiledRules(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated arena accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff // version
+	if _, _, err := DecodeCompiledRules(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, _, err := DecodeCompiledRules(nil); err == nil {
+		t.Fatal("empty arena accepted")
+	}
+}
+
+func TestDecodeRuleTableRejectsCorruption(t *testing.T) {
+	rt := learnSchedule(t, ModePortLess)
+	enc := rt.EncodeState()
+	if _, _, err := DecodeRuleTable(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, _, err := DecodeRuleTable(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestArrivalStateRoundTrip(t *testing.T) {
+	rt := learnSchedule(t, ModePortLess)
+	rt.Freeze()
+	c := rt.Compiled()
+	st := c.NewArrivalState()
+	rec := Record{Time: time.Date(2022, 6, 1, 0, 5, 0, 0, time.UTC), Size: 128, Proto: "tcp",
+		Dir: DirOutbound, RemoteIP: netip.MustParseAddr("10.0.0.1"), RemoteDomain: "cloud.example.com"}
+	c.Match(&rec, st)
+	enc := AppendArrival(nil, st)
+	dec, rest, err := c.DecodeArrival(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if !bytes.Equal(AppendArrival(nil, dec), enc) {
+		t.Fatal("re-encode differs")
+	}
+	// Width mismatch must fail closed.
+	if _, _, err := c.DecodeArrival(AppendArrival(nil, &ArrivalState{last: []int64{1}, has: []bool{true}})); err == nil {
+		t.Fatal("wrong-width arrival state accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: time.Date(2022, 6, 1, 0, 0, 1, 500, time.UTC), Size: 235, Proto: "tcp", Dir: DirOutbound,
+			RemoteIP: netip.MustParseAddr("10.1.2.3"), RemoteDomain: "api.example.com",
+			LocalPort: 40000, RemotePort: 443, TCPFlags: 0x18, TLSVersion: 0x0303, Category: CategoryManual},
+		{Time: time.Date(2022, 6, 1, 0, 0, 2, 0, time.UTC), Size: 64, Proto: "udp", Dir: DirInbound,
+			RemoteIP: netip.MustParseAddr("2001:db8::1")},
+		{Time: time.Date(2022, 6, 1, 0, 0, 3, 0, time.UTC)}, // invalid addr
+	}
+	var b []byte
+	for i := range recs {
+		b = AppendRecord(b, &recs[i])
+	}
+	r := wire.NewReader(b)
+	for i := range recs {
+		got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := recs[i]
+		want.Time = want.Time.UTC()
+		if !got.Time.Equal(want.Time) || got.Size != want.Size || got.Proto != want.Proto ||
+			got.Dir != want.Dir || got.RemoteIP != want.RemoteIP || got.RemoteDomain != want.RemoteDomain ||
+			got.LocalPort != want.LocalPort || got.RemotePort != want.RemotePort ||
+			got.TCPFlags != want.TCPFlags || got.TLSVersion != want.TLSVersion || got.Category != want.Category {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes", r.Len())
+	}
+}

@@ -1,0 +1,494 @@
+package ml
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"fiat/internal/wire"
+)
+
+// CompiledModelVersion versions the serialized CompiledModel format; the
+// decoder rejects any other version, so a model written by a different
+// layout of these arenas can never be half-deserialized.
+const CompiledModelVersion uint16 = 1
+
+// Kind bytes for the nine compiled families. Stable on-disk identifiers —
+// never renumber.
+const (
+	kindCentroid  uint8 = 1
+	kindBernoulli uint8 = 2
+	kindGaussian  uint8 = 3
+	kindTree      uint8 = 4
+	kindForest    uint8 = 5
+	kindAda       uint8 = 6
+	kindSVC       uint8 = 7
+	kindKNN       uint8 = 8
+	kindMLP       uint8 = 9
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeCompiled serializes a compiled model's frozen tables (the shared
+// arenas plus the folded prescaler). Scratch buffers are not serialized —
+// the decoder re-allocates them exactly as Clone does. The encoding is
+// canonical: equal frozen tables produce equal bytes.
+func EncodeCompiled(m CompiledModel) ([]byte, error) {
+	b := wire.AppendU16(nil, CompiledModelVersion)
+	switch c := m.(type) {
+	case *compiledCentroid:
+		b = wire.AppendU8(b, kindCentroid)
+		b = appendPrescaler(b, &c.pre)
+		b = wire.AppendF64s(b, c.cen)
+		b = wire.AppendInts(b, c.classes)
+		b = wire.AppendI64(b, int64(c.d))
+		b = wire.AppendU8(b, uint8(c.metric))
+	case *compiledBernoulli:
+		b = wire.AppendU8(b, kindBernoulli)
+		b = appendPrescaler(b, &c.pre)
+		b = wire.AppendF64(b, c.threshold)
+		b = wire.AppendF64s(b, c.thr)
+		b = wire.AppendF64s(b, c.lpT)
+		b = wire.AppendF64s(b, c.prior)
+		b = wire.AppendF64s(b, c.lp)
+		b = wire.AppendI64(b, int64(c.d))
+		b = wire.AppendInts(b, c.classes)
+	case *compiledGaussian:
+		b = wire.AppendU8(b, kindGaussian)
+		b = appendPrescaler(b, &c.pre)
+		b = wire.AppendF64s(b, c.prior)
+		b = wire.AppendF64s(b, c.mean)
+		b = wire.AppendF64s(b, c.logTerm)
+		b = wire.AppendF64s(b, c.twoVar)
+		b = wire.AppendI64(b, int64(c.d))
+		b = wire.AppendInts(b, c.classes)
+	case *compiledTree:
+		b = wire.AppendU8(b, kindTree)
+		b = appendPrescaler(b, &c.pre)
+		b = appendArena(b, &c.arena)
+	case *compiledForest:
+		b = wire.AppendU8(b, kindForest)
+		b = appendPrescaler(b, &c.pre)
+		b = appendArena(b, &c.arena)
+		b = wire.AppendI64(b, int64(len(c.votes)))
+	case *compiledAda:
+		b = wire.AppendU8(b, kindAda)
+		b = appendPrescaler(b, &c.pre)
+		b = appendArena(b, &c.arena)
+		b = wire.AppendF64s(b, c.alphas)
+		b = wire.AppendI64(b, int64(len(c.votes)))
+	case *compiledSVC:
+		b = wire.AppendU8(b, kindSVC)
+		b = appendPrescaler(b, &c.pre)
+		b = wire.AppendF64s(b, c.w)
+		b = wire.AppendBools(b, c.hasW)
+		b = wire.AppendI64(b, int64(c.d))
+		b = wire.AppendI64(b, int64(c.classes))
+	case *compiledKNN:
+		b = wire.AppendU8(b, kindKNN)
+		b = appendPrescaler(b, &c.pre)
+		b = wire.AppendU32(b, uint32(len(c.trainX)))
+		for _, row := range c.trainX {
+			b = wire.AppendF64s(b, row)
+		}
+		b = wire.AppendInts(b, c.trainY)
+		b = wire.AppendU8(b, uint8(c.metric))
+		b = wire.AppendI64(b, int64(c.kNeighbors))
+		b = wire.AppendI64(b, int64(len(c.votes)))
+	case *compiledMLP:
+		b = wire.AppendU8(b, kindMLP)
+		b = appendPrescaler(b, &c.pre)
+		b = wire.AppendF64s(b, c.w)
+		b = wire.AppendF64s(b, c.b)
+		b = wire.AppendInts(b, c.wOff)
+		b = wire.AppendInts(b, c.bOff)
+		b = wire.AppendInts(b, c.sizes)
+		b = wire.AppendI64(b, int64(c.maxWidth))
+	default:
+		return nil, fmt.Errorf("ml: cannot encode %T", m)
+	}
+	return b, nil
+}
+
+// CompiledChecksum is the CRC32C of the canonical encoding — the stable
+// fingerprint snapshot load uses to reject model/artifact skew.
+func CompiledChecksum(m CompiledModel) (uint32, error) {
+	b, err := EncodeCompiled(m)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(b, castagnoli), nil
+}
+
+// DecodeCompiled reconstructs a compiled model from its serialized form and
+// returns the remaining bytes. Structural inconsistencies (lengths that do
+// not agree, out-of-range arena indices) fail closed with an error; the
+// returned model owns fresh scratch, exactly as Clone would produce.
+func DecodeCompiled(data []byte) (CompiledModel, []byte, error) {
+	r := wire.NewReader(data)
+	if v := r.U16(); r.Err() == nil && v != CompiledModelVersion {
+		return nil, nil, fmt.Errorf("ml: compiled-model format version %d, want %d", v, CompiledModelVersion)
+	}
+	kind := r.U8()
+	if r.Err() != nil {
+		return nil, nil, fmt.Errorf("ml: decode compiled model: %w", r.Err())
+	}
+	var (
+		m   CompiledModel
+		err error
+	)
+	switch kind {
+	case kindCentroid:
+		m, err = decodeCentroid(r)
+	case kindBernoulli:
+		m, err = decodeBernoulli(r)
+	case kindGaussian:
+		m, err = decodeGaussian(r)
+	case kindTree:
+		m, err = decodeTree(r)
+	case kindForest:
+		m, err = decodeForest(r)
+	case kindAda:
+		m, err = decodeAda(r)
+	case kindSVC:
+		m, err = decodeSVC(r)
+	case kindKNN:
+		m, err = decodeKNN(r)
+	case kindMLP:
+		m, err = decodeMLP(r)
+	default:
+		return nil, nil, fmt.Errorf("ml: unknown compiled-model kind %d", kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.Err() != nil {
+		return nil, nil, fmt.Errorf("ml: decode compiled model: %w", r.Err())
+	}
+	return m, r.Rest(), nil
+}
+
+func appendPrescaler(b []byte, p *prescaler) []byte {
+	b = wire.AppendF64s(b, p.mean)
+	b = wire.AppendF64s(b, p.scale)
+	return b
+}
+
+func readPrescaler(r *wire.Reader) (prescaler, error) {
+	var p prescaler
+	p.mean = r.F64s()
+	p.scale = r.F64s()
+	if r.Err() != nil {
+		return prescaler{}, r.Err()
+	}
+	if len(p.mean) != len(p.scale) {
+		return prescaler{}, fmt.Errorf("ml: prescaler mean/scale widths differ (%d,%d)", len(p.mean), len(p.scale))
+	}
+	if p.mean != nil {
+		p.z = make([]float64, len(p.mean))
+	}
+	return p, nil
+}
+
+func appendArena(b []byte, a *treeArena) []byte {
+	b = wire.AppendI32s(b, a.feature)
+	b = wire.AppendF64s(b, a.threshold)
+	b = wire.AppendI32s(b, a.left)
+	b = wire.AppendI32s(b, a.right)
+	b = wire.AppendI32s(b, a.roots)
+	return b
+}
+
+func readArena(r *wire.Reader) (treeArena, error) {
+	var a treeArena
+	a.feature = r.I32s()
+	a.threshold = r.F64s()
+	a.left = r.I32s()
+	a.right = r.I32s()
+	a.roots = r.I32s()
+	if r.Err() != nil {
+		return treeArena{}, r.Err()
+	}
+	n := len(a.feature)
+	if len(a.threshold) != n || len(a.left) != n || len(a.right) != n {
+		return treeArena{}, fmt.Errorf("ml: tree arena arrays disagree on length")
+	}
+	for i := 0; i < n; i++ {
+		if a.feature[i] >= 0 {
+			if a.left[i] < 0 || int(a.left[i]) >= n || a.right[i] < 0 || int(a.right[i]) >= n {
+				return treeArena{}, fmt.Errorf("ml: tree arena child index out of range at node %d", i)
+			}
+			// Children always follow their parent in push order, which also
+			// rules out cycles; enforce it so classify always terminates.
+			if a.left[i] <= int32(i) || a.right[i] <= int32(i) {
+				return treeArena{}, fmt.Errorf("ml: tree arena child precedes parent at node %d", i)
+			}
+		}
+	}
+	for _, root := range a.roots {
+		if root < 0 || int(root) >= n {
+			return treeArena{}, fmt.Errorf("ml: tree arena root %d out of range", root)
+		}
+	}
+	return a, nil
+}
+
+func decodeCentroid(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledCentroid{pre: pre}
+	c.cen = r.F64s()
+	c.classes = r.Ints()
+	c.d = int(r.I64())
+	c.metric = Distance(r.U8())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if c.d < 0 || len(c.cen) != len(c.classes)*c.d {
+		return nil, fmt.Errorf("ml: centroid arena %d does not match %d classes x %d", len(c.cen), len(c.classes), c.d)
+	}
+	return c, nil
+}
+
+func decodeBernoulli(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledBernoulli{pre: pre}
+	c.threshold = r.F64()
+	c.thr = r.F64s()
+	c.lpT = r.F64s()
+	c.prior = r.F64s()
+	c.lp = r.F64s()
+	c.d = int(r.I64())
+	c.classes = r.Ints()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	k := len(c.classes)
+	if c.d < 0 {
+		return nil, fmt.Errorf("ml: bernoulli negative width")
+	}
+	if c.lp != nil && (len(c.lp) != k*2*c.d || len(c.prior) != k) {
+		return nil, fmt.Errorf("ml: bernoulli tables do not match %d classes x %d", k, c.d)
+	}
+	if (c.thr == nil) != (c.lpT == nil) {
+		return nil, fmt.Errorf("ml: bernoulli folded tables half-present")
+	}
+	if c.thr != nil && (len(c.thr) != c.d || len(c.lpT) != c.d*2*k) {
+		return nil, fmt.Errorf("ml: bernoulli folded tables do not match %d classes x %d", k, c.d)
+	}
+	c.scores = make([]float64, k)
+	return c, nil
+}
+
+func decodeGaussian(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledGaussian{pre: pre}
+	c.prior = r.F64s()
+	c.mean = r.F64s()
+	c.logTerm = r.F64s()
+	c.twoVar = r.F64s()
+	c.d = int(r.I64())
+	c.classes = r.Ints()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	n := len(c.classes) * c.d
+	if c.d < 0 || len(c.mean) != n || len(c.logTerm) != n || len(c.twoVar) != n {
+		return nil, fmt.Errorf("ml: gaussian arenas do not match %d classes x %d", len(c.classes), c.d)
+	}
+	if c.mean != nil && len(c.prior) != len(c.classes) {
+		return nil, fmt.Errorf("ml: gaussian priors do not match classes")
+	}
+	c.scores = make([]float64, len(c.classes))
+	return c, nil
+}
+
+func decodeTree(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := readArena(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(arena.roots) != 1 {
+		return nil, fmt.Errorf("ml: decision tree arena has %d roots, want 1", len(arena.roots))
+	}
+	return &compiledTree{pre: pre, arena: arena}, nil
+}
+
+func decodeForest(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := readArena(r)
+	if err != nil {
+		return nil, err
+	}
+	nv := int(r.I64())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nv < 0 || nv > 1<<20 {
+		return nil, fmt.Errorf("ml: forest vote width %d out of range", nv)
+	}
+	return &compiledForest{pre: pre, arena: arena, votes: make([]float64, nv)}, nil
+}
+
+func decodeAda(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := readArena(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledAda{pre: pre, arena: arena}
+	c.alphas = r.F64s()
+	nv := int(r.I64())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(c.alphas) != len(arena.roots) {
+		return nil, fmt.Errorf("ml: adaboost alphas %d do not match %d stumps", len(c.alphas), len(arena.roots))
+	}
+	if nv < 0 || nv > 1<<20 {
+		return nil, fmt.Errorf("ml: adaboost vote width %d out of range", nv)
+	}
+	c.votes = make([]float64, nv)
+	return c, nil
+}
+
+func decodeSVC(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledSVC{pre: pre}
+	c.w = r.F64s()
+	c.hasW = r.Bools()
+	c.d = int(r.I64())
+	c.classes = int(r.I64())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if c.d < 0 || c.classes < 0 || len(c.w) != len(c.hasW)*(c.d+1) {
+		return nil, fmt.Errorf("ml: svc weight arena %d does not match %d rows x %d", len(c.w), len(c.hasW), c.d+1)
+	}
+	if len(c.hasW) > 0 && len(c.hasW) != c.classes {
+		return nil, fmt.Errorf("ml: svc rows %d do not match %d classes", len(c.hasW), c.classes)
+	}
+	c.scores = make([]float64, c.classes)
+	return c, nil
+}
+
+func decodeKNN(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledKNN{pre: pre}
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > r.Len()/4 {
+		return nil, fmt.Errorf("ml: decode knn: %w", wire.ErrTruncated)
+	}
+	c.trainX = make([][]float64, n)
+	for i := range c.trainX {
+		c.trainX[i] = r.F64s()
+	}
+	c.trainY = r.Ints()
+	c.metric = Distance(r.U8())
+	c.kNeighbors = int(r.I64())
+	nv := int(r.I64())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(c.trainY) != n {
+		return nil, fmt.Errorf("ml: knn labels %d do not match %d rows", len(c.trainY), n)
+	}
+	if n > 0 && (c.kNeighbors < 1 || c.kNeighbors > n) {
+		return nil, fmt.Errorf("ml: knn k=%d out of range for %d rows", c.kNeighbors, n)
+	}
+	if nv < 0 || nv > 1<<20 {
+		return nil, fmt.Errorf("ml: knn vote width %d out of range", nv)
+	}
+	for _, y := range c.trainY {
+		if y < 0 || y >= nv {
+			return nil, fmt.Errorf("ml: knn label %d out of vote range %d", y, nv)
+		}
+	}
+	if c.kNeighbors < 0 {
+		c.kNeighbors = 0
+	}
+	c.selDist = make([]float64, c.kNeighbors)
+	c.selIdx = make([]int, c.kNeighbors)
+	c.votes = make([]int, nv)
+	c.distSum = make([]float64, nv)
+	return c, nil
+}
+
+func decodeMLP(r *wire.Reader) (CompiledModel, error) {
+	pre, err := readPrescaler(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledMLP{pre: pre}
+	c.w = r.F64s()
+	c.b = r.F64s()
+	c.wOff = r.Ints()
+	c.bOff = r.Ints()
+	c.sizes = r.Ints()
+	c.maxWidth = int(r.I64())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	layers := len(c.wOff)
+	if len(c.bOff) != layers {
+		return nil, fmt.Errorf("ml: mlp offset arrays disagree")
+	}
+	if layers == 0 {
+		if len(c.sizes) != 0 || len(c.w) != 0 || len(c.b) != 0 || c.maxWidth != 0 {
+			return nil, fmt.Errorf("ml: mlp empty model carries data")
+		}
+		return c, nil
+	}
+	if len(c.sizes) != layers+1 {
+		return nil, fmt.Errorf("ml: mlp sizes %d do not match %d layers", len(c.sizes), layers)
+	}
+	// Recompute the expected arena layout from sizes and require an exact
+	// match — any disagreement means a corrupt or foreign encoding.
+	wantW, wantB, wantMax := 0, 0, 0
+	for l := 0; l < layers; l++ {
+		in, out := c.sizes[l], c.sizes[l+1]
+		if in < 0 || out <= 0 {
+			return nil, fmt.Errorf("ml: mlp layer %d has width %dx%d", l, in, out)
+		}
+		if c.wOff[l] != wantW || c.bOff[l] != wantB {
+			return nil, fmt.Errorf("ml: mlp offsets do not match sizes at layer %d", l)
+		}
+		if out > wantMax {
+			wantMax = out
+		}
+		wantW += in * out
+		wantB += out
+	}
+	if len(c.w) != wantW || len(c.b) != wantB || c.maxWidth != wantMax {
+		return nil, fmt.Errorf("ml: mlp arena lengths do not match sizes")
+	}
+	c.bufA = make([]float64, c.maxWidth)
+	c.bufB = make([]float64, c.maxWidth)
+	return c, nil
+}

@@ -1,7 +1,9 @@
 package sensors
 
 import (
+	"bytes"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 )
@@ -97,4 +99,37 @@ func (g *ReplayGuard) Remembered() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.seen)
+}
+
+// SeenTag is one remembered dedup entry, exported for snapshotting.
+type SeenTag struct {
+	Tag [32]byte
+	At  time.Time
+}
+
+// ExportSeen returns the remembered dedup table sorted by tag bytes — a
+// canonical order, so two guards holding equal state export equal slices.
+func (g *ReplayGuard) ExportSeen() []SeenTag {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]SeenTag, 0, len(g.seen))
+	for tag, at := range g.seen {
+		out = append(out, SeenTag{Tag: tag, At: at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].Tag[:], out[j].Tag[:]) < 0
+	})
+	return out
+}
+
+// RestoreSeen replaces the dedup table with the given entries. Snapshot
+// recovery uses it to resume anti-replay state, so a tag admitted before a
+// crash stays a duplicate after the restart.
+func (g *ReplayGuard) RestoreSeen(tags []SeenTag) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seen = make(map[[32]byte]time.Time, len(tags))
+	for _, s := range tags {
+		g.seen[s.Tag] = s.At
+	}
 }
