@@ -48,6 +48,7 @@ func main() {
 	bootstrap := flag.Duration("bootstrap", 5*time.Second, "rule-learning window (paper: 20m)")
 	nDevices := flag.Int("devices", 4, "simulated plug devices fed to the engine as one batch per tick")
 	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	async := flag.Bool("async", false, "drive the shards through the ring-buffer-fed async worker pipeline (same decisions, zero steady-state allocations)")
 	duration := flag.Duration("duration", time.Minute, "how long to run the demo feed")
 	attackEvery := flag.Duration("attack-every", 10*time.Second, "injected command cadence")
 	mudOut := flag.String("mud", "", "export learned rules as an RFC 8520 MUD profile on exit")
@@ -115,7 +116,7 @@ func main() {
 	// rebuilds the same proxy and restores snapshot+WAL state into it.
 	buildProxy := func(c simclock.Clock) (*core.Proxy, error) {
 		p := core.NewProxy(c, ks, validator, core.Config{
-			Bootstrap: *bootstrap, Shards: *shards,
+			Bootstrap: *bootstrap, Shards: *shards, Async: *async,
 			PendingWindow: *pendingWindow, PendingMax: *pendingMax,
 			Obs: reg,
 		})

@@ -46,6 +46,10 @@ type Scenario struct {
 	// Shards selects the proxy engine width (default 1, the sequential
 	// reference).
 	Shards int
+	// Async runs the proxy on the ring-fed asynchronous shard pipeline
+	// instead of the per-batch goroutine fan-out. Decisions are
+	// engine-invariant, so every oracle in this package applies unchanged.
+	Async bool
 	// Bootstrap is the proxy learning window (default 2 minutes).
 	Bootstrap time.Duration
 	// Duration is the post-bootstrap phase length (default 90 s).
@@ -342,9 +346,11 @@ func run(s Scenario, wrap func(engine, *simclock.VirtualClock) engine) (*Result,
 	proxy := core.NewProxy(clock, proxyKS, validator, core.Config{
 		Bootstrap:     s.Bootstrap,
 		Shards:        s.Shards,
+		Async:         s.Async,
 		PendingWindow: s.PendingWindow,
 		Obs:           reg,
 	})
+	defer proxy.Close()
 	if err := proxy.AddDevice(core.DeviceConfig{
 		Name: "plug", Classifier: core.RuleClassifier{NotificationSize: 235}, GraceN: 1,
 	}); err != nil {
@@ -491,11 +497,20 @@ func run(s Scenario, wrap func(engine, *simclock.VirtualClock) engine) (*Result,
 	clock.AdvanceTo(runEnd)
 	gw.Flush()
 
-	res.Log = proxy.Log()
-	res.Stats = proxy.StatsSnapshot()
+	// A wrapper that swapped the governed proxy out from under the run —
+	// the durable restart harness kills and reopens it mid-scenario — tells
+	// us where the surviving state lives; results must be read from there.
+	resProxy := proxy
+	if rp, ok := eng.(interface{ resultProxy() *core.Proxy }); ok {
+		if p := rp.resultProxy(); p != nil {
+			resProxy = p
+		}
+	}
+	res.Log = resProxy.Log()
+	res.Stats = resProxy.StatsSnapshot()
 	res.Fault = nw.FaultStats()
-	res.Locked = proxy.Locked("plug")
-	res.PendingLeft = proxy.PendingDepth()
+	res.Locked = resProxy.Locked("plug")
+	res.PendingLeft = resProxy.PendingDepth()
 	res.Metrics = reg.Snapshot()
 	return res, nil
 }

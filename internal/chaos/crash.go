@@ -112,6 +112,7 @@ func buildReplayProxy(s Scenario) durable.BuildProxy {
 		proxy := core.NewProxy(clock, ks, validator, core.Config{
 			Bootstrap:     s.Bootstrap,
 			Shards:        s.Shards,
+			Async:         s.Async,
 			PendingWindow: s.PendingWindow,
 			Obs:           obs.NewRegistry(),
 		})
@@ -160,6 +161,7 @@ func ReplayOps(s Scenario, ops []RecordedOp) (*ReplayResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer proxy.Close()
 	res := &ReplayResult{CrashOp: -1}
 	for i := range ops {
 		op := &ops[i]
@@ -270,10 +272,12 @@ func ReplayOpsDurable(s Scenario, ops []RecordedOp, dir string, kill *durable.Ki
 			return nil, fmt.Errorf("crashed again at op %d: %w", n2, err)
 		}
 		res.Truncated = mgr2.Metrics().Counter("fiat_durable_wal_truncated_records_total").Value()
+		mgr.Proxy().Close()
 		mgr = mgr2
 	}
 	res.State = mgr.Proxy().EncodeState()
 	mgr.Abort()
+	mgr.Proxy().Close()
 	for i := range ops {
 		res.Decisions = append(res.Decisions, decs[i]...)
 	}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"fiat/internal/core"
+)
+
+// TestScenarioAsyncParity: the ring-fed async pipeline driven through the
+// full netsim fabric — gateway batching, courier faults, partitions, pending
+// sweeps — produces a Result identical to the goroutine-fan-out sharded
+// engine on every surface, including the shared metrics snapshot.
+func TestScenarioAsyncParity(t *testing.T) {
+	s := crashScenario()
+	sync, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Async = true
+	async, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync.DecisionTrace() != async.DecisionTrace() {
+		t.Errorf("async decision stream diverges:\n--- sync ---\n%s\n--- async ---\n%s",
+			sync.DecisionTrace(), async.DecisionTrace())
+	}
+	if sync.LogTrace() != async.LogTrace() {
+		t.Error("async audit log diverges from sync")
+	}
+	if !reflect.DeepEqual(sync.Stats, async.Stats) {
+		t.Errorf("async stats diverge:\nsync:  %+v\nasync: %+v", sync.Stats, async.Stats)
+	}
+	if !reflect.DeepEqual(sync.Fault, async.Fault) {
+		t.Errorf("fault stats diverge:\nsync:  %+v\nasync: %+v", sync.Fault, async.Fault)
+	}
+	if sync.Metrics != async.Metrics {
+		t.Error("async metrics snapshot diverges from sync")
+	}
+	if sync.Locked != async.Locked || sync.PendingLeft != async.PendingLeft ||
+		sync.AttestationsSent != async.AttestationsSent ||
+		sync.AttestationsDelivered != async.AttestationsDelivered ||
+		sync.DeviceFramesDelivered != async.DeviceFramesDelivered {
+		t.Errorf("scalar results diverge:\nsync:  %+v\nasync: %+v", sync, async)
+	}
+}
+
+// compareToReference checks a durable arm's decision-bearing surfaces
+// against the plain (unmanaged) reference run. Metrics are excluded: the
+// managed proxy observes into its own registry, so the shared snapshot
+// legitimately differs between managed and unmanaged runs.
+func compareToReference(t *testing.T, arm string, ref, got *Result) {
+	t.Helper()
+	if ref.DecisionTrace() != got.DecisionTrace() {
+		t.Errorf("%s: decision stream diverges from reference:\n--- reference ---\n%s\n--- %s ---\n%s",
+			arm, ref.DecisionTrace(), arm, got.DecisionTrace())
+	}
+	if ref.LogTrace() != got.LogTrace() {
+		t.Errorf("%s: audit log diverges from reference", arm)
+	}
+	if !reflect.DeepEqual(ref.Stats, got.Stats) {
+		t.Errorf("%s: stats diverge:\nreference: %+v\n%s: %+v", arm, ref.Stats, arm, got.Stats)
+	}
+	if ref.Locked != got.Locked {
+		t.Errorf("%s: lockout state %v, reference %v", arm, got.Locked, ref.Locked)
+	}
+	if ref.PendingLeft != got.PendingLeft {
+		t.Errorf("%s: pending depth %d, reference %d", arm, got.PendingLeft, ref.PendingLeft)
+	}
+	if ref.AttestationsSent != got.AttestationsSent || ref.AttestationsDelivered != got.AttestationsDelivered {
+		t.Errorf("%s: courier accounting diverges: sent %d/%d delivered %d/%d", arm,
+			got.AttestationsSent, ref.AttestationsSent, got.AttestationsDelivered, ref.AttestationsDelivered)
+	}
+	if ref.DeviceFramesDelivered != got.DeviceFramesDelivered {
+		t.Errorf("%s: device frames %d, reference %d", arm, got.DeviceFramesDelivered, ref.DeviceFramesDelivered)
+	}
+}
+
+// TestRestartUnderLoad is the satellite oracle: a durably-managed gateway
+// killed and reopened mid-scenario — twice, with couriers, faults, and a
+// partition live in the fabric — must be indistinguishable from one that
+// never died. Three arms per engine: the plain reference run, a durable arm
+// with no restart, and a durable arm restarted at 30 s and 60 s after
+// bootstrap. The restarted arm's decisions/log/stats must equal the plain
+// reference, and its final encoded state must be byte-identical to the
+// uninterrupted durable arm's.
+func TestRestartUnderLoad(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		async bool
+	}{{"sharded", false}, {"async", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := crashScenario()
+			s.Async = tc.async
+			ref, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restartAt := []time.Duration{30 * time.Second, 60 * time.Second}
+
+			uninterrupted, repA, err := RunDurable(s, t.TempDir(), nil, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repA.Restarts != 0 || repA.Replayed != 0 {
+				t.Fatalf("uninterrupted arm reports restarts=%d replayed=%d", repA.Restarts, repA.Replayed)
+			}
+			restarted, repB, err := RunDurable(s, t.TempDir(), restartAt, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repB.Restarts != len(restartAt) {
+				t.Fatalf("completed %d restarts, want %d", repB.Restarts, len(restartAt))
+			}
+			if repB.Replayed == 0 {
+				t.Fatal("restarts replayed no WAL operations; recovery was vacuous")
+			}
+			if repB.Checkpoints == 0 {
+				t.Fatal("no periodic checkpoints taken; recovery never composed snapshot+suffix")
+			}
+
+			compareToReference(t, "uninterrupted-durable", ref, uninterrupted)
+			compareToReference(t, "restarted-durable", ref, restarted)
+			// The recovered proxy's full image — devices, audit log, stats,
+			// pending queue, replay guard, obs registry — must match the
+			// never-killed managed twin byte for byte.
+			if !bytes.Equal(repA.State, repB.State) {
+				t.Errorf("restarted state image (%d bytes) != uninterrupted state image (%d bytes)",
+					len(repB.State), len(repA.State))
+			}
+			if uninterrupted.Metrics != restarted.Metrics {
+				t.Error("shared fabric metrics diverge between durable arms")
+			}
+			// The scenario still exercised its degraded-mode content across
+			// the restarts.
+			if !restarted.HasReason(core.ReasonLateAttest) && !restarted.HasReason(core.ReasonOutageExcused) &&
+				!restarted.HasReason(core.ReasonPendingHold) {
+				t.Errorf("restarted run shows no degraded-mode reasons; scenario content lost")
+			}
+		})
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"fiat/internal/features"
+	"fiat/internal/ml"
+	"fiat/internal/obs"
+)
+
+// asyncPipeline is the ring-buffer-fed engine behind Config.Async: one
+// persistent worker goroutine per shard, each fed through a fixed-capacity
+// SPSC ring, draining packets into a shared per-batch outcome arena. Batched
+// classifier inference runs through ml.CompiledModel.InferBatch with
+// shard-owned scratch; audit/event records accumulate in arena-reused
+// buffers recycled per batch. In steady state a packet traverses intercept →
+// verdict with zero heap allocations (TestPipelineSteadyStateZeroAllocs).
+//
+// Determinism: outcomes land in arena slots indexed by batch position, so
+// the merge — decisions out, audit entries appended, pending holds pushed,
+// stat deltas summed — replays the sequential order exactly no matter how
+// the workers interleaved. Within a shard, a device whose event decision is
+// deferred into an InferBatch round blocks its own later packets (they queue
+// and replay after the round, in order) but never other devices'; devices on
+// different shards share no mutable pipeline state. The three-way
+// differential (async_test.go) holds this byte-identical to the sequential
+// and sharded engines.
+type asyncPipeline struct {
+	p *Proxy
+	// mu serializes whole batches: concurrent ProcessBatch callers take
+	// turns, because the outcome arena and the rings are single-producer.
+	mu      sync.Mutex
+	workers []*asyncWorker
+	wg      sync.WaitGroup
+	out     []outcome // per-batch outcome arena, slot i = batch index i
+	stop    chan struct{}
+	once    sync.Once
+}
+
+func newAsyncPipeline(p *Proxy) *asyncPipeline {
+	a := &asyncPipeline{p: p, stop: make(chan struct{})}
+	a.workers = make([]*asyncWorker, len(p.shards))
+	for i, sh := range p.shards {
+		w := &asyncWorker{
+			p:    p,
+			a:    a,
+			sh:   sh,
+			ring: newPacketRing(p.cfg.AsyncRing),
+			wake: make(chan struct{}, 1),
+		}
+		// The worker's tracer view reads the producer's once-per-batch
+		// timestamp instead of the live clock: per-packet stage accounting
+		// then costs no clock reads, which is most of the sync engines'
+		// per-packet overhead under a real clock. Dwells become 0 — the
+		// same value every engine observes under a virtual clock, so the
+		// three-way snapshot oracle is unaffected.
+		w.tracer = p.metrics.tracer.WithNow(w.batchNow)
+		a.workers[i] = w
+		go w.loop()
+	}
+	return a
+}
+
+// close stops the workers after any in-flight batch completes. ProcessBatch
+// must not be called after close.
+func (a *asyncPipeline) close() {
+	a.once.Do(func() { close(a.stop) })
+}
+
+// run executes one batch on the pipeline, writing decisions into dst
+// (len(dst) == len(batch)). The producer wakes every worker, streams the
+// packets into the shard rings in batch order, terminates each ring with a
+// marker, and waits; a full ring backpressures the producer, which yields
+// until the worker drains a slot. Nothing here allocates once the arenas
+// have warmed to the workload's batch size.
+func (a *asyncPipeline) run(batch []PacketIn, dst []Decision, now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := a.p
+	n := len(batch)
+	if cap(a.out) < n {
+		a.out = make([]outcome, n)
+	}
+	out := a.out[:n]
+
+	a.wg.Add(len(a.workers))
+	for _, w := range a.workers {
+		w.now = now
+		w.out = out
+		w.wake <- struct{}{}
+	}
+	for i := range batch {
+		w := a.workers[p.shardIndex(batch[i].Device)]
+		s := ringSlot{idx: int32(i), pk: batch[i]}
+		for !w.ring.push(s) {
+			runtime.Gosched()
+		}
+	}
+	marker := ringSlot{idx: ringMarker}
+	for _, w := range a.workers {
+		for !w.ring.push(marker) {
+			runtime.Gosched()
+		}
+	}
+	a.wg.Wait()
+
+	// Merge in batch order: each arena slot holds at most one decision, one
+	// audit entry, and one pending hold, so walking the slots reproduces the
+	// sequential commit order bit-for-bit.
+	var delta statDelta
+	for i := range out {
+		o := &out[i]
+		dst[i] = o.d
+		if o.hasPending {
+			p.pending.push(o.pending)
+		}
+		delta.add(o.delta)
+	}
+	p.mu.Lock()
+	for i := range out {
+		if out[i].hasEntry {
+			p.appendEntryLocked(out[i].entry)
+		}
+	}
+	p.applyDeltaLocked(delta)
+	p.mu.Unlock()
+}
+
+// asyncWorker drains one shard's ring. All fields below the ring are either
+// producer-published batch context (now, out — written before the wake send,
+// read only after receiving it) or worker-owned arenas reused across
+// batches.
+type asyncWorker struct {
+	p      *Proxy
+	a      *asyncPipeline
+	sh     *shard
+	ring   *packetRing
+	wake   chan struct{}
+	tracer *obs.Tracer // coarse-time view of the proxy tracer (see batchNow)
+
+	now time.Time
+	out []outcome
+
+	rows    []asyncRow  // deferred event decisions awaiting an InferBatch round
+	rowBufs [][]float64 // feature-row arena backing rows[i].x
+	replay  []asyncPkt  // packets queued behind a deferred decision
+	replay2 []asyncPkt  // spare queue for round swapping
+
+	batchX   [][]float64 // InferBatch input rows for one model group
+	batchIdx []int       // rows[] index per batchX row
+	batchRes []int       // InferBatch output
+}
+
+// asyncRow is one deferred event decision: the packet hit its decision point
+// wearing a compiled classifier, so the features were frozen into x (exactly
+// what the inline path would have extracted at this instant), the trace span
+// parked, and the verdict deferred to the next batched-inference round.
+type asyncRow struct {
+	ds    *deviceState
+	cec   *compiledEventClassifier
+	o     *outcome
+	sp    obs.Span
+	x     []float64
+	evLen int
+	key   ml.CompiledModel // grouping key: the shared compiled template
+	res   int
+	done  bool
+}
+
+type asyncPkt struct {
+	o  *outcome
+	pk PacketIn
+}
+
+func (w *asyncWorker) loop() {
+	for {
+		select {
+		case <-w.wake:
+			w.runBatch()
+		case <-w.a.stop:
+			return
+		}
+	}
+}
+
+// runBatch drains the ring until the batch marker, then resolves the
+// deferred decisions. The shard mutex is held for the whole batch, so
+// concurrent Process/FlushEvent/AddDevice callers serialize at batch
+// granularity and the ring never deadlocks (the producer takes no shard
+// locks).
+func (w *asyncWorker) runBatch() {
+	w.rows = w.rows[:0]
+	w.replay = w.replay[:0]
+	sh := w.sh
+	sh.mu.Lock()
+	var s ringSlot
+	for {
+		for !w.ring.pop(&s) {
+			runtime.Gosched()
+		}
+		if s.idx == ringMarker {
+			break
+		}
+		o := &w.out[s.idx]
+		*o = outcome{}
+		ds := sh.devices[s.pk.Device]
+		if ds != nil && ds.deferBlocked {
+			w.replay = append(w.replay, asyncPkt{o: o, pk: s.pk})
+			continue
+		}
+		w.process(ds, s.pk, o)
+	}
+	w.finishBatch()
+	sh.mu.Unlock()
+	w.a.wg.Done()
+}
+
+// batchNow is the worker's coarse time source: the timestamp the producer
+// sampled once for the whole batch. Reading it costs a field load, not a
+// clock read.
+func (w *asyncWorker) batchNow() time.Time { return w.now }
+
+// process runs one packet through the pipeline body. A deferred decision
+// leaves the span open inside the parked row; everything else closes out
+// through StageVerdict exactly like processLocked.
+func (w *asyncWorker) process(ds *deviceState, pk PacketIn, o *outcome) {
+	p := w.p
+	sp := w.tracer.Begin(obs.StageIntercept)
+	if p.processSpanned(ds, pk.Rec, pk.Peer, w.now, &sp, o, w) {
+		return
+	}
+	sp.Enter(obs.StageVerdict)
+	sp.End()
+}
+
+// deferDecision parks one event decision for the next InferBatch round. The
+// caller (processSpanned) has already entered StageClassify; the feature row
+// and event length are frozen now, so the round later computes exactly what
+// the inline path would have.
+func (w *asyncWorker) deferDecision(ds *deviceState, cec *compiledEventClassifier, o *outcome, sp *obs.Span) {
+	ev := ds.grouper.Current()
+	i := len(w.rows)
+	var buf []float64
+	if i < len(w.rowBufs) {
+		buf = w.rowBufs[i]
+	}
+	buf = features.ExtractInto(ev, buf)
+	if i < len(w.rowBufs) {
+		w.rowBufs[i] = buf
+	} else {
+		w.rowBufs = append(w.rowBufs, buf)
+	}
+	key := cec.template
+	if key == nil {
+		key = cec.model
+	}
+	w.rows = append(w.rows, asyncRow{
+		ds: ds, cec: cec, o: o, sp: *sp, x: buf, evLen: ev.Len(), key: key,
+	})
+}
+
+// finishBatch resolves deferred decisions in rounds: run the pending rows
+// through batched inference, then replay the packets that queued behind
+// them (which may defer new decisions), until both queues drain. Each round
+// unblocks every deferred device, so every round makes progress.
+func (w *asyncWorker) finishBatch() {
+	for len(w.rows) > 0 || len(w.replay) > 0 {
+		if len(w.rows) > 0 {
+			w.inferRows()
+		}
+		if len(w.replay) == 0 {
+			return
+		}
+		q := w.replay
+		w.replay = w.replay2[:0]
+		for _, ap := range q {
+			ds := w.sh.devices[ap.pk.Device]
+			if ds != nil && ds.deferBlocked {
+				w.replay = append(w.replay, ap)
+				continue
+			}
+			w.process(ds, ap.pk, ap.o)
+		}
+		w.replay2 = q[:0]
+	}
+}
+
+// inferRows groups the parked rows by compiled template and runs one
+// InferBatch per group, then applies the decisions in row (= packet) order.
+// Execution uses the first row's device clone: devices sharing a template
+// wear identical clones, and a clone is owned by this shard, so its
+// inference scratch is race-free here — the template itself may be shared
+// with other shards' workers and is only a grouping key, never run.
+func (w *asyncWorker) inferRows() {
+	p := w.p
+	rows := w.rows
+	for i := range rows {
+		rows[i].done = false
+	}
+	for i := range rows {
+		if rows[i].done {
+			continue
+		}
+		key := rows[i].key
+		w.batchX = w.batchX[:0]
+		w.batchIdx = w.batchIdx[:0]
+		for j := i; j < len(rows); j++ {
+			if rows[j].key == key {
+				w.batchX = append(w.batchX, rows[j].x)
+				w.batchIdx = append(w.batchIdx, j)
+			}
+		}
+		if cap(w.batchRes) < len(w.batchX) {
+			w.batchRes = make([]int, len(w.batchX))
+		}
+		w.batchRes = rows[i].cec.model.InferBatch(w.batchX, w.batchRes[:0])
+		// One inference-latency observation per decided row, mirroring the
+		// inline path's one observation per decision. The worker observes
+		// the coarse-time constant 0 — the value every engine observes under
+		// a virtual clock — rather than paying clock reads per row.
+		for k, j := range w.batchIdx {
+			rows[j].res = w.batchRes[k]
+			rows[j].done = true
+			p.metrics.inferNanos.Observe(0)
+		}
+	}
+	for i := range rows {
+		w.applyRow(&rows[i])
+	}
+	w.rows = rows[:0]
+}
+
+// applyRow finishes one deferred packet: the humanness gate and bookkeeping
+// through decideManual (identical to the inline decision point), then the
+// verdict stage on the parked span.
+func (w *asyncWorker) applyRow(r *asyncRow) {
+	ds := r.ds
+	d := w.p.decideManual(ds, w.now, r.o, &r.sp, r.res == 2, r.evLen)
+	ds.evDecision = d
+	ds.evDecided = true
+	ds.deferBlocked = false
+	r.o.d = d
+	r.sp.Enter(obs.StageVerdict)
+	r.sp.End()
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"fiat/internal/keystore"
+	"fiat/internal/simclock"
+)
+
+// asyncDiffProxy builds a differential arm: the shared device zoo with half
+// the devices on packet-size rule classifiers (inline even on the async
+// pipeline) and half wearing the trained compiled model (deferred into
+// InferBatch rounds on the async pipeline), so a trace exercises both worker
+// paths plus the replay queue behind deferred decisions.
+func asyncDiffProxy(t *testing.T, clock *simclock.VirtualClock, ks *keystore.Store, trained *MLClassifier, cfg Config) *Proxy {
+	t.Helper()
+	validator, _, err := sharedValidator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProxy(clock, ks, validator, cfg)
+	for i, d := range diffDevices {
+		dc := DeviceConfig{Name: d.name, GraceN: d.graceN}
+		if i%2 == 0 {
+			dc.Classifier = RuleClassifier{NotificationSize: d.size}
+		} else {
+			dc.Classifier = trained
+		}
+		if err := p.AddDevice(dc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.DAG().Allow("Alexa", "light"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAsyncPipelineMatchesSequentialAndSharded is the three-way engine
+// differential the async pipeline must pass to be admissible: replaying
+// seeded multi-device traces through the sequential engine (1 shard), the
+// synchronous sharded engine, and the ring-fed async pipeline must produce
+// byte-identical per-packet decisions, flush decisions, audit logs, stats,
+// lockout states, obs snapshots, and serialized proxy state.
+func TestAsyncPipelineMatchesSequentialAndSharded(t *testing.T) {
+	for _, seed := range []int64{7, 31, 71} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			clock := simclock.NewVirtual()
+			ks, err := keystore.New(rand.New(rand.NewSource(900 + seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			phoneKS, err := keystore.New(rand.New(rand.NewSource(910 + seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			offer, err := keystore.NewPairingOffer(ks, rand.New(rand.NewSource(920+seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := keystore.AcceptPairing(phoneKS, offer); err != nil {
+				t.Fatal(err)
+			}
+			_, gen, err := sharedValidator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			app := NewClientApp(clock, phoneKS)
+			for _, d := range diffDevices {
+				app.BindApp("app."+d.name, d.name)
+			}
+			trained := trainDiffClassifier(t, seed)
+
+			base := Config{Bootstrap: 5 * time.Minute}
+			seqCfg, shardCfg, asyncCfg := base, base, base
+			seqCfg.Shards = 1
+			shardCfg.Shards = 4
+			asyncCfg.Shards = 4
+			asyncCfg.Async = true
+			arms := map[string]*Proxy{
+				"seq":     asyncDiffProxy(t, clock, ks, trained, seqCfg),
+				"sharded": asyncDiffProxy(t, clock, ks, trained, shardCfg),
+				"async":   asyncDiffProxy(t, clock, ks, trained, asyncCfg),
+			}
+			defer arms["async"].Close()
+			if arms["async"].async == nil {
+				t.Fatal("async arm did not build the pipeline")
+			}
+
+			// The arms must actually diverge in classifier engine per device:
+			// even-index devices inline rules, odd-index devices wear the
+			// compiled model the async pipeline defers.
+			for i, d := range diffDevices {
+				ds := arms["async"].shardFor(d.name).devices[d.name]
+				_, compiled := ds.classifier.(*compiledEventClassifier)
+				if wantCompiled := i%2 == 1; compiled != wantCompiled {
+					t.Fatalf("%s: compiled classifier = %v, want %v", d.name, compiled, wantCompiled)
+				}
+			}
+
+			decisions := map[string][]Decision{}
+			for si, s := range buildSeededTrace(clock.Now(), rand.New(rand.NewSource(seed))) {
+				clock.Advance(s.Advance)
+				for _, dev := range s.Attest {
+					payload, err := app.Attest("app."+dev, gen.Human())
+					if err != nil {
+						t.Fatal(err)
+					}
+					for name, p := range arms {
+						if _, err := p.HandleAttestation(payload); err != nil {
+							t.Fatalf("step %d: %s attestation: %v", si, name, err)
+						}
+					}
+				}
+				for name, p := range arms {
+					decisions[name] = append(decisions[name], p.ProcessBatch(s.Batch)...)
+				}
+				for _, dev := range s.Flush {
+					want := arms["seq"].FlushEvent(dev)
+					for _, name := range []string{"sharded", "async"} {
+						if got := arms[name].FlushEvent(dev); !reflect.DeepEqual(got, want) {
+							t.Fatalf("step %d: FlushEvent(%s): %s %+v, seq %+v", si, dev, name, got, want)
+						}
+					}
+				}
+			}
+
+			want := decisions["seq"]
+			for _, name := range []string{"sharded", "async"} {
+				got := decisions[name]
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d decisions, seq %d", name, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: decision %d = %+v, seq %+v", name, i, got[i], want[i])
+					}
+				}
+			}
+
+			wantStats := arms["seq"].StatsSnapshot()
+			if wantStats.EventsManual+wantStats.EventsNonManual == 0 || wantStats.RuleHits == 0 || wantStats.Dropped == 0 {
+				t.Fatalf("trace misses pipeline branches: %+v", wantStats)
+			}
+			wantLog := arms["seq"].Log()
+			wantSnap := arms["seq"].Metrics().Snapshot()
+			wantState := arms["seq"].EncodeState()
+			for _, name := range []string{"sharded", "async"} {
+				p := arms[name]
+				if got := p.StatsSnapshot(); got != wantStats {
+					t.Fatalf("%s: stats %+v, seq %+v", name, got, wantStats)
+				}
+				if got := p.Log(); !reflect.DeepEqual(got, wantLog) {
+					t.Fatalf("%s: audit log diverges (%d entries, seq %d)", name, len(got), len(wantLog))
+				}
+				for _, d := range diffDevices {
+					if got, want := p.Locked(d.name), arms["seq"].Locked(d.name); got != want {
+						t.Fatalf("%s: Locked(%s)=%v, seq %v", name, d.name, got, want)
+					}
+				}
+				if got := p.Metrics().Snapshot(); got != wantSnap {
+					t.Fatalf("%s: obs snapshot diverges:\n%s", name, firstDiffLine(got, wantSnap))
+				}
+				if got := p.EncodeState(); !reflect.DeepEqual(got, wantState) {
+					t.Fatalf("%s: serialized state diverges (%d bytes, seq %d)", name, len(got), len(wantState))
+				}
+			}
+		})
+	}
+}
+
+// TestAsyncTinyRingBackpressure reruns the differential with the smallest
+// legal ring (capacity 2): every multi-packet batch wraps the ring many
+// times over and stalls the producer against a full ring, so the
+// backpressure spin, the wraparound indexing, and the in-band batch marker
+// all sit on the hot path. Decisions, logs, and stats must still match the
+// synchronous sharded engine exactly.
+func TestAsyncTinyRingBackpressure(t *testing.T) {
+	const seed = 31
+	clock := simclock.NewVirtual()
+	ks, err := keystore.New(rand.New(rand.NewSource(930)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained := trainDiffClassifier(t, seed)
+	base := Config{Bootstrap: 5 * time.Minute, Shards: 4}
+	tiny := base
+	tiny.Async = true
+	tiny.AsyncRing = 2
+	sync := asyncDiffProxy(t, clock, ks, trained, base)
+	async := asyncDiffProxy(t, clock, ks, trained, tiny)
+	defer async.Close()
+	for _, w := range async.async.workers {
+		if got := len(w.ring.slots); got != 2 {
+			t.Fatalf("ring capacity %d, want 2", got)
+		}
+	}
+
+	for si, s := range buildSeededTrace(clock.Now(), rand.New(rand.NewSource(seed))) {
+		clock.Advance(s.Advance)
+		wantD := sync.ProcessBatch(s.Batch)
+		gotD := async.ProcessBatch(s.Batch)
+		if !reflect.DeepEqual(gotD, wantD) {
+			t.Fatalf("step %d: batch decisions diverge", si)
+		}
+		for _, dev := range s.Flush {
+			want := sync.FlushEvent(dev)
+			if got := async.FlushEvent(dev); !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: FlushEvent(%s): async %+v, sync %+v", si, dev, got, want)
+			}
+		}
+	}
+	if got, want := async.StatsSnapshot(), sync.StatsSnapshot(); got != want {
+		t.Fatalf("stats diverge:\nasync %+v\nsync  %+v", got, want)
+	}
+	if got, want := async.Log(), sync.Log(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("audit logs diverge (async %d entries, sync %d)", len(got), len(want))
+	}
+	if want := sync.StatsSnapshot(); want.Packets < 50 {
+		t.Fatalf("trace too small to wrap a 2-slot ring meaningfully: %+v", want)
+	}
+}

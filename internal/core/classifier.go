@@ -105,8 +105,9 @@ func (c *MLClassifier) CompiledEventClassifier() EventClassifier {
 		return nil
 	}
 	return &compiledEventClassifier{
-		model: c.compiled.Clone(),
-		buf:   make([]float64, features.Dim),
+		model:    c.compiled.Clone(),
+		template: c.compiled,
+		buf:      make([]float64, features.Dim),
 	}
 }
 
@@ -116,7 +117,12 @@ func (c *MLClassifier) CompiledEventClassifier() EventClassifier {
 // allocation-free under the shard mutex.
 type compiledEventClassifier struct {
 	model ml.CompiledModel
-	buf   []float64
+	// template is the shared compiled model this clone came from. The async
+	// pipeline groups deferred decisions by template identity so devices
+	// wearing clones of the same model share one InferBatch call; the
+	// template's scratch is never used (only a clone's).
+	template ml.CompiledModel
+	buf      []float64
 }
 
 // IsManual implements EventClassifier on the compiled path.

@@ -23,6 +23,14 @@ type indexedEntry struct {
 	entry LogEntry
 }
 
+// indexedPending tags a held pending decision with its packet's batch index
+// so the pending queue fills in the sequential push order (its entry order
+// drives overflow eviction and is serialized in EncodeState).
+type indexedPending struct {
+	idx     int
+	pending pendingDecision
+}
+
 // ProcessBatch runs a batch of packets through the pipeline, fanning out to
 // one worker per shard with work and merging the results in input order.
 //
@@ -32,33 +40,54 @@ type indexedEntry struct {
 // while the clock does not advance during the batch. The timestamp is
 // sampled once at batch entry; packets of one device are processed in input
 // order by the one shard that owns the device, and devices on different
-// shards share no mutable pipeline state. The differential test in
-// engine_test.go checks this decision-for-decision across shard counts.
+// shards share no mutable pipeline state. The differential tests in
+// engine_test.go and async_test.go check this decision-for-decision across
+// shard counts and across the synchronous and async engines.
 //
 // When ExtraVerdictDelay is configured the §6 delay experiment's serial
 // sleep semantics matter more than throughput, so the batch degrades to the
 // sequential path.
 func (p *Proxy) ProcessBatch(batch []PacketIn) []Decision {
+	return p.ProcessBatchInto(batch, nil)
+}
+
+// ProcessBatchInto is ProcessBatch writing decisions into dst (grown as
+// needed, reused when capacity allows) so a steady-state caller performs no
+// per-batch allocation. It returns dst resized to len(batch).
+func (p *Proxy) ProcessBatchInto(batch []PacketIn, dst []Decision) []Decision {
 	if len(batch) == 0 {
-		return nil
+		return dst[:0]
+	}
+	if cap(dst) < len(batch) {
+		dst = make([]Decision, len(batch))
+	} else {
+		dst = dst[:len(batch)]
 	}
 	start := p.clock.Now()
-	out := p.processBatchDispatch(batch, start)
+	p.processBatchDispatch(batch, dst, start)
 	// Batch-level observability: size and wall latency (0 under a virtual
 	// clock, so snapshots stay deterministic), plus the pending-queue depth
-	// the batch left behind. Observed on both the sharded and sequential
-	// paths so the two stay snapshot-comparable.
+	// the batch left behind. Observed on every dispatch path so they all
+	// stay snapshot-comparable.
 	p.metrics.batchSize.Observe(int64(len(batch)))
 	p.metrics.batchNanos.Observe(p.clock.Now().Sub(start).Nanoseconds())
 	p.metrics.pendingDepth.Set(int64(p.pending.depth()))
-	return out
+	return dst
 }
 
-func (p *Proxy) processBatchDispatch(batch []PacketIn, now time.Time) []Decision {
-	if p.cfg.ExtraVerdictDelay > 0 || len(p.shards) == 1 {
-		return p.processBatchSequential(batch)
+func (p *Proxy) processBatchDispatch(batch []PacketIn, dst []Decision, now time.Time) {
+	if p.cfg.ExtraVerdictDelay > 0 {
+		p.processBatchSequential(batch, dst)
+		return
 	}
-	out := make([]Decision, len(batch))
+	if p.async != nil {
+		p.async.run(batch, dst, now)
+		return
+	}
+	if len(p.shards) == 1 {
+		p.processBatchSequential(batch, dst)
+		return
+	}
 
 	// Partition packet indices by owning shard, preserving input order
 	// within each shard.
@@ -69,8 +98,9 @@ func (p *Proxy) processBatchDispatch(batch []PacketIn, now time.Time) []Decision
 	}
 
 	type shardResult struct {
-		entries []indexedEntry
-		delta   statDelta
+		entries  []indexedEntry
+		pendings []indexedPending
+		delta    statDelta
 	}
 	results := make([]shardResult, len(p.shards))
 
@@ -81,9 +111,12 @@ func (p *Proxy) processBatchDispatch(batch []PacketIn, now time.Time) []Decision
 		res := &results[si]
 		for _, i := range idxs {
 			o := p.processLocked(sh, batch[i].Device, batch[i].Rec, batch[i].Peer, now)
-			out[i] = o.d
-			if o.entry != nil {
-				res.entries = append(res.entries, indexedEntry{idx: i, entry: *o.entry})
+			dst[i] = o.d
+			if o.hasEntry {
+				res.entries = append(res.entries, indexedEntry{idx: i, entry: o.entry})
+			}
+			if o.hasPending {
+				res.pendings = append(res.pendings, indexedPending{idx: i, pending: o.pending})
 			}
 			res.delta.add(o.delta)
 		}
@@ -116,33 +149,36 @@ func (p *Proxy) processBatchDispatch(batch []PacketIn, now time.Time) []Decision
 		wg.Wait()
 	}
 
-	// Merge: audit entries sorted back into packet order (each packet
-	// contributes at most one entry, so this reproduces the sequential
-	// log bit-for-bit), stat deltas summed.
-	var merged []indexedEntry
+	// Merge: audit entries and pending holds sorted back into packet order
+	// (each packet contributes at most one of each, so this reproduces the
+	// sequential append/push order bit-for-bit), stat deltas summed.
+	var entries []indexedEntry
+	var pendings []indexedPending
 	var delta statDelta
 	for si := range results {
-		merged = append(merged, results[si].entries...)
+		entries = append(entries, results[si].entries...)
+		pendings = append(pendings, results[si].pendings...)
 		delta.add(results[si].delta)
 	}
-	sort.Slice(merged, func(a, b int) bool { return merged[a].idx < merged[b].idx })
+	sort.Slice(entries, func(a, b int) bool { return entries[a].idx < entries[b].idx })
+	sort.Slice(pendings, func(a, b int) bool { return pendings[a].idx < pendings[b].idx })
+	for _, ip := range pendings {
+		p.pending.push(ip.pending)
+	}
 	p.mu.Lock()
-	for _, ie := range merged {
+	for _, ie := range entries {
 		p.appendEntryLocked(ie.entry)
 	}
 	p.applyDeltaLocked(delta)
 	p.mu.Unlock()
-	return out
 }
 
 // processBatchSequential is the shards=1 / delay-experiment fallback: the
 // plain sequential path with the batch's single timestamp.
-func (p *Proxy) processBatchSequential(batch []PacketIn) []Decision {
-	out := make([]Decision, len(batch))
+func (p *Proxy) processBatchSequential(batch []PacketIn, dst []Decision) {
 	for i, pk := range batch {
-		out[i] = p.Process(pk.Device, pk.Rec, pk.Peer)
+		dst[i] = p.Process(pk.Device, pk.Rec, pk.Peer)
 	}
-	return out
 }
 
 // FrameGate adapts ProcessBatch to a frame-level batch inspector — the shape

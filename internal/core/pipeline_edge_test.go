@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"fiat/internal/events"
+	"fiat/internal/flows"
+	"fiat/internal/keystore"
+	"fiat/internal/ml"
+	"fiat/internal/simclock"
+)
+
+// TestAsyncPendingHoldMergesThroughArena: a degraded-mode hold produced
+// inside an async shard worker must be committed through the outcome arena's
+// merge (the sync engines commit holds on their own paths), and a later
+// attestation must admit only the attested device's holds, keeping the
+// other device's in the queue.
+func TestAsyncPendingHoldMergesThroughArena(t *testing.T) {
+	r := newRig(t, Config{PendingWindow: 20 * time.Second, Shards: 2, Async: true})
+	defer r.proxy.Close()
+	for _, dev := range []string{"plug", "plug2"} {
+		if err := r.proxy.AddDevice(DeviceConfig{Name: dev, Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1}); err != nil {
+			t.Fatal(err)
+		}
+		r.feedHeartbeats(t, dev, 25, time.Minute)
+	}
+
+	if out := r.proxy.ProcessBatchInto(nil, nil); len(out) != 0 {
+		t.Fatalf("empty batch produced %d decisions", len(out))
+	}
+
+	batch := []PacketIn{
+		{Device: "plug", Rec: mkRec(r.clock.Now(), 235, flows.CategoryManual)},
+		{Device: "plug2", Rec: mkRec(r.clock.Now(), 235, flows.CategoryManual)},
+	}
+	ds := r.proxy.ProcessBatchInto(batch, nil)
+	for i, d := range ds {
+		if d.Verdict != Drop || d.Reason != ReasonPendingHold {
+			t.Fatalf("unattested manual batch packet %d = %+v, want held drop", i, d)
+		}
+	}
+	if n := r.proxy.PendingDepth(); n != 2 {
+		t.Fatalf("PendingDepth = %d, want 2", n)
+	}
+
+	// An attestation for plug admits plug's hold and must keep plug2's.
+	r.clock.Advance(5 * time.Second)
+	payload, err := r.app.Attest("com.plug.app", r.gen.Human())
+	if err != nil {
+		t.Fatal(err)
+	}
+	human, err := r.proxy.HandleAttestation(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !human {
+		t.Skip("humanness validator rejected this sampled window (rare calibrated miss)")
+	}
+	if n := r.proxy.PendingDepth(); n != 1 {
+		t.Fatalf("PendingDepth after admission = %d, want plug2's hold kept (1)", n)
+	}
+}
+
+// TestAsyncDeferredReplayRounds drives the worker's multi-round drain: a
+// device with several time-gapped events in one batch defers repeatedly, so
+// packets queued behind it are replayed across rounds (and re-queued while
+// the device is still blocked), while devices wearing two different compiled
+// templates interleave their rows across InferBatch groups. A defensive
+// second pass covers the template-less grouping key.
+func TestAsyncDeferredReplayRounds(t *testing.T) {
+	r := newRig(t, Config{Shards: 1, Async: true, AsyncRing: 2})
+	defer r.proxy.Close()
+	t1 := trainDiffClassifier(t, 5)
+	t2 := trainDiffClassifier(t, 6)
+	for dev, clf := range map[string]*MLClassifier{"camA": t1, "camB": t2, "camC": t1} {
+		if err := r.proxy.AddDevice(DeviceConfig{Name: dev, Classifier: clf, GraceN: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Step past bootstrap so decision points fire.
+	r.feedHeartbeats(t, "camA", 25, time.Minute)
+
+	now := r.clock.Now()
+	telemetry := func(dev string, at time.Time) PacketIn {
+		return PacketIn{Device: dev, Rec: flows.Record{
+			Time: at, Size: 230, Proto: "tcp", Dir: flows.DirInbound,
+			RemoteIP: cloudIP, RemoteDomain: "cloud.example",
+			LocalPort: 41000, RemotePort: 8883, TCPFlags: 0x10, TLSVersion: 0x0303,
+		}}
+	}
+	batch := []PacketIn{
+		telemetry("camA", now),                  // round 1 row, template t1
+		telemetry("camB", now),                  // round 1 row, template t2
+		telemetry("camC", now),                  // round 1 row, t1 again — grouped with camA
+		telemetry("camA", now.Add(time.Hour)),   // queued; defers again in round 2
+		telemetry("camA", now.Add(2*time.Hour)), // queued; re-queued behind round 2, decided in round 3
+	}
+	ds := r.proxy.ProcessBatchInto(batch, nil)
+	for i, d := range ds {
+		if d.Verdict != Allow {
+			t.Fatalf("telemetry packet %d = %+v, want allow", i, d)
+		}
+	}
+	st := r.proxy.StatsSnapshot()
+	if st.EventsNonManual != 5 {
+		t.Fatalf("EventsNonManual = %d, want 5 (one per deferred decision)", st.EventsNonManual)
+	}
+
+	// Defensive path: a classifier clone with no template pointer falls back
+	// to grouping by its own model.
+	sh := r.proxy.shardFor("camA")
+	sh.mu.Lock()
+	sh.devices["camA"].classifier.(*compiledEventClassifier).template = nil
+	sh.mu.Unlock()
+	ds = r.proxy.ProcessBatchInto([]PacketIn{telemetry("camA", now.Add(3*time.Hour))}, ds)
+	if ds[0].Verdict != Allow {
+		t.Fatalf("template-less deferred decision = %+v, want allow", ds[0])
+	}
+}
+
+// sleepingClock makes a virtual clock satisfy simclock.Sleeper by advancing
+// through the requested duration, standing in for a real clock under the §6
+// verdict-delay experiment.
+type sleepingClock struct{ *simclock.VirtualClock }
+
+func (c sleepingClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// TestBatchExtraVerdictDelayDispatch: ExtraVerdictDelay forces the batched
+// engine onto the sequential path regardless of shard count, and the
+// single-packet path sleeps through the injected delay when the clock can.
+func TestBatchExtraVerdictDelayDispatch(t *testing.T) {
+	clock := simclock.NewVirtual()
+	ks, err := keystore.New(rand.New(rand.NewSource(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	validator, _, err := sharedValidator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProxy(sleepingClock{clock}, ks, validator, Config{Shards: 2, ExtraVerdictDelay: 3 * time.Millisecond})
+	defer p.Close()
+	if err := p.AddDevice(DeviceConfig{Name: "plug", Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ds := p.ProcessBatchInto([]PacketIn{{Device: "plug", Rec: mkRec(clock.Now(), 64, flows.CategoryAutomated)}}, nil)
+	if ds[0].Verdict != Allow {
+		t.Fatalf("bootstrap batch packet = %+v, want allow", ds[0])
+	}
+	before := clock.Now()
+	p.Process("plug", mkRec(clock.Now(), 64, flows.CategoryAutomated), "")
+	if got := clock.Now().Sub(before); got < 3*time.Millisecond {
+		t.Fatalf("verdict delay advanced the clock %v, want >= 3ms", got)
+	}
+}
+
+// failingClassifier is a stub estimator whose training always fails.
+type failingClassifier struct{}
+
+func (failingClassifier) Fit([][]float64, []int) error { return fmt.Errorf("stub: fit failed") }
+func (failingClassifier) Predict(X [][]float64) []int  { return make([]int, len(X)) }
+
+// TestProxySmallSurfaces sweeps the small accessor and error paths that no
+// scenario exercises: shard count, duplicate alias registration, unknown
+// devices, empty device names, the lazily-created audit-reason counter, DAG
+// reachability edges, the outage-history bound, and classifier training
+// failure.
+func TestProxySmallSurfaces(t *testing.T) {
+	r := newRig(t, Config{Shards: 4})
+	if got := r.proxy.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d, want 4", got)
+	}
+	if err := r.proxy.AddDevice(DeviceConfig{}); err == nil {
+		t.Fatal("nameless device accepted")
+	}
+	r.proxy.RegisterPairingAlias("phone-2")
+	r.proxy.RegisterPairingAlias("phone-2") // duplicate: must not double-register
+	if _, ok := r.proxy.Rules("ghost"); ok {
+		t.Fatal("rules reported for unknown device")
+	}
+	if d := r.proxy.FlushEvent("ghost"); d != nil {
+		t.Fatalf("FlushEvent on unknown device = %+v, want nil", d)
+	}
+
+	// An audit entry with a reason outside the pre-registered set creates
+	// its counter lazily — and only once.
+	r.proxy.metrics.noteEntry(&LogEntry{Reason: "test-odd-reason"})
+	r.proxy.metrics.noteEntry(&LogEntry{Reason: "test-odd-reason"})
+	if snap := r.proxy.Metrics().Snapshot(); !strings.Contains(snap, `reason="test-odd-reason"`) {
+		t.Fatal("lazy reason counter missing from snapshot")
+	}
+
+	// DAG: a cycle is detected through a multi-hop walk; the self-reachable
+	// short-circuit is the defensive base case of the same walk.
+	dag := r.proxy.DAG()
+	if err := dag.Allow("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.Allow("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.Allow("c", "a"); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	dag.mu.Lock()
+	if !dag.reachableLocked("a", "a") {
+		t.Fatal("self not reachable")
+	}
+	dag.mu.Unlock()
+
+	// Outage history is bounded: churn the channel past the cap.
+	for i := 0; i < 80; i++ {
+		r.proxy.AttestationChannelDown()
+		r.clock.Advance(time.Second)
+		r.proxy.AttestationChannelUp()
+		r.clock.Advance(time.Second)
+	}
+
+	// Training with a broken estimator surfaces the fit error.
+	var training []*events.Event
+	for i := 0; i < 4; i++ {
+		at := r.clock.Now().Add(time.Duration(i) * time.Minute)
+		training = append(training, events.Group([]flows.Record{
+			mkRec(at, 200+i*10, flows.CategoryAutomated),
+		}, 0)[0])
+	}
+	if _, err := TrainMLClassifier(training, func() ml.Classifier { return failingClassifier{} }); err == nil {
+		t.Fatal("failing estimator trained successfully")
+	}
+}
+
+// TestProxyRestoreTruncationSweep feeds every strict prefix of a populated
+// state image to RestoreState: each must fail closed (no prefix may decode
+// as a complete image), and none may panic. This sweeps the truncation
+// branch of every section decoder.
+func TestProxyRestoreTruncationSweep(t *testing.T) {
+	clf := trainDiffClassifier(t, 3)
+	src := buildStateRig(t, 1, clf)
+	src.populateState(t)
+	enc := src.proxy.EncodeState()
+	if len(enc) < 100 {
+		t.Fatalf("state image implausibly small: %d bytes", len(enc))
+	}
+	for l := 0; l < len(enc); l++ {
+		if err := buildStateRig(t, 1, clf).proxy.RestoreState(enc[:l]); err == nil {
+			t.Fatalf("truncated image of %d/%d bytes accepted", l, len(enc))
+		}
+	}
+}

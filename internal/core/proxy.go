@@ -110,6 +110,20 @@ type Config struct {
 	// ProcessBatch fans a batch out to one worker per shard. Shards = 1
 	// reproduces the fully serialized engine.
 	Shards int
+	// Async switches ProcessBatch onto the persistent ring-buffer pipeline:
+	// one long-lived worker goroutine per shard, fed through a fixed-capacity
+	// SPSC ring, draining packets with batched classifier inference
+	// (ml.CompiledModel.InferBatch) and arena-reused result buffers — zero
+	// heap allocations per packet in steady state. Decisions, audit log,
+	// stats, and obs snapshots are byte-identical to the synchronous paths
+	// (the three-way differential in async_test.go enforces it). Call
+	// Proxy.Close when done to stop the workers. Like Shards, Async is
+	// excluded from ConfigChecksum: a snapshot restores into either engine.
+	Async bool
+	// AsyncRing is the per-shard ring capacity (rounded up to a power of
+	// two, default 1024). A full ring backpressures the producer, which
+	// spins with runtime.Gosched until the worker drains a slot.
+	AsyncRing int
 	// PendingWindow, when positive, enables the degraded-mode attestation
 	// path: an unattested manual event is held for this long awaiting a
 	// late attestation instead of being condemned immediately (see
@@ -166,6 +180,9 @@ func (c *Config) defaults() {
 	if c.PendingMax <= 0 {
 		c.PendingMax = 64
 	}
+	if c.AsyncRing <= 0 {
+		c.AsyncRing = 1024
+	}
 }
 
 // Proxy is FIAT's server-side component. Per-device pipeline state lives in
@@ -187,6 +204,7 @@ type Proxy struct {
 	channel     *channelHealth
 	metrics     *coreMetrics
 	guard       *sensors.ReplayGuard // nil when Config.AttestWindow == 0
+	async       *asyncPipeline       // nil unless Config.Async
 
 	mu      sync.Mutex // guards aliases, log, Stats
 	aliases []string
@@ -234,7 +252,7 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 	if cfg.AttestWindow > 0 {
 		guard = sensors.NewReplayGuard(cfg.AttestWindow)
 	}
-	return &Proxy{
+	p := &Proxy{
 		clock:       clock,
 		cfg:         cfg,
 		ks:          ks,
@@ -248,6 +266,19 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 		channel:     &channelHealth{},
 		metrics:     newCoreMetrics(cfg.Obs, clock),
 		guard:       guard,
+	}
+	if cfg.Async {
+		p.async = newAsyncPipeline(p)
+	}
+	return p
+}
+
+// Close stops the async pipeline's worker goroutines, if any. It is
+// idempotent and a no-op for synchronous proxies; in-flight ProcessBatch
+// calls complete before the workers exit.
+func (p *Proxy) Close() {
+	if p.async != nil {
+		p.async.close()
 	}
 }
 
@@ -409,10 +440,10 @@ func (p *Proxy) SweepPending() int {
 // the lockout counter like ReasonNoHuman would have.
 func (p *Proxy) finalizeExpired(pd pendingDecision, now time.Time) {
 	if p.channel.downDuring(pd.decided, pd.expires) {
-		p.commit(outcome{entry: &LogEntry{
+		p.commit(outcome{entry: LogEntry{
 			Time: now, Device: pd.device, Reason: ReasonOutageExcused,
 			Verdict: Drop, Packets: pd.packets,
-		}, delta: statDelta{outageExcused: 1}})
+		}, hasEntry: true, delta: statDelta{outageExcused: 1}})
 		return
 	}
 	sh := p.shardFor(pd.device)
@@ -420,10 +451,10 @@ func (p *Proxy) finalizeExpired(pd pendingDecision, now time.Time) {
 	if ds, ok := sh.devices[pd.device]; ok {
 		p.registerDrop(ds, now)
 	}
-	p.commit(outcome{entry: &LogEntry{
+	p.commit(outcome{entry: LogEntry{
 		Time: now, Device: pd.device, Reason: ReasonPendingExpired,
 		Verdict: Drop, Packets: pd.packets,
-	}, delta: statDelta{pendingExpired: 1}})
+	}, hasEntry: true, delta: statDelta{pendingExpired: 1}})
 	sh.mu.Unlock()
 }
 
@@ -473,12 +504,18 @@ func (p *Proxy) FlushEvent(device string) *Decision {
 	return d
 }
 
-// commit applies one outcome's global side effects (audit entry, stats)
-// under p.mu.
+// commit applies one outcome's global side effects (audit entry, pending
+// hold, stats). The pending push happens here — not at the decision point —
+// so the batched paths can commit held decisions in exact packet order (the
+// pending store's entry order is serialized state: it drives overflow
+// eviction and appears in EncodeState).
 func (p *Proxy) commit(o outcome) {
+	if o.hasPending {
+		p.pending.push(o.pending)
+	}
 	p.mu.Lock()
-	if o.entry != nil {
-		p.appendEntryLocked(*o.entry)
+	if o.hasEntry {
+		p.appendEntryLocked(o.entry)
 	}
 	p.applyDeltaLocked(o.delta)
 	p.mu.Unlock()

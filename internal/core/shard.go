@@ -14,11 +14,17 @@ import (
 // lockout bookkeeping — happens under sh.mu, so devices on different shards
 // proceed in parallel with no shared mutable state. Cross-cutting reads
 // (attestation freshness, the device DAG) go through structures with their
-// own synchronization; cross-cutting writes (audit log, stats) are returned
-// as an outcome and committed by the caller.
+// own synchronization; cross-cutting writes (audit log, stats, the pending
+// queue) are returned as an outcome and committed by the caller.
 type shard struct {
 	mu      sync.Mutex
 	devices map[string]*deviceState
+	// scratch is processLocked's reusable outcome slot, guarded by mu. The
+	// pipeline body takes *outcome (the async path parks the pointer in its
+	// deferred-row arena, so the pointee must be heap-resident); routing the
+	// inline path through this slot keeps the per-packet path free of the
+	// heap allocation escape analysis would otherwise insert.
+	scratch outcome
 }
 
 // deviceState is one protected device's pipeline state, owned by exactly one
@@ -41,11 +47,20 @@ type deviceState struct {
 	// reference arm, uncompilable families). Owned by this shard, so the
 	// compiled path's scratch reuse is race-free.
 	classifier EventClassifier
-	// current event decision state
+	// current event decision state: evDecision holds the event verdict once
+	// evDecided is set (a value pair, not a pointer, so reaching a decision
+	// point allocates nothing).
 	evPackets  int
-	evDecision *Decision
+	evDecision Decision
+	evDecided  bool
 	drops      []time.Time
 	locked     bool
+	// deferBlocked marks a device whose current event decision is parked in
+	// the async pipeline's batched-inference queue; later packets of the
+	// device queue behind it and replay once the InferBatch round resolves
+	// the decision. It is transient within one async batch (always false
+	// between batches) and never serialized.
+	deferBlocked bool
 }
 
 // matchRules runs the stage-1 predictability check through whichever rule
@@ -99,12 +114,18 @@ func (d *statDelta) count(v Verdict) {
 }
 
 // outcome is the result of one packet (or event flush) through the pipeline:
-// the decision plus the global side effects it produced, to be committed by
-// the caller in a deterministic order.
+// the decision plus the global side effects it produced — an audit entry, a
+// held pending decision, stat deltas — to be committed by the caller in a
+// deterministic order. Everything is held by value so producing an outcome
+// performs no heap allocation; hasEntry/hasPending flag which sections are
+// populated.
 type outcome struct {
-	d     Decision
-	entry *LogEntry
-	delta statDelta
+	d          Decision
+	entry      LogEntry
+	hasEntry   bool
+	pending    pendingDecision
+	hasPending bool
+	delta      statDelta
 }
 
 // shardIndex hash-assigns a device name to a shard (FNV-1a, inlined so the
@@ -139,23 +160,32 @@ func (p *Proxy) shardFor(device string) *shard {
 // is closed here rather than by a deferred closure so the rule-hit path
 // stays free of heap allocations (TestProcessRuleHitZeroAllocs).
 func (p *Proxy) processLocked(sh *shard, device string, rec flows.Record, peer string, now time.Time) outcome {
+	o := &sh.scratch
+	*o = outcome{}
 	sp := p.metrics.tracer.Begin(obs.StageIntercept)
-	o := p.processSpanned(sh, device, rec, peer, now, &sp)
+	p.processSpanned(sh.devices[device], rec, peer, now, &sp, o, nil)
 	sp.Enter(obs.StageVerdict)
 	sp.End()
-	return o
+	return *o
 }
 
-func (p *Proxy) processSpanned(sh *shard, device string, rec flows.Record, peer string, now time.Time, sp *obs.Span) outcome {
-	var o outcome
+// processSpanned is the pipeline body shared by the sequential, sharded, and
+// async paths. ds is the pre-resolved device state (nil for unknown devices,
+// which fail open); the result lands in *o. When w is non-nil the packet
+// runs on the async pipeline: a device reaching its event decision point
+// with a compiled classifier parks the decision in w's batched-inference
+// queue instead of inferring inline, and processSpanned returns true — the
+// caller must leave the span open and let the InferBatch round finish the
+// packet (see async.go). On the inline paths (w == nil) it always returns
+// false.
+func (p *Proxy) processSpanned(ds *deviceState, rec flows.Record, peer string, now time.Time, sp *obs.Span, o *outcome, w *asyncWorker) bool {
 	o.delta.packets++
-	ds, ok := sh.devices[device]
-	if !ok {
+	if ds == nil {
 		// Unknown devices are not FIAT-protected; fail open like the
 		// NFQUEUE bypass policy.
 		o.delta.allowed++
 		o.d = Decision{Verdict: Allow, Reason: ReasonBootstrap}
-		return o
+		return false
 	}
 
 	// Bootstrap: allow everything, learn rules.
@@ -163,7 +193,7 @@ func (p *Proxy) processSpanned(sh *shard, device string, rec flows.Record, peer 
 		ds.rules.Learn(rec)
 		o.delta.allowed++
 		o.d = Decision{Verdict: Allow, Reason: ReasonBootstrap}
-		return o
+		return false
 	}
 	if !ds.rules.Frozen() {
 		// Freeze point: end learning and install the compiled engine (the
@@ -181,60 +211,86 @@ func (p *Proxy) processSpanned(sh *shard, device string, rec flows.Record, peer 
 	}
 
 	// Device-to-device DAG rules bypass the pipeline.
-	if peer != "" && p.dag.Allowed(peer, device) {
+	if peer != "" && p.dag.Allowed(peer, ds.cfg.Name) {
 		o.delta.allowed++
 		o.d = Decision{Verdict: Allow, Reason: ReasonDAGAllowed}
-		return o
+		return false
 	}
 
-	// Stage 1: predictable?
+	// Stage 1: predictable? The async worker observes the coarse-time
+	// constant 0 for the match latency (the value every engine observes
+	// under a virtual clock) instead of paying two clock reads per packet;
+	// the inline engines keep real per-match timing.
 	sp.Enter(obs.StageRules)
 	o.delta.ruleMatches++
-	matchStart := p.metrics.matchStart()
+	var matchStart time.Time
+	if w == nil {
+		matchStart = p.metrics.matchStart()
+	}
 	hit := ds.matchRules(rec)
-	p.metrics.matchDone(matchStart)
+	if w == nil {
+		p.metrics.matchDone(matchStart)
+	} else {
+		p.metrics.matchNanos.Observe(0)
+	}
 	if hit {
 		o.delta.ruleHits++
 		o.delta.allowed++
 		o.d = Decision{Verdict: Allow, Reason: ReasonRuleHit}
-		return o
+		return false
 	}
 
-	// Stage 2: event grouping.
+	// Stage 2: event grouping. A finished previous event is recycled into
+	// the grouper's spare slot — nothing downstream retains it (the decision
+	// froze its features at the decision point), so the next event reuses
+	// its backing array and steady-state grouping allocates nothing.
 	sp.Enter(obs.StageGrouping)
 	if done := ds.grouper.Add(rec); done != nil || ds.grouper.Current().Len() == 1 {
 		// A new event started: reset the per-event decision state.
+		ds.grouper.Recycle(done)
 		ds.evPackets = 0
-		ds.evDecision = nil
+		ds.evDecided = false
 	}
 	ds.evPackets++
 
 	// Stage 3/4 happen once, at the decision point (the N-th packet, or
 	// the first when the event is already classifiable).
-	if ds.evDecision == nil {
+	if !ds.evDecided {
 		if ds.evPackets < ds.cfg.GraceN {
 			o.delta.allowed++
 			o.d = Decision{Verdict: Allow, Reason: ReasonGraceN}
-			return o
+			return false
 		}
-		d := p.decideEvent(ds, now, &o, sp)
-		ds.evDecision = &d
+		// Async pipeline: a compiled classifier's inference is deferred into
+		// the worker's batch round; the locked and legacy/rule-classifier
+		// cases stay inline (they do not infer).
+		if w != nil && !ds.locked {
+			if cec, ok := ds.classifier.(*compiledEventClassifier); ok {
+				sp.Enter(obs.StageClassify)
+				w.deferDecision(ds, cec, o, sp)
+				ds.deferBlocked = true
+				return true
+			}
+		}
+		d := p.decideEvent(ds, now, o, sp)
+		ds.evDecision = d
+		ds.evDecided = true
 		o.d = d
-		return o
+		return false
 	}
 
 	// Later packets follow the event's verdict.
-	d := *ds.evDecision
+	d := ds.evDecision
 	d.Reason = ReasonEventFollow
 	o.delta.count(d.Verdict)
 	o.d = d
-	return o
+	return false
 }
 
-// decideEvent classifies the current event and applies the humanness gate,
-// recording the audit entry and stat counts into o and advancing the trace
-// span through classify/attest-check. The caller holds the owning shard's
-// mutex.
+// decideEvent classifies the current event inline and applies the humanness
+// gate, recording the audit entry and stat counts into o and advancing the
+// trace span through classify/attest-check. The caller holds the owning
+// shard's mutex.
 func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome, sp *obs.Span) Decision {
 	sp.Enter(obs.StageClassify)
 	ev := ds.grouper.Current()
@@ -250,6 +306,18 @@ func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome, sp *obs.
 	inferStart := p.metrics.matchStart()
 	manual := ds.classifier != nil && ds.classifier.IsManual(ev)
 	p.metrics.inferDone(inferStart)
+	return p.decideManual(ds, now, o, sp, manual, ev.Len())
+}
+
+// decideManual applies the post-classification half of the decision point:
+// the humanness gate for manual events, the audit entry, and the stat
+// counts. It is shared by the inline path (decideEvent, right after
+// IsManual) and the async pipeline (after the batched InferBatch round
+// resolves `manual`). evLen is the event size at the decision point — the
+// async path freezes it when the decision is deferred, exactly the value
+// the inline path would have read. A held pending decision is recorded into
+// o (not pushed), so the caller commits it in deterministic packet order.
+func (p *Proxy) decideManual(ds *deviceState, now time.Time, o *outcome, sp *obs.Span, manual bool, evLen int) Decision {
 	var d Decision
 	if !manual {
 		o.delta.eventsNonManual++
@@ -264,43 +332,45 @@ func (p *Proxy) decideEvent(ds *deviceState, now time.Time, o *outcome, sp *obs.
 			// Degraded mode: withhold the event but defer judgment — a
 			// late attestation may still vouch for it, and only an expiry
 			// over a healthy channel feeds the lockout counter (see
-			// SweepPending). pendingStore takes no other locks, so pushing
-			// under sh.mu is safe.
+			// SweepPending).
 			d = Decision{Verdict: Drop, Reason: ReasonPendingHold}
-			p.pending.push(pendingDecision{
+			o.pending = pendingDecision{
 				device:  ds.cfg.Name,
 				decided: now,
 				expires: now.Add(p.cfg.PendingWindow),
-				packets: ev.Len(),
-			})
+				packets: evLen,
+			}
+			o.hasPending = true
 			o.delta.pendingHeld++
 		default:
 			d = Decision{Verdict: Drop, Reason: ReasonNoHuman}
 			p.registerDrop(ds, now)
 		}
 	}
-	o.note(ds, now, d, ev.Len())
+	o.note(ds, now, d, evLen)
 	o.delta.count(d.Verdict)
 	return d
 }
 
 // flushLocked finalizes a device's in-progress event. The caller holds the
-// owning shard's mutex; the outcome's entry/delta must still be committed.
+// owning shard's mutex; the outcome's entry/pending/delta must still be
+// committed.
 func (p *Proxy) flushLocked(ds *deviceState, now time.Time) (outcome, *Decision) {
 	var o outcome
 	if ds.grouper.Current() == nil {
 		return o, nil
 	}
-	if ds.evDecision == nil {
+	if !ds.evDecided {
 		sp := p.metrics.tracer.Begin(obs.StageClassify)
 		d := p.decideEvent(ds, now, &o, &sp)
 		sp.End()
-		ds.evDecision = &d
+		ds.evDecision = d
+		ds.evDecided = true
 	}
-	d := *ds.evDecision
-	ds.grouper.Flush()
+	d := ds.evDecision
+	ds.grouper.Recycle(ds.grouper.Flush())
 	ds.evPackets = 0
-	ds.evDecision = nil
+	ds.evDecided = false
 	o.d = d
 	return o, &d
 }
@@ -320,7 +390,8 @@ func (p *Proxy) registerDrop(ds *deviceState, now time.Time) {
 }
 
 func (o *outcome) note(ds *deviceState, now time.Time, d Decision, packets int) {
-	o.entry = &LogEntry{
+	o.entry = LogEntry{
 		Time: now, Device: ds.cfg.Name, Reason: d.Reason, Verdict: d.Verdict, Packets: packets,
 	}
+	o.hasEntry = true
 }

@@ -34,9 +34,10 @@ const (
 )
 
 // ConfigChecksum digests the proxy configuration that decisions depend on:
-// every Config field except Shards (decisions are proven shard-invariant by
-// the engine oracles, and recovery may legitimately run with a different
-// shard count), plus the DAG edges and the registered devices with their
+// every Config field except Shards, Async, and AsyncRing (decisions are
+// proven engine-invariant by the differential oracles, and recovery may
+// legitimately run with a different shard count or engine — async or
+// synchronous), plus the DAG edges and the registered devices with their
 // grace budgets and classifier identities. A snapshot records this digest;
 // restore fails closed when it disagrees, because replaying a WAL against a
 // differently-configured pipeline would silently produce different
@@ -203,7 +204,7 @@ func appendDeviceState(b []byte, ds *deviceState) []byte {
 		b = wire.AppendU8(b, 0)
 	}
 	b = wire.AppendI64(b, int64(ds.evPackets))
-	if ds.evDecision != nil {
+	if ds.evDecided {
 		b = wire.AppendBool(b, true)
 		b = wire.AppendU8(b, uint8(ds.evDecision.Verdict))
 		b = wire.AppendString(b, string(ds.evDecision.Reason))
@@ -499,17 +500,20 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 			return "", fmt.Errorf("core: device %q classifier model %08x does not match config model %08x", name, snapSum, cfgSum)
 		}
 		classifier = &compiledEventClassifier{
-			model: model,
-			buf:   make([]float64, features.Dim),
+			model:    model,
+			template: mlc.compiled,
+			buf:      make([]float64, features.Dim),
 		}
 	default:
 		return "", fmt.Errorf("core: device %q unknown classifier kind %d", name, kind)
 	}
 
 	evPackets := int(rd.I64())
-	var evDecision *Decision
+	var evDecision Decision
+	evDecided := false
 	if rd.Bool() {
-		evDecision = &Decision{Verdict: Verdict(rd.U8()), Reason: Reason(rd.String())}
+		evDecision = Decision{Verdict: Verdict(rd.U8()), Reason: Reason(rd.String())}
+		evDecided = true
 	}
 	ndrops := int(rd.U32())
 	if rd.Err() != nil || ndrops > rd.Len() {
@@ -546,6 +550,7 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 	ds.classifier = classifier
 	ds.evPackets = evPackets
 	ds.evDecision = evDecision
+	ds.evDecided = evDecided
 	ds.drops = drops
 	ds.locked = locked
 	ds.grouper.RestoreCurrent(cur)

@@ -20,6 +20,19 @@ import (
 // Rules, DAG edits). Run under -race it is the safety net the ISSUE asks
 // for; without -race it still checks the merged counters balance.
 func TestShardedProxyConcurrencyStress(t *testing.T) {
+	runProxyConcurrencyStress(t, false)
+}
+
+// TestAsyncProxyConcurrencyStress is the same hammer against the ring-fed
+// async pipeline: concurrent ProcessBatch callers serialize on the pipeline
+// mutex, single-packet Process and FlushEvent interleave with worker-held
+// shard locks, and the control plane churns throughout. Under -race it
+// checks the producer/worker handoff and arena reuse publish correctly.
+func TestAsyncProxyConcurrencyStress(t *testing.T) {
+	runProxyConcurrencyStress(t, true)
+}
+
+func runProxyConcurrencyStress(t *testing.T, async bool) {
 	clock := simclock.NewVirtual()
 	ks, err := keystore.New(rand.New(rand.NewSource(300)))
 	if err != nil {
@@ -45,14 +58,23 @@ func TestShardedProxyConcurrencyStress(t *testing.T) {
 		// Tight lockout so the drop/lock/unlock shared state churns.
 		LockoutThreshold: 2, LockoutWindow: time.Hour,
 		Shards: 8,
+		// A tiny ring keeps the async producer's backpressure spin hot.
+		Async: async, AsyncRing: 4,
 	})
+	defer proxy.Close()
 	const devices = 16
+	trained := trainDiffClassifier(t, 11)
 	names := make([]string, devices)
 	for i := range names {
 		names[i] = fmt.Sprintf("dev%02d", i)
-		if err := proxy.AddDevice(DeviceConfig{
-			Name: names[i], Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1 + i%4,
-		}); err != nil {
+		dc := DeviceConfig{Name: names[i], Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1 + i%4}
+		if i%3 == 0 {
+			// A third of the zoo wears the compiled model, so the async
+			// pipeline's deferred InferBatch rounds and replay queues run
+			// under the race detector too.
+			dc.Classifier = trained
+		}
+		if err := proxy.AddDevice(dc); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -159,6 +159,8 @@ type Manager struct {
 	checkpoints int
 	crashed     bool
 	closed      bool
+	attestOK    bool  // proxy verdict of the most recent OpAttestation apply
+	attestErr   error // proxy error of the most recent OpAttestation apply
 
 	reg         *obs.Registry
 	appends     *obs.Counter
@@ -313,7 +315,7 @@ func (m *Manager) apply(op *Op) ([]core.Decision, error) {
 	case OpBatch:
 		return m.proxy.ProcessBatch(op.Batch), nil
 	case OpAttestation:
-		m.proxy.HandleAttestation(op.Payload)
+		m.attestOK, m.attestErr = m.proxy.HandleAttestation(op.Payload)
 		return nil, nil
 	case OpSweep:
 		m.proxy.SweepPending()
@@ -338,6 +340,10 @@ func (m *Manager) apply(op *Op) ([]core.Decision, error) {
 func (m *Manager) logAndApply(kind Kind, mutate func(op *Op)) ([]core.Decision, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.logAndApplyLocked(kind, mutate)
+}
+
+func (m *Manager) logAndApplyLocked(kind Kind, mutate func(op *Op)) ([]core.Decision, error) {
 	if m.crashed {
 		return nil, ErrCrashed
 	}
@@ -371,6 +377,22 @@ func (m *Manager) ProcessBatch(batch []core.PacketIn) ([]core.Decision, error) {
 func (m *Manager) HandleAttestation(payload []byte) error {
 	_, err := m.logAndApply(OpAttestation, func(op *Op) { op.Payload = payload })
 	return err
+}
+
+// HandleAttestationVerdict is HandleAttestation for live drivers that react
+// to the proxy's verdict — the chaos courier fabric acks a delivery only when
+// the payload decoded, so the swallowed-verdict form cannot drive it. The
+// operation is logged to the WAL either way: a rejected payload's side
+// effects (bad counters, audit entries) are part of what replay reproduces.
+// A durability failure surfaces through the same error return, which is safe
+// for such callers: any error means "do not ack".
+func (m *Manager) HandleAttestationVerdict(payload []byte) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.logAndApplyLocked(OpAttestation, func(op *Op) { op.Payload = payload }); err != nil {
+		return false, err
+	}
+	return m.attestOK, m.attestErr
 }
 
 // SweepPending durably logs and applies one pending-queue sweep.

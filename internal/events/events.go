@@ -96,9 +96,16 @@ func FromAnalyzer(a *flows.Analyzer, gap time.Duration) []*Event {
 // Grouper is the streaming form used by the proxy: packets judged
 // unpredictable are added one at a time; a finished event is emitted once
 // the gap elapses (detected on the next Add or via Flush).
+//
+// A Grouper keeps one spare Event for reuse: callers that are done with a
+// finished event hand it back via Recycle, and the next Add that starts an
+// event reuses its backing Packets slice instead of allocating. On a
+// steady-state pipeline this makes event grouping allocation-free once the
+// spare's capacity has grown to the workload's event size.
 type Grouper struct {
-	gap time.Duration
-	cur *Event
+	gap   time.Duration
+	cur   *Event
+	spare *Event
 }
 
 // NewGrouper builds a streaming grouper; gap <= 0 selects DefaultGap.
@@ -118,8 +125,28 @@ func (g *Grouper) Add(r flows.Record) *Event {
 		return nil
 	}
 	done := g.finish()
-	g.cur = &Event{Packets: []flows.Record{r}, Start: r.Time, End: r.Time}
+	if sp := g.spare; sp != nil {
+		g.spare = nil
+		sp.Packets = append(sp.Packets[:0], r)
+		sp.Start, sp.End = r.Time, r.Time
+		sp.Category = flows.CategoryUnknown
+		g.cur = sp
+	} else {
+		g.cur = &Event{Packets: []flows.Record{r}, Start: r.Time, End: r.Time}
+	}
 	return done
+}
+
+// Recycle hands a finished event back for reuse by a later Add. Only events
+// this grouper emitted (from Add or Flush) and that the caller no longer
+// references may be recycled; the in-progress event is refused. Nil is a
+// no-op so `g.Recycle(g.Add(r))` composes.
+func (g *Grouper) Recycle(e *Event) {
+	if e == nil || e == g.cur {
+		return
+	}
+	e.Packets = e.Packets[:0]
+	g.spare = e
 }
 
 // Current returns the in-progress event (nil when idle). The proxy uses it

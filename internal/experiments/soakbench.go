@@ -1,0 +1,585 @@
+// Sustained-load soak benchmark (ISSUE 8): the async ring-fed shard pipeline
+// against the per-batch goroutine fan-out engine, on a full-proxy world —
+// learned heartbeat rules, compiled event classifiers, audit log, metrics —
+// driven at steady state. Two phases: a differential prologue on virtual
+// clocks proving the engines byte-identical on randomized mixed traffic
+// (decisions, stats, encoded state, metrics snapshots, across several
+// seeds), then a timed phase on a live clock measuring sustained throughput,
+// batch-latency tail quantiles (p50/p99/p999 from obs histograms), allocation
+// rates, and the steady-state heap ceiling. cmd/fiatbench drives this to
+// emit BENCH_6.json.
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fiat/internal/core"
+	"fiat/internal/events"
+	"fiat/internal/flows"
+	"fiat/internal/keystore"
+	"fiat/internal/obs"
+	"fiat/internal/sensors"
+	"fiat/internal/simclock"
+)
+
+// soakClock is the phase-switching clock behind the soak: virtual while the
+// world learns its rules (five bootstrap minutes pass instantly, and
+// differential arms advance in lockstep), then switched live so the proxy's
+// latency histograms and the timed loops measure real durations. Reads are
+// atomic — every shard worker samples it on the hot path.
+type soakClock struct {
+	virt atomic.Int64 // unix nanos of the current virtual instant
+	base atomic.Int64 // wall unix nanos at go-live; 0 while virtual
+}
+
+func newSoakClock() *soakClock {
+	c := &soakClock{}
+	c.virt.Store(simclock.Epoch.UnixNano())
+	return c
+}
+
+func (c *soakClock) Now() time.Time {
+	v := time.Unix(0, c.virt.Load()).UTC()
+	if b := c.base.Load(); b != 0 {
+		return v.Add(time.Duration(time.Now().UnixNano() - b))
+	}
+	return v
+}
+
+func (c *soakClock) advance(d time.Duration) { c.virt.Add(int64(d)) }
+func (c *soakClock) goLive()                 { c.base.Store(time.Now().UnixNano()) }
+
+// The humanness validator and the deployment event classifier each train
+// once per process; every soak world shares them (the proxy clones compiled
+// engines per shard, so sharing the trained model is safe).
+var (
+	soakValOnce sync.Once
+	soakVal     *sensors.Validator
+	soakValErr  error
+
+	soakClfOnce sync.Once
+	soakClf     *core.MLClassifier
+	soakClfErr  error
+)
+
+func soakValidator() (*sensors.Validator, error) {
+	soakValOnce.Do(func() {
+		soakVal, _, soakValErr = sensors.DefaultValidator(1)
+	})
+	return soakVal, soakValErr
+}
+
+var soakCloudIP = netip.AddrFrom4([4]byte{52, 10, 0, 9})
+
+// soakClassifier trains the deployment model (BernoulliNB behind
+// core.TrainMLClassifier) on the manual/control/automated corpus shape the
+// rest of the benches use, so the telemetry probe below classifies
+// non-manual and the model compiles into the zero-allocation engine.
+func soakClassifier() (*core.MLClassifier, error) {
+	soakClfOnce.Do(func() {
+		rng := rand.New(rand.NewSource(5))
+		var training []*events.Event
+		for i := 0; i < 60; i++ {
+			at := simclock.Epoch.Add(time.Duration(i) * time.Minute)
+			m := []flows.Record{{
+				Time: at, Size: 400 + rng.Intn(300), Proto: "tcp", Dir: flows.DirInbound,
+				RemoteIP: soakCloudIP, RemotePort: 443, TCPFlags: 0x18, TLSVersion: 0x0303,
+				Category: flows.CategoryManual,
+			}}
+			c := []flows.Record{{
+				Time: at.Add(20 * time.Second), Size: 80 + rng.Intn(100), Proto: "udp", Dir: flows.DirOutbound,
+				RemoteIP: soakCloudIP, RemotePort: 8801, Category: flows.CategoryControl,
+			}}
+			a := []flows.Record{{
+				Time: at.Add(40 * time.Second), Size: 200 + rng.Intn(80), Proto: "tcp", Dir: flows.DirInbound,
+				RemoteIP: soakCloudIP, RemotePort: 8883, TCPFlags: 0x10, TLSVersion: 0x0303,
+				Category: flows.CategoryAutomated,
+			}}
+			training = append(training,
+				events.Group(m, 0)[0], events.Group(c, 0)[0], events.Group(a, 0)[0])
+		}
+		soakClf, soakClfErr = core.TrainMLClassifier(training, nil)
+		if soakClfErr == nil && soakClf.Compiled() == nil {
+			soakClfErr = fmt.Errorf("soak: deployment model did not compile")
+		}
+	})
+	return soakClf, soakClfErr
+}
+
+// soakWorld is one prepared proxy arm: rule devices with a learned one-minute
+// heartbeat, ML devices wearing the compiled classifier, and reusable batch
+// arenas so the driver itself allocates nothing per tick.
+type soakWorld struct {
+	clock   *soakClock
+	reg     *obs.Registry
+	proxy   *core.Proxy
+	rule    []string
+	ml      []string
+	hbAt    time.Time
+	evAt    time.Time
+	batch   []core.PacketIn
+	dst     []core.Decision
+	rulePad int // batch = rule heartbeats + ml heartbeats
+}
+
+func (w *soakWorld) hb(dev string, at time.Time) core.PacketIn {
+	return core.PacketIn{Device: dev, Rec: flows.Record{
+		Time: at, Size: 180, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: soakCloudIP, RemoteDomain: "cloud.example",
+		LocalPort: 40000, RemotePort: 443,
+	}}
+}
+
+func (w *soakWorld) telemetry(dev string, at time.Time) core.PacketIn {
+	return core.PacketIn{Device: dev, Rec: flows.Record{
+		Time: at, Size: 230, Proto: "tcp", Dir: flows.DirInbound,
+		RemoteIP: soakCloudIP, RemoteDomain: "cloud.example",
+		LocalPort: 41000, RemotePort: 8883, TCPFlags: 0x10, TLSVersion: 0x0303,
+	}}
+}
+
+// hbTick drives one steady-state heartbeat batch (every device, exactly one
+// learned period after the previous beat) and reports how many decisions
+// were not rule hits.
+func (w *soakWorld) hbTick() int {
+	w.hbAt = w.hbAt.Add(time.Minute)
+	w.batch = w.batch[:0]
+	for _, dev := range w.rule {
+		w.batch = append(w.batch, w.hb(dev, w.hbAt))
+	}
+	for _, dev := range w.ml {
+		w.batch = append(w.batch, w.hb(dev, w.hbAt))
+	}
+	w.dst = w.proxy.ProcessBatchInto(w.batch, w.dst)
+	misses := 0
+	for i := range w.dst {
+		if w.dst[i].Reason != core.ReasonRuleHit {
+			misses++
+		}
+	}
+	return misses
+}
+
+// evTick drives one event batch — a fresh telemetry event per ML device,
+// exercising grouping, deferred batched inference, verdict, and the audit
+// append — and reports how many decisions were not non-manual allows.
+func (w *soakWorld) evTick() int {
+	w.batch = w.batch[:0]
+	for _, dev := range w.ml {
+		w.batch = append(w.batch, w.telemetry(dev, w.evAt))
+	}
+	w.dst = w.proxy.ProcessBatchInto(w.batch, w.dst)
+	w.evAt = w.evAt.Add(time.Minute)
+	wrong := 0
+	for i := range w.dst {
+		if w.dst[i].Reason != core.ReasonNonManual {
+			wrong++
+		}
+	}
+	return wrong
+}
+
+// newSoakWorld builds one arm and walks it to the rule-hit steady state:
+// learn a one-minute heartbeat through bootstrap, freeze and compile on the
+// first post-bootstrap batch, and warm the event-path arenas.
+func newSoakWorld(seed int64, shards, ruleDevices, mlDevices int, async bool) (*soakWorld, error) {
+	clock := newSoakClock()
+	ks, err := keystore.New(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	validator, err := soakValidator()
+	if err != nil {
+		return nil, err
+	}
+	clf, err := soakClassifier()
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	w := &soakWorld{
+		clock: clock,
+		reg:   reg,
+		proxy: core.NewProxy(clock, ks, validator, core.Config{
+			Bootstrap: 5 * time.Minute,
+			Shards:    shards,
+			Async:     async,
+			Obs:       reg,
+		}),
+		hbAt:    clock.Now(),
+		rulePad: ruleDevices,
+	}
+	for i := 0; i < ruleDevices; i++ {
+		name := fmt.Sprintf("plug%03d", i)
+		w.rule = append(w.rule, name)
+		if err := w.proxy.AddDevice(core.DeviceConfig{
+			Name: name, Classifier: core.RuleClassifier{NotificationSize: 235}, GraceN: 2,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < mlDevices; i++ {
+		name := fmt.Sprintf("cam%02d", i)
+		w.ml = append(w.ml, name)
+		if err := w.proxy.AddDevice(core.DeviceConfig{Name: name, Classifier: clf, GraceN: 1}); err != nil {
+			return nil, err
+		}
+	}
+	w.batch = make([]core.PacketIn, 0, ruleDevices+mlDevices)
+
+	// Learn the one-minute heartbeat during bootstrap. hbTick pre-advances
+	// hbAt, so start one period early.
+	w.hbAt = w.hbAt.Add(-time.Minute)
+	for i := 0; i < 4; i++ {
+		w.hbTick() // bootstrap-allowed; reasons intentionally unchecked
+		clock.advance(time.Minute)
+	}
+	// Past bootstrap: the first batch freezes + compiles every device and
+	// must already rule-hit (it lands exactly one period after the last
+	// learned beat).
+	clock.advance(time.Minute)
+	if misses := w.hbTick(); misses != 0 {
+		return nil, fmt.Errorf("soak: %d warm-up packets missed the rule-hit path", misses)
+	}
+	// Warm the event path: grouper spares, deferral arenas, audit capacity.
+	w.evAt = w.hbAt.Add(time.Hour)
+	for i := 0; i < 8; i++ {
+		if wrong := w.evTick(); wrong != 0 {
+			return nil, fmt.Errorf("soak: %d event warm-up decisions were not non-manual", wrong)
+		}
+	}
+	return w, nil
+}
+
+// SoakArm is one engine's measured side of BENCH_6.json.
+type SoakArm struct {
+	Engine     string  `json:"engine"`
+	Batches    int     `json:"batches"`
+	Packets    int64   `json:"packets"`
+	NsPerBatch float64 `json:"ns_per_batch"`
+	NsPerPkt   float64 `json:"ns_per_packet"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	// P50/P99/P999BatchNs are tail quantiles of the per-batch latency
+	// distribution, read from an obs histogram via Quantile (bucket upper
+	// bounds, so conservative).
+	P50BatchNs  int64 `json:"p50_batch_ns"`
+	P99BatchNs  int64 `json:"p99_batch_ns"`
+	P999BatchNs int64 `json:"p999_batch_ns"`
+	// AllocsPerPkt is the runtime Mallocs delta across the measured window
+	// divided by packets processed (includes any runtime background noise).
+	AllocsPerPkt float64 `json:"allocs_per_packet"`
+	// SteadyStateAllocs is the strict testing.AllocsPerRun measurement of
+	// one steady-state rule-hit batch — the CI-pinned number (0 for async).
+	SteadyStateAllocs float64 `json:"steady_state_allocs_per_batch"`
+	// HeapMaxBytes is the highest HeapAlloc sampled during the window — the
+	// steady-state heap ceiling.
+	HeapMaxBytes uint64 `json:"heap_max_bytes"`
+	// EventNsPerBatch / EventAllocsPerBatch measure the event-decision path
+	// (grouping, deferred batched inference, audit append); the allocation
+	// ceiling there is amortized audit-log growth only.
+	EventNsPerBatch     float64 `json:"event_ns_per_batch"`
+	EventAllocsPerBatch float64 `json:"event_allocs_per_batch"`
+}
+
+// SoakDifferential summarizes the prologue.
+type SoakDifferential struct {
+	Seeds     []int64 `json:"seeds"`
+	Steps     int     `json:"steps_per_seed"`
+	Packets   int     `json:"packets_per_seed"`
+	Identical bool    `json:"identical"`
+}
+
+// SoakResult is the BENCH_6.json payload.
+type SoakResult struct {
+	Bench        string           `json:"bench"`
+	Seed         int64            `json:"seed"`
+	Shards       int              `json:"shards"`
+	RuleDevices  int              `json:"rule_devices"`
+	MLDevices    int              `json:"ml_devices"`
+	Ticks        int              `json:"ticks"`
+	Differential SoakDifferential `json:"differential"`
+	Sharded      SoakArm          `json:"sharded"`
+	Async        SoakArm          `json:"async"`
+	// Speedup is sharded ns/batch over async ns/batch on the steady-state
+	// heartbeat workload.
+	Speedup float64 `json:"speedup"`
+}
+
+// JSON renders the result as indented JSON (the BENCH_6.json format).
+func (r SoakResult) JSON() []byte {
+	out, _ := json.MarshalIndent(r, "", "  ")
+	return append(out, '\n')
+}
+
+// SoakConfig parameterizes SoakBench. Zero values take the defaults noted.
+type SoakConfig struct {
+	Seed        int64 // default 7
+	Shards      int   // default 8
+	RuleDevices int   // default 60
+	MLDevices   int   // default 4 (batch size = rule + ml devices)
+	Ticks       int   // measured heartbeat batches per arm; default 20000
+	Warmup      int   // live warm-up batches per arm; default 200
+	EventTicks  int   // measured event batches per arm; default 500
+	DiffSteps   int   // randomized steps per differential seed; default 160
+}
+
+func (c *SoakConfig) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.RuleDevices <= 0 {
+		c.RuleDevices = 60
+	}
+	if c.MLDevices <= 0 {
+		c.MLDevices = 4
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = 20000
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 200
+	}
+	if c.EventTicks <= 0 {
+		c.EventTicks = 500
+	}
+	if c.DiffSteps <= 0 {
+		c.DiffSteps = 160
+	}
+}
+
+// soakDifferential drives randomized mixed traffic — on-period heartbeats,
+// missed beats, telemetry events, manual-shaped packets, bursts — through
+// three arms (sequential, sharded fan-out, async pipeline) in lockstep on
+// virtual clocks, and requires byte-identical decisions, stats, metrics
+// snapshots, and encoded state. It returns the packet count and an error
+// describing the first divergence.
+func soakDifferential(seed int64, shards, steps int) (int, error) {
+	type diffArm struct {
+		name  string
+		world *soakWorld
+	}
+	const ruleDevices, mlDevices = 8, 4
+	build := func(name string, shardsN int, async bool) (*diffArm, error) {
+		w, err := newSoakWorld(seed, shardsN, ruleDevices, mlDevices, async)
+		if err != nil {
+			return nil, fmt.Errorf("%s arm: %w", name, err)
+		}
+		return &diffArm{name: name, world: w}, nil
+	}
+	seq, err := build("sequential", 1, false)
+	if err != nil {
+		return 0, err
+	}
+	sharded, err := build("sharded", shards, false)
+	if err != nil {
+		return 0, err
+	}
+	async, err := build("async", shards, true)
+	if err != nil {
+		return 0, err
+	}
+	defer async.world.proxy.Close()
+	arms := []*diffArm{seq, sharded, async}
+
+	// One rng drives the trace; every arm replays the identical batches at
+	// identical virtual instants. The worlds were built identically, so
+	// their hbAt cursors agree.
+	rng := rand.New(rand.NewSource(seed * 1013))
+	devices := append(append([]string{}, seq.world.rule...), seq.world.ml...)
+	packets := 0
+	batch := make([]core.PacketIn, 0, 2*len(devices))
+	for step := 0; step < steps; step++ {
+		at := seq.world.clock.Now().Add(time.Duration(rng.Intn(1000)) * time.Millisecond)
+		batch = batch[:0]
+		for i, dev := range devices {
+			isML := i >= len(seq.world.rule)
+			switch rng.Intn(8) {
+			case 0: // quiet device this step
+			case 1, 2:
+				batch = append(batch, seq.world.hb(dev, at))
+			case 3, 4, 5:
+				batch = append(batch, seq.world.telemetry(dev, at))
+			case 6: // manual-shaped: rule devices by notification size,
+				// ML devices by command-push features — drops without an
+				// attestation, exercising lockout counters.
+				pk := seq.world.telemetry(dev, at)
+				if isML {
+					pk.Rec.Size = 520
+					pk.Rec.RemotePort = 443
+					pk.Rec.TCPFlags = 0x18
+				} else {
+					pk.Rec.Size = 235
+				}
+				batch = append(batch, pk)
+			default: // burst: two packets of one flow in the same batch
+				batch = append(batch, seq.world.telemetry(dev, at),
+					seq.world.telemetry(dev, at.Add(40*time.Millisecond)))
+			}
+		}
+		packets += len(batch)
+		var ref []core.Decision
+		for _, arm := range arms {
+			arm.world.dst = arm.world.proxy.ProcessBatchInto(batch, arm.world.dst)
+			if arm == seq {
+				ref = arm.world.dst
+				continue
+			}
+			for i := range ref {
+				if ref[i] != arm.world.dst[i] {
+					return packets, fmt.Errorf("step %d packet %d: %s decided %+v, sequential %+v",
+						step, i, arm.name, arm.world.dst[i], ref[i])
+				}
+			}
+		}
+		d := time.Duration(5+rng.Intn(10)) * time.Second
+		for _, arm := range arms {
+			arm.world.clock.advance(d)
+		}
+	}
+	refState := seq.world.proxy.EncodeState()
+	refSnap := seq.world.reg.Snapshot()
+	for _, arm := range arms[1:] {
+		if !bytes.Equal(arm.world.proxy.EncodeState(), refState) {
+			return packets, fmt.Errorf("%s arm: encoded state diverges from sequential", arm.name)
+		}
+		if arm.world.reg.Snapshot() != refSnap {
+			return packets, fmt.Errorf("%s arm: metrics snapshot diverges from sequential", arm.name)
+		}
+	}
+	return packets, nil
+}
+
+// soakMeasure runs one engine's timed phase on a live clock.
+func soakMeasure(cfg SoakConfig, async bool) (SoakArm, error) {
+	name := "sharded"
+	if async {
+		name = "async"
+	}
+	w, err := newSoakWorld(cfg.Seed, cfg.Shards, cfg.RuleDevices, cfg.MLDevices, async)
+	if err != nil {
+		return SoakArm{}, fmt.Errorf("%s: %w", name, err)
+	}
+	defer w.proxy.Close()
+	w.clock.goLive()
+
+	for i := 0; i < cfg.Warmup; i++ {
+		if m := w.hbTick(); m != 0 {
+			return SoakArm{}, fmt.Errorf("%s: warm-up batch missed the rule-hit path", name)
+		}
+	}
+
+	// The strict per-batch allocation gate, before the big window so the
+	// audit log's capacity is exactly the warmed steady state.
+	steady := testing.AllocsPerRun(100, func() { w.hbTick() })
+
+	lat := obs.NewHistogram(obs.ExpBounds(500, 2, 26)) // 500 ns .. ~16 s
+	batchSize := cfg.RuleDevices + cfg.MLDevices
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mallocs0, heapMax := ms.Mallocs, ms.HeapAlloc
+	misses := 0
+	start := time.Now()
+	for i := 0; i < cfg.Ticks; i++ {
+		t0 := time.Now()
+		misses += w.hbTick()
+		lat.Observe(time.Since(t0).Nanoseconds())
+		if i%512 == 511 {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > heapMax {
+				heapMax = ms.HeapAlloc
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > heapMax {
+		heapMax = ms.HeapAlloc
+	}
+	if misses != 0 {
+		return SoakArm{}, fmt.Errorf("%s: %d measured packets missed the rule-hit path", name, misses)
+	}
+	packets := int64(cfg.Ticks) * int64(batchSize)
+
+	evWrong := 0
+	evStart := time.Now()
+	evAllocs := testing.AllocsPerRun(cfg.EventTicks, func() { evWrong += w.evTick() })
+	evElapsed := time.Since(evStart)
+	if evWrong != 0 {
+		return SoakArm{}, fmt.Errorf("%s: %d event decisions were not non-manual", name, evWrong)
+	}
+
+	arm := SoakArm{
+		Engine:              name,
+		Batches:             cfg.Ticks,
+		Packets:             packets,
+		NsPerBatch:          float64(elapsed.Nanoseconds()) / float64(cfg.Ticks),
+		NsPerPkt:            float64(elapsed.Nanoseconds()) / float64(packets),
+		P50BatchNs:          lat.Quantile(0.50),
+		P99BatchNs:          lat.Quantile(0.99),
+		P999BatchNs:         lat.Quantile(0.999),
+		AllocsPerPkt:        float64(ms.Mallocs-mallocs0) / float64(packets),
+		SteadyStateAllocs:   steady,
+		HeapMaxBytes:        heapMax,
+		EventNsPerBatch:     float64(evElapsed.Nanoseconds()) / float64(cfg.EventTicks+1),
+		EventAllocsPerBatch: evAllocs,
+	}
+	if elapsed > 0 {
+		arm.PktsPerSec = float64(packets) / elapsed.Seconds()
+	}
+	return arm, nil
+}
+
+// SoakBench runs the differential prologue and both timed arms, returning
+// the BENCH_6 payload. The error is non-nil only for setup failures or a
+// differential divergence — threshold enforcement (alloc ceiling, speedup)
+// is the caller's policy.
+func SoakBench(cfg SoakConfig) (SoakResult, error) {
+	cfg.defaults()
+	res := SoakResult{
+		Bench:       "Soak",
+		Seed:        cfg.Seed,
+		Shards:      cfg.Shards,
+		RuleDevices: cfg.RuleDevices,
+		MLDevices:   cfg.MLDevices,
+		Ticks:       cfg.Ticks,
+		Differential: SoakDifferential{
+			Seeds: []int64{cfg.Seed, cfg.Seed + 1, cfg.Seed + 2},
+			Steps: cfg.DiffSteps,
+		},
+	}
+	for _, seed := range res.Differential.Seeds {
+		packets, err := soakDifferential(seed, cfg.Shards, cfg.DiffSteps)
+		if err != nil {
+			return res, fmt.Errorf("differential seed %d: %w", seed, err)
+		}
+		res.Differential.Packets = packets
+	}
+	res.Differential.Identical = true
+
+	sharded, err := soakMeasure(cfg, false)
+	if err != nil {
+		return res, err
+	}
+	async, err := soakMeasure(cfg, true)
+	if err != nil {
+		return res, err
+	}
+	res.Sharded, res.Async = sharded, async
+	if async.NsPerBatch > 0 {
+		res.Speedup = sharded.NsPerBatch / async.NsPerBatch
+	}
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import "testing"
+
+// BenchmarkSoakShardedBatch and BenchmarkSoakAsyncBatch expose the soak's
+// steady-state heartbeat batch as ordinary Go benchmarks, for profiling the
+// two engines outside the full harness.
+func benchmarkSoakBatch(b *testing.B, async bool) {
+	w, err := newSoakWorld(7, 8, 60, 4, async)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.proxy.Close()
+	w.clock.goLive()
+	for i := 0; i < 200; i++ {
+		w.hbTick()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.hbTick()
+	}
+}
+
+func BenchmarkSoakShardedBatch(b *testing.B) { benchmarkSoakBatch(b, false) }
+func BenchmarkSoakAsyncBatch(b *testing.B)   { benchmarkSoakBatch(b, true) }
+
+// TestSoakBenchSmoke runs the full soak pipeline at CI scale: the
+// three-way differential prologue must hold on every seed, the async arm
+// must sustain zero allocations per steady-state batch, and both arms must
+// report sane positive throughput and tail-latency numbers.
+func TestSoakBenchSmoke(t *testing.T) {
+	res, err := SoakBench(SoakConfig{
+		Seed: 7, Shards: 4, RuleDevices: 12, MLDevices: 3,
+		Ticks: 400, Warmup: 50, EventTicks: 50, DiffSteps: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Differential.Identical {
+		t.Fatal("differential prologue did not run to completion")
+	}
+	if len(res.Differential.Seeds) != 3 || res.Differential.Packets == 0 {
+		t.Fatalf("differential under-exercised: %+v", res.Differential)
+	}
+	if res.Async.SteadyStateAllocs != 0 {
+		t.Errorf("async steady-state allocs/batch = %v, want 0", res.Async.SteadyStateAllocs)
+	}
+	for _, arm := range []SoakArm{res.Sharded, res.Async} {
+		if arm.PktsPerSec <= 0 || arm.NsPerBatch <= 0 || arm.NsPerPkt <= 0 {
+			t.Errorf("%s arm throughput not positive: %+v", arm.Engine, arm)
+		}
+		if arm.P50BatchNs <= 0 || arm.P99BatchNs < arm.P50BatchNs || arm.P999BatchNs < arm.P99BatchNs {
+			t.Errorf("%s arm latency quantiles not monotone: p50=%d p99=%d p999=%d",
+				arm.Engine, arm.P50BatchNs, arm.P99BatchNs, arm.P999BatchNs)
+		}
+		if arm.HeapMaxBytes == 0 {
+			t.Errorf("%s arm heap ceiling not sampled", arm.Engine)
+		}
+		if arm.Packets != int64(arm.Batches)*int64(res.RuleDevices+res.MLDevices) {
+			t.Errorf("%s arm packet accounting: %d packets over %d batches", arm.Engine, arm.Packets, arm.Batches)
+		}
+	}
+	if res.Speedup <= 0 {
+		t.Errorf("speedup not computed: %v", res.Speedup)
+	}
+	if len(res.JSON()) == 0 || res.JSON()[len(res.JSON())-1] != '\n' {
+		t.Error("JSON payload must be newline-terminated")
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -118,6 +119,43 @@ func (h *Histogram) BucketCounts() []int64 {
 		out[i] = h.counts[i].Load()
 	}
 	return out
+}
+
+// Quantile returns an upper bound on the q-th quantile (q clamped to [0, 1])
+// of the observed distribution: the upper bound of the first bucket whose
+// cumulative count reaches rank ceil(q·n). Observations that landed in the
+// overflow bucket report the largest finite bound — the histogram cannot
+// resolve beyond its scale, and a caller comparing tail latencies against a
+// ceiling wants the saturated answer, not +Inf. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	counts := h.BucketCounts()
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank && i < len(h.bounds) {
+			return h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Merge folds another histogram's observations into h. The two must share

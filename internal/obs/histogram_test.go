@@ -136,6 +136,44 @@ func TestHistogramConcurrentWritersUnderRace(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 observations <= 10, 9 in (10,100], 1 in (100,1000].
+	for i := 0; i < 90; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50)
+	}
+	h.Observe(500)
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 10}, {0.5, 10}, {0.9, 10}, // rank 90 still in the first bucket
+		{0.901, 100}, {0.99, 100},
+		{0.991, 1000}, {1, 1000},
+		{-1, 10}, {2, 1000}, // clamped
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	// Overflow observations saturate at the largest finite bound.
+	o := NewHistogram([]int64{10})
+	o.Observe(1 << 30)
+	if got := o.Quantile(0.999); got != 10 {
+		t.Fatalf("overflow quantile = %d, want the last finite bound 10", got)
+	}
+	if (*Histogram)(nil).Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+}
+
 func TestExpBounds(t *testing.T) {
 	b := ExpBounds(250, 4, 5)
 	want := []int64{250, 1000, 4000, 16000, 64000}

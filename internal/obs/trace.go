@@ -70,6 +70,22 @@ func NewTracer(reg *Registry, prefix string, now func() time.Time) *Tracer {
 	return t
 }
 
+// WithNow returns a tracer sharing this tracer's counters and histograms but
+// reading time from a different source — the async pipeline hands each shard
+// worker a view whose source returns the producer's once-per-batch timestamp,
+// so per-packet stage accounting costs no clock reads. Dwells observed
+// through such a view are 0, exactly what every engine observes under a
+// virtual clock, so traced snapshots stay byte-comparable across engines
+// wherever they are deterministic at all. A nil receiver stays nil.
+func (t *Tracer) WithNow(now func() time.Time) *Tracer {
+	if t == nil {
+		return nil
+	}
+	clone := *t
+	clone.now = now
+	return &clone
+}
+
 // Span is one packet's walk through the pipeline. It is a small value meant
 // to live on the caller's stack: obtain one with Begin, advance it with
 // Enter at each stage boundary, and End it when the verdict is out.
