@@ -40,6 +40,7 @@ import (
 	"fiat/internal/quicfast"
 	"fiat/internal/sensors"
 	"fiat/internal/simclock"
+	"fiat/internal/swap"
 )
 
 func main() {
@@ -59,6 +60,12 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
 	walSync := flag.String("wal-sync", "tick", "WAL fsync policy with -state-dir: always, tick, or off")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic snapshot cadence with -state-dir (0 = only on shutdown)")
+	relearn := flag.Bool("relearn", false, "online relearning: on drift, relearn rules from live traffic, shadow-evaluate the candidate, and RCU hot-swap it in when it matches-or-beats the live artifact")
+	driftMiss := flag.Float64("drift-miss-ratio", 0, "relearn trigger: rule-miss ratio per detector window (0 = default 0.5)")
+	driftMargin := flag.Float64("drift-margin", 0, "relearn trigger: manual-classification fraction drift vs baseline (0 = default 0.4)")
+	driftLockouts := flag.Int("drift-lockout-burst", 0, "relearn trigger: device lockouts per housekeeping tick (0 = default 1)")
+	relearnFor := flag.Duration("relearn-for", 0, "how long a drift-triggered candidate learns live traffic before compiling (0 = default 10m)")
+	shadowFor := flag.Duration("shadow-for", 0, "how long a compiled candidate shadow-scores every packet before the promote/rollback verdict (0 = default 10m)")
 	flag.Parse()
 
 	syncMode, err := durable.ParseSyncMode(*walSync)
@@ -118,6 +125,14 @@ func main() {
 		p := core.NewProxy(c, ks, validator, core.Config{
 			Bootstrap: *bootstrap, Shards: *shards, Async: *async,
 			PendingWindow: *pendingWindow, PendingMax: *pendingMax,
+			Relearn: swap.Options{
+				Enabled:      *relearn,
+				MissRatio:    *driftMiss,
+				MarginDrift:  *driftMargin,
+				LockoutBurst: int64(*driftLockouts),
+				RelearnFor:   *relearnFor,
+				ShadowFor:    *shadowFor,
+			},
 			Obs: reg,
 		})
 		for _, name := range names {

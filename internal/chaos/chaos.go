@@ -36,6 +36,7 @@ import (
 	"fiat/internal/packet"
 	"fiat/internal/sensors"
 	"fiat/internal/simclock"
+	"fiat/internal/swap"
 )
 
 // Scenario is one seeded chaos run. Offsets in ManualAt / PartitionAt are
@@ -71,6 +72,16 @@ type Scenario struct {
 	// (PartitionFor 0 = none).
 	PartitionAt  time.Duration
 	PartitionFor time.Duration
+	// Relearn enables the proxy's online-relearning lifecycle (drift
+	// detection, shadow evaluation, RCU hot swap) with these thresholds.
+	Relearn swap.Options
+	// ShiftAt > 0 injects drift: at bootEnd+ShiftAt the plug's firmware
+	// "updates" and its telemetry changes shape — packet size grows by
+	// ShiftSize and the beat re-paces to ShiftEvery (default 3 s) — so the
+	// learned heartbeat rule stops matching and the drift detector fires.
+	ShiftAt    time.Duration
+	ShiftEvery time.Duration
+	ShiftSize  int
 }
 
 func (s *Scenario) defaults() {
@@ -91,6 +102,9 @@ func (s *Scenario) defaults() {
 	}
 	if s.AttestLag <= 0 {
 		s.AttestLag = 400 * time.Millisecond
+	}
+	if s.ShiftAt > 0 && s.ShiftEvery <= 0 {
+		s.ShiftEvery = 3 * time.Second
 	}
 }
 
@@ -119,6 +133,14 @@ type Result struct {
 	DeviceFramesDelivered int
 	// PendingLeft is the held-decision queue depth at run end.
 	PendingLeft int
+	// Generation / SwapPhase / SwapMetrics describe the relearning lifecycle
+	// at run end: the plug's live artifact generation (0 before its rules
+	// freeze), where it sits in the lifecycle, and the swap registry rendered
+	// in the deterministic exposition format. Zero-valued noise-free when
+	// Scenario.Relearn is disabled.
+	Generation  uint64
+	SwapPhase   swap.Phase
+	SwapMetrics string
 }
 
 // DecisionTrace renders the decision stream for byte-exact comparison.
@@ -348,6 +370,7 @@ func run(s Scenario, wrap func(engine, *simclock.VirtualClock) engine) (*Result,
 		Shards:        s.Shards,
 		Async:         s.Async,
 		PendingWindow: s.PendingWindow,
+		Relearn:       s.Relearn,
 		Obs:           reg,
 	})
 	defer proxy.Close()
@@ -433,18 +456,25 @@ func run(s Scenario, wrap func(engine, *simclock.VirtualClock) engine) (*Result,
 	}
 
 	// Benign telemetry: the plug heartbeats to its cloud for the whole run.
+	// After the optional drift shift the beat changes size and pace — the
+	// same flow bucket, no longer arriving at any learned interval.
 	framer := devices.NewFramer(devIP, devMAC, gwMAC)
+	shiftAt := bootEnd.Add(s.ShiftAt)
 	var heartbeat func(now time.Time)
 	heartbeat = func(now time.Time) {
 		if now.After(runEnd) {
 			return
 		}
+		size, every := 128, s.HeartbeatEvery
+		if s.ShiftAt > 0 && !now.Before(shiftAt) {
+			size, every = 128+s.ShiftSize, s.ShiftEvery
+		}
 		nw.SendFrame(framer.Frame(flows.Record{
-			Time: now, Size: 128, Proto: "tcp", Dir: flows.DirOutbound,
+			Time: now, Size: size, Proto: "tcp", Dir: flows.DirOutbound,
 			RemoteIP: cloudIP, LocalPort: 40000, RemotePort: 443,
 			Category: flows.CategoryControl,
 		}))
-		clock.AfterFunc(s.HeartbeatEvery, heartbeat)
+		clock.AfterFunc(every, heartbeat)
 	}
 	clock.AfterFunc(s.HeartbeatEvery, heartbeat)
 
@@ -512,5 +542,10 @@ func run(s Scenario, wrap func(engine, *simclock.VirtualClock) engine) (*Result,
 	res.Locked = resProxy.Locked("plug")
 	res.PendingLeft = resProxy.PendingDepth()
 	res.Metrics = reg.Snapshot()
+	if meta, ok := resProxy.ArtifactMeta("plug"); ok {
+		res.Generation = meta.Generation
+	}
+	res.SwapPhase = resProxy.SwapPhase("plug")
+	res.SwapMetrics = resProxy.SwapMetrics().Snapshot()
 	return res, nil
 }

@@ -114,6 +114,7 @@ func buildReplayProxy(s Scenario) durable.BuildProxy {
 			Shards:        s.Shards,
 			Async:         s.Async,
 			PendingWindow: s.PendingWindow,
+			Relearn:       s.Relearn,
 			Obs:           obs.NewRegistry(),
 		})
 		if err := proxy.AddDevice(core.DeviceConfig{

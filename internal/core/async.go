@@ -47,6 +47,7 @@ func newAsyncPipeline(p *Proxy) *asyncPipeline {
 			p:    p,
 			a:    a,
 			sh:   sh,
+			si:   i,
 			ring: newPacketRing(p.cfg.AsyncRing),
 			wake: make(chan struct{}, 1),
 		}
@@ -136,6 +137,7 @@ type asyncWorker struct {
 	p      *Proxy
 	a      *asyncPipeline
 	sh     *shard
+	si     int // shard index, for the post-batch epoch advance
 	ring   *packetRing
 	wake   chan struct{}
 	tracer *obs.Tracer // coarse-time view of the proxy tracer (see batchNow)
@@ -214,6 +216,8 @@ func (w *asyncWorker) runBatch() {
 	}
 	w.finishBatch()
 	sh.mu.Unlock()
+	// Swap boundary: the worker holds no artifact pointer between batches.
+	w.p.epochs.Advance(w.si)
 	w.a.wg.Done()
 }
 

@@ -58,6 +58,7 @@ func (p *Proxy) ProcessBatchInto(batch []PacketIn, dst []Decision) []Decision {
 	if len(batch) == 0 {
 		return dst[:0]
 	}
+	p.configSum()
 	if cap(dst) < len(batch) {
 		dst = make([]Decision, len(batch))
 	} else {
@@ -107,7 +108,6 @@ func (p *Proxy) processBatchDispatch(batch []PacketIn, dst []Decision, now time.
 	run := func(si int, idxs []int) {
 		sh := p.shards[si]
 		sh.mu.Lock()
-		defer sh.mu.Unlock()
 		res := &results[si]
 		for _, i := range idxs {
 			o := p.processLocked(sh, batch[i].Device, batch[i].Rec, batch[i].Peer, now)
@@ -120,6 +120,9 @@ func (p *Proxy) processBatchDispatch(batch []PacketIn, dst []Decision, now time.
 			}
 			res.delta.add(o.delta)
 		}
+		sh.mu.Unlock()
+		// Swap boundary: this worker holds no artifact pointer past here.
+		p.epochs.Advance(si)
 	}
 
 	// Fan out one worker per shard with work; a single busy shard runs

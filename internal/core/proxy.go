@@ -14,6 +14,7 @@ import (
 	"fiat/internal/obs"
 	"fiat/internal/sensors"
 	"fiat/internal/simclock"
+	"fiat/internal/swap"
 )
 
 // Verdict aliases the interceptor's decision type.
@@ -154,6 +155,15 @@ type Config struct {
 	// arms compile and count identically, so their audit logs, stats, and
 	// obs snapshots stay byte-comparable.
 	LegacyClassifier bool
+	// Relearn configures the online-relearning lifecycle (ISSUE 9): drift
+	// detection over the proxy's own counters triggers background relearning
+	// into a fresh table, shadow evaluation against the live artifact, and
+	// an RCU hot swap on promotion. Disabled by default; the manual swap
+	// path (PromoteIdentical) works regardless. Like Shards/Async, the
+	// lifecycle is engine-invariant; unlike them its thresholds ARE part of
+	// ConfigChecksum, because they change which decisions the pipeline
+	// reaches after a promotion.
+	Relearn swap.Options
 	// Obs is the metrics registry the proxy publishes into. Nil creates a
 	// private registry (reachable via Metrics), so instrumentation is
 	// always on; pass a shared registry to merge proxy metrics with
@@ -183,6 +193,9 @@ func (c *Config) defaults() {
 	if c.AsyncRing <= 0 {
 		c.AsyncRing = 1024
 	}
+	if c.Relearn.Enabled {
+		c.Relearn.Defaults()
+	}
 }
 
 // Proxy is FIAT's server-side component. Per-device pipeline state lives in
@@ -205,6 +218,25 @@ type Proxy struct {
 	metrics     *coreMetrics
 	guard       *sensors.ReplayGuard // nil when Config.AttestWindow == 0
 	async       *asyncPipeline       // nil unless Config.Async
+
+	// Online-relearning machinery (swap.go): per-shard reader epochs, the
+	// retired-artifact graveyard they gate, the drift detector ticked from
+	// SweepPending, and the lifecycle's private metrics registry.
+	epochs    *swap.Epochs
+	graveyard swap.Graveyard
+	drift     *swap.Detector
+	swapM     *swapMetrics
+
+	// cfgSum caches ConfigChecksum for artifact identity; computed once,
+	// before any shard lock (ConfigChecksum walks every shard). See
+	// configSum.
+	cfgSumOnce sync.Once
+	cfgSum     uint32
+
+	// Test hooks (nil in production): swapHook observes every artifact the
+	// match path loads; releaseHook observes every reclaimed generation.
+	swapHook    func(device string, art *ruleArtifact)
+	releaseHook func(meta swap.Meta)
 
 	mu      sync.Mutex // guards aliases, log, Stats
 	aliases []string
@@ -266,6 +298,9 @@ func NewProxy(clock simclock.Clock, ks *keystore.Store, human *sensors.Validator
 		channel:     &channelHealth{},
 		metrics:     newCoreMetrics(cfg.Obs, clock),
 		guard:       guard,
+		epochs:      swap.NewEpochs(cfg.Shards),
+		drift:       swap.NewDetector(cfg.Relearn),
+		swapM:       newSwapMetrics(),
 	}
 	if cfg.Async {
 		p.async = newAsyncPipeline(p)
@@ -425,12 +460,17 @@ func (p *Proxy) PendingDepth() int { return p.pending.depth() }
 // periodically — the chaos runner and cmd/fiat-proxy tick it about once a
 // second.
 func (p *Proxy) SweepPending() int {
+	p.configSum()
 	now := p.clock.Now()
 	expired := p.pending.expire(now)
 	for _, pd := range expired {
 		p.finalizeExpired(pd, now)
 	}
 	p.metrics.pendingDepth.Set(int64(p.pending.depth()))
+	// The relearning lifecycle advances only here (and the durable WAL logs
+	// sweeps as ops), so drift → relearn → shadow → promote replays
+	// deterministically.
+	p.swapTick(now)
 	return len(expired)
 }
 
@@ -472,13 +512,19 @@ func (p *Proxy) Process(device string, rec flows.Record, peer string) Decision {
 			s.Sleep(p.cfg.ExtraVerdictDelay)
 		}
 	}
-	sh := p.shardFor(device)
+	p.configSum()
+	si := p.shardIndex(device)
+	sh := p.shards[si]
 	sh.mu.Lock()
 	o := p.processLocked(sh, device, rec, peer, p.clock.Now())
 	// Commit while holding the shard lock so a device's audit entries land
 	// in its decision order even under concurrent callers.
 	p.commit(o)
 	sh.mu.Unlock()
+	// Crossing the swap boundary: any artifact pointer this call loaded is
+	// no longer held, so retired generations at or before this shard's
+	// previous epoch may be reclaimed.
+	p.epochs.Advance(si)
 	if o.delta.pendingHeld > 0 {
 		p.metrics.pendingDepth.Set(int64(p.pending.depth()))
 	}
@@ -567,16 +613,21 @@ func (p *Proxy) Rules(device string) (*flows.RuleTable, bool) {
 
 // CompiledRules exposes a device's immutable enforcement-phase rule engine
 // (nil until the device's freeze point, or when Config.LegacyRules keeps the
-// device on the serialized path).
+// device on the serialized path). After a hot swap it returns the currently
+// live generation.
 func (p *Proxy) CompiledRules(device string) (*flows.CompiledRules, bool) {
 	sh := p.shardFor(device)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	ds, ok := sh.devices[device]
-	if !ok || ds.compiled == nil {
+	if !ok {
 		return nil, false
 	}
-	return ds.compiled, true
+	art := ds.art.Load()
+	if art == nil {
+		return nil, false
+	}
+	return art.compiled, true
 }
 
 // Locked reports whether the device is disconnected pending review.

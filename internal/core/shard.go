@@ -2,11 +2,13 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fiat/internal/events"
 	"fiat/internal/flows"
 	"fiat/internal/obs"
+	"fiat/internal/swap"
 )
 
 // shard owns the state of the devices hash-assigned to it. All per-device
@@ -33,13 +35,20 @@ type deviceState struct {
 	cfg     DeviceConfig
 	rules   *flows.RuleTable
 	grouper *events.Grouper
-	// compiled/arrival are the enforcement-phase rule engine, installed at
-	// the freeze point: the immutable compiled table plus this shard's own
-	// arrival-state block, so the frozen match path takes no lock and
-	// allocates nothing (nil when Config.LegacyRules keeps the serialized
-	// RuleTable.Match path).
-	compiled *flows.CompiledRules
-	arrival  *flows.ArrivalState
+	// art is the enforcement-phase rule engine, installed at the freeze
+	// point as generation 1: the immutable compiled table, this shard's own
+	// arrival-state block, and the artifact's versioned identity, published
+	// as ONE atomic pointer so the frozen match path takes no lock,
+	// allocates nothing, and a hot swap (see swap.go) can never expose a
+	// mixed-generation view. nil when Config.LegacyRules keeps the
+	// serialized RuleTable.Match path, and before the freeze point.
+	art atomic.Pointer[ruleArtifact]
+	// rl is the in-flight relearning lifecycle (nil while idle); genCounter
+	// is the device's monotonic artifact generation counter and
+	// cooldownUntil pauses drift-triggered relearning after a rollback.
+	rl            *relearnState
+	genCounter    uint64
+	cooldownUntil time.Time
 	// classifier is the enforcement-phase event classifier: the per-device
 	// compiled inference engine (own model clone + feature scratch, see
 	// classifier.go) when the device wears a compilable trained model, or
@@ -61,17 +70,6 @@ type deviceState struct {
 	// the decision. It is transient within one async batch (always false
 	// between batches) and never serialized.
 	deferBlocked bool
-}
-
-// matchRules runs the stage-1 predictability check through whichever rule
-// engine the device is on. The caller holds the owning shard's mutex, which
-// is what makes the lock-free compiled path safe: the arrival state is only
-// ever touched by the one shard that owns the device.
-func (ds *deviceState) matchRules(rec flows.Record) bool {
-	if ds.compiled != nil {
-		return ds.compiled.Match(&rec, ds.arrival)
-	}
-	return ds.rules.Match(rec)
 }
 
 // statDelta accumulates the stats produced by packets before they are merged
@@ -203,8 +201,17 @@ func (p *Proxy) processSpanned(ds *deviceState, rec flows.Record, peer string, n
 		ds.rules.Freeze()
 		cr := ds.rules.Compiled()
 		if !p.cfg.LegacyRules {
-			ds.compiled = cr
-			ds.arrival = cr.NewArrivalState()
+			ds.genCounter = 1
+			ds.art.Store(&ruleArtifact{
+				meta: swap.Meta{
+					Generation: 1,
+					ConfigSum:  p.cfgSum,
+					RulesSum:   cr.Checksum(),
+					ModelSum:   ds.modelSum(),
+				},
+				compiled: cr,
+				arrival:  cr.NewArrivalState(),
+			})
 		}
 		o.delta.ruleCompiles++
 		o.delta.compiledKeys += cr.NumKeys()
@@ -227,7 +234,7 @@ func (p *Proxy) processSpanned(ds *deviceState, rec flows.Record, peer string, n
 	if w == nil {
 		matchStart = p.metrics.matchStart()
 	}
-	hit := ds.matchRules(rec)
+	hit := p.matchRules(ds, &rec)
 	if w == nil {
 		p.metrics.matchDone(matchStart)
 	} else {

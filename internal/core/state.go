@@ -11,13 +11,16 @@ import (
 	"fiat/internal/flows"
 	"fiat/internal/ml"
 	"fiat/internal/sensors"
+	"fiat/internal/swap"
 	"fiat/internal/wire"
 )
 
 // ProxyStateVersion versions the serialized proxy image. Bump it on any
 // layout change; recovery rejects mismatched versions outright rather than
-// guessing at field offsets.
-const ProxyStateVersion uint16 = 1
+// guessing at field offsets. v2 added the online-relearning lifecycle:
+// artifact identity per device, candidate tables mid-relearn/shadow, the
+// drift detector's window, and the swap metrics registry.
+const ProxyStateVersion uint16 = 2
 
 var stateCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -60,6 +63,17 @@ func (p *Proxy) appendConfig(b []byte) []byte {
 	b = wire.AppendI64(b, int64(c.AttestWindow))
 	b = wire.AppendBool(b, c.LegacyRules)
 	b = wire.AppendBool(b, c.LegacyClassifier)
+	// Relearn thresholds shape post-promotion decisions, so they are config
+	// identity (defaults are normalized in Config.defaults when Enabled).
+	b = wire.AppendBool(b, c.Relearn.Enabled)
+	b = wire.AppendF64(b, c.Relearn.MissRatio)
+	b = wire.AppendF64(b, c.Relearn.MarginDrift)
+	b = wire.AppendI64(b, c.Relearn.LockoutBurst)
+	b = wire.AppendI64(b, c.Relearn.MinSample)
+	b = wire.AppendI64(b, int64(c.Relearn.RelearnFor))
+	b = wire.AppendI64(b, int64(c.Relearn.ShadowFor))
+	b = wire.AppendI64(b, c.Relearn.ShadowMin)
+	b = wire.AppendI64(b, int64(c.Relearn.Cooldown))
 	edges := p.dag.Edges()
 	b = wire.AppendU32(b, uint32(len(edges)))
 	for _, e := range edges {
@@ -165,9 +179,38 @@ func (p *Proxy) AppendState(b []byte) []byte {
 	b = p.appendPending(b)
 	b = p.appendChannel(b)
 	b = p.appendGuard(b)
+	b = p.appendSwapState(b)
 	// The registry goes last so RestoreState can overwrite every counter the
 	// earlier sections may have touched indirectly.
 	return p.metrics.reg.AppendState(b)
+}
+
+// appendSwapState serializes the relearning lifecycle's global half: the
+// drift detector's window position and the swap metrics registry (framed, so
+// the main registry stays the image's final section).
+func (p *Proxy) appendSwapState(b []byte) []byte {
+	b = p.drift.AppendState(b)
+	return wire.AppendBytes(b, p.swapM.reg.AppendState(nil))
+}
+
+func (p *Proxy) restoreSwapState(rd *wire.Reader) error {
+	rest, err := p.drift.RestoreState(rd.Rest())
+	if err != nil {
+		return fmt.Errorf("core: restore drift detector: %w", err)
+	}
+	rd.Reset(rest)
+	enc := rd.Bytes()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("core: restore swap registry: %w", err)
+	}
+	trail, err := p.swapM.reg.RestoreState(enc)
+	if err != nil {
+		return fmt.Errorf("core: restore swap registry: %w", err)
+	}
+	if len(trail) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after swap registry", len(trail))
+	}
+	return nil
 }
 
 // EncodeState returns the canonical serialized proxy state.
@@ -176,12 +219,13 @@ func (p *Proxy) EncodeState() []byte { return p.AppendState(nil) }
 func appendDeviceState(b []byte, ds *deviceState) []byte {
 	b = wire.AppendString(b, ds.cfg.Name)
 	b = ds.rules.AppendState(b)
-	if ds.compiled != nil {
+	if art := ds.art.Load(); art != nil {
 		b = wire.AppendBool(b, true)
-		arena := ds.compiled.EncodeArena()
+		arena := art.compiled.EncodeArena()
 		b = wire.AppendBytes(b, arena)
 		b = wire.AppendU32(b, crc32.Checksum(arena, stateCastagnoli))
-		b = flows.AppendArrival(b, ds.arrival)
+		b = flows.AppendArrival(b, art.arrival)
+		b = art.meta.Append(b)
 	} else {
 		b = wire.AppendBool(b, false)
 	}
@@ -224,6 +268,34 @@ func appendDeviceState(b []byte, ds *deviceState) []byte {
 		}
 	} else {
 		b = wire.AppendBool(b, false)
+	}
+	// v2: relearning lifecycle — generation counter, rollback cooldown, and
+	// the in-flight candidate (mutable table mid-relearn; frozen table +
+	// identity + arrival + shadow matrices mid-shadow), so a durable restart
+	// resumes mid-lifecycle exactly. The candidate's compiled form is NOT
+	// serialized: restore recompiles the frozen table and fails closed when
+	// the digest disagrees with the serialized identity.
+	b = wire.AppendU64(b, ds.genCounter)
+	if ds.cooldownUntil.IsZero() {
+		b = wire.AppendBool(b, false)
+	} else {
+		b = wire.AppendBool(b, true)
+		b = wire.AppendI64(b, ds.cooldownUntil.UnixNano())
+	}
+	phase := swap.PhaseIdle
+	if ds.rl != nil {
+		phase = ds.rl.phase
+	}
+	b = wire.AppendU8(b, uint8(phase))
+	if rl := ds.rl; rl != nil {
+		b = wire.AppendI64(b, rl.started.UnixNano())
+		b = rl.table.AppendState(b)
+		if rl.phase == swap.PhaseShadow {
+			b = rl.meta.Append(b)
+			b = flows.AppendArrival(b, rl.arrival)
+			b = rl.matrix.Append(b)
+			b = rl.flushed.Append(b)
+		}
 	}
 	return b
 }
@@ -397,6 +469,9 @@ func (p *Proxy) RestoreState(data []byte) error {
 	if err := p.restoreGuard(rd); err != nil {
 		return err
 	}
+	if err := p.restoreSwapState(rd); err != nil {
+		return err
+	}
 	rest, err := p.metrics.reg.RestoreState(rd.Rest())
 	if err != nil {
 		return fmt.Errorf("core: restore registry: %w", err)
@@ -430,6 +505,7 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 
 	var compiled *flows.CompiledRules
 	var arrival *flows.ArrivalState
+	var meta swap.Meta
 	if rd.Bool() {
 		arena := rd.Bytes()
 		storedSum := rd.U32()
@@ -460,6 +536,16 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 			return "", fmt.Errorf("core: device %q arrival state: %w", name, err)
 		}
 		rd.Reset(rest)
+		meta, rest, err = swap.DecodeMeta(rd.Rest())
+		if err != nil {
+			return "", fmt.Errorf("core: device %q artifact meta: %w", name, err)
+		}
+		rd.Reset(rest)
+		// The identity must name THIS arena; an artifact restored under the
+		// wrong generation's digest fails closed.
+		if meta.RulesSum != compiled.Checksum() {
+			return "", fmt.Errorf("core: device %q artifact meta rules digest %08x does not match arena %08x", name, meta.RulesSum, compiled.Checksum())
+		}
 	}
 
 	classifier := ds.classifier
@@ -540,13 +626,90 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 		}
 		cur = &events.Event{Packets: recs, Start: recs[0].Time, End: recs[nrec-1].Time}
 	}
+
+	genCounter := rd.U64()
+	var cooldownUntil time.Time
+	if rd.Bool() {
+		cooldownUntil = time.Unix(0, rd.I64()).UTC()
+	}
+	phase := swap.Phase(rd.U8())
 	if err := rd.Err(); err != nil {
 		return "", fmt.Errorf("core: device %q: %w", name, err)
 	}
+	var rl *relearnState
+	switch phase {
+	case swap.PhaseIdle:
+	case swap.PhaseRelearn, swap.PhaseShadow:
+		if compiled == nil {
+			return "", fmt.Errorf("core: device %q is mid-%s with no live artifact", name, phase)
+		}
+		started := time.Unix(0, rd.I64()).UTC()
+		ct, rest, err := flows.DecodeRuleTable(rd.Rest())
+		if err != nil {
+			return "", fmt.Errorf("core: device %q candidate rules: %w", name, err)
+		}
+		rd.Reset(rest)
+		rl = &relearnState{phase: phase, started: started, table: ct}
+		if phase == swap.PhaseRelearn {
+			if ct.Frozen() {
+				return "", fmt.Errorf("core: device %q mid-relearn candidate is already frozen", name)
+			}
+			break
+		}
+		if !ct.Frozen() {
+			return "", fmt.Errorf("core: device %q mid-shadow candidate is not frozen", name)
+		}
+		cmeta, rest, err := swap.DecodeMeta(rd.Rest())
+		if err != nil {
+			return "", fmt.Errorf("core: device %q candidate meta: %w", name, err)
+		}
+		rd.Reset(rest)
+		// The compiled candidate is rebuilt from the frozen table, then
+		// checked against the serialized identity — the same fail-closed
+		// recompile discipline the live arena gets.
+		cc := ct.Compiled()
+		if cc.Checksum() != cmeta.RulesSum {
+			return "", fmt.Errorf("core: device %q candidate digest %08x does not match meta %08x", name, cc.Checksum(), cmeta.RulesSum)
+		}
+		carr, rest, err := cc.DecodeArrival(rd.Rest())
+		if err != nil {
+			return "", fmt.Errorf("core: device %q candidate arrival: %w", name, err)
+		}
+		rd.Reset(rest)
+		matrix, rest, err := swap.DecodeShadowMatrix(rd.Rest())
+		if err != nil {
+			return "", fmt.Errorf("core: device %q shadow matrix: %w", name, err)
+		}
+		rd.Reset(rest)
+		flushed, rest, err := swap.DecodeShadowMatrix(rd.Rest())
+		if err != nil {
+			return "", fmt.Errorf("core: device %q shadow matrix: %w", name, err)
+		}
+		rd.Reset(rest)
+		rl.meta = cmeta
+		rl.compiled = cc
+		rl.arrival = carr
+		rl.matrix = matrix
+		rl.flushed = flushed
+	default:
+		return "", fmt.Errorf("core: device %q unknown lifecycle phase %d", name, phase)
+	}
+	if err := rd.Err(); err != nil {
+		return "", fmt.Errorf("core: device %q: %w", name, err)
+	}
+	if compiled != nil && (genCounter < meta.Generation || (rl != nil && rl.phase == swap.PhaseShadow && genCounter < rl.meta.Generation)) {
+		return "", fmt.Errorf("core: device %q generation counter %d behind artifact identity", name, genCounter)
+	}
 
 	ds.rules = rt
-	ds.compiled = compiled
-	ds.arrival = arrival
+	var art *ruleArtifact
+	if compiled != nil {
+		art = &ruleArtifact{meta: meta, compiled: compiled, arrival: arrival}
+	}
+	ds.art.Store(art)
+	ds.rl = rl
+	ds.genCounter = genCounter
+	ds.cooldownUntil = cooldownUntil
 	ds.classifier = classifier
 	ds.evPackets = evPackets
 	ds.evDecision = evDecision

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fiat/internal/flows"
+	"fiat/internal/ml"
+	"fiat/internal/obs"
+	"fiat/internal/swap"
+)
+
+// ruleArtifact is one immutable generation of a device's enforcement-phase
+// rule engine: the compiled arena, the shard-owned arrival state evolving
+// against it, and the versioned identity that travels into EncodeState. The
+// pointer as a whole is what Process loads and what promotion swaps, so a
+// reader can never observe the compiled rules of one generation paired with
+// the arrival state or identity of another.
+type ruleArtifact struct {
+	meta     swap.Meta
+	compiled *flows.CompiledRules
+	arrival  *flows.ArrivalState
+}
+
+// relearnState is a device's in-flight relearning lifecycle: the candidate
+// mutable table while learning, plus the compiled candidate, its identity,
+// and its shadow matrix once it enters shadow evaluation. Owned by the
+// device's shard (mutated only under sh.mu); nil while the device is idle.
+type relearnState struct {
+	phase   swap.Phase
+	started time.Time
+
+	table *flows.RuleTable
+
+	meta     swap.Meta
+	compiled *flows.CompiledRules
+	arrival  *flows.ArrivalState
+	matrix   swap.ShadowMatrix
+	// flushed is the matrix image already mirrored into the swap counters,
+	// so each housekeeping tick adds only the window's delta.
+	flushed swap.ShadowMatrix
+}
+
+// swapMetrics is the relearning lifecycle's own registry. It is deliberately
+// NOT the proxy's main registry: the main registry is a determinism oracle —
+// byte-identical across engines and across the swapped-identical differential
+// arm — and swap counters (generations, reclaims) legitimately differ between
+// a swapped and a never-swapped run. The split mirrors durable.Manager's
+// private registry; read it via Proxy.SwapMetrics.
+type swapMetrics struct {
+	reg *obs.Registry
+
+	generations      *obs.Counter
+	relearns         *obs.Counter
+	promotions       *obs.Counter
+	rollbacks        *obs.Counter
+	shadowPackets    *obs.Counter
+	shadowMismatches *obs.Counter
+	reclaimed        *obs.Counter
+
+	graveyardDepth *obs.Gauge
+}
+
+// newSwapMetrics pre-registers every lifecycle metric so snapshots are
+// structurally identical whether or not a given transition ever fired.
+func newSwapMetrics() *swapMetrics {
+	reg := obs.NewRegistry()
+	return &swapMetrics{
+		reg:              reg,
+		generations:      reg.Counter("fiat_swap_generations_total"),
+		relearns:         reg.Counter("fiat_swap_relearns_total"),
+		promotions:       reg.Counter("fiat_swap_promotions_total"),
+		rollbacks:        reg.Counter("fiat_swap_rollbacks_total"),
+		shadowPackets:    reg.Counter("fiat_swap_shadow_packets_total"),
+		shadowMismatches: reg.Counter("fiat_swap_shadow_mismatches_total"),
+		reclaimed:        reg.Counter("fiat_swap_reclaimed_arenas_total"),
+		graveyardDepth:   reg.Gauge("fiat_swap_graveyard_depth"),
+	}
+}
+
+// SwapMetrics exposes the relearning lifecycle's private registry (see
+// swapMetrics for why it is not merged into the main one).
+func (p *Proxy) SwapMetrics() *obs.Registry { return p.swapM.reg }
+
+// configSum returns the cached config checksum, computing it on first use.
+// It must be called with no shard lock held: ConfigChecksum walks every
+// shard. Process, ProcessBatchInto, SweepPending, and PromoteIdentical all
+// call it at entry, so by the time any code under a shard lock reads p.cfgSum
+// the value is pinned. The cache freezes the checksum at first traffic —
+// artifact identity wants the deployment-time configuration, and devices are
+// registered before traffic flows.
+func (p *Proxy) configSum() uint32 {
+	p.cfgSumOnce.Do(func() { p.cfgSum = p.ConfigChecksum() })
+	return p.cfgSum
+}
+
+// matchRules runs the stage-1 predictability check through whichever rule
+// engine the device is on. The caller holds the owning shard's mutex; the
+// artifact pointer load is the only synchronization the compiled path adds,
+// so promotion never blocks readers. While a relearn lifecycle is in flight
+// the live verdict is computed first and is never affected: the relearn
+// phase feeds the candidate table (the one allocating phase, excluded from
+// the steady-state alloc pins), and the shadow phase scores the candidate
+// against its own arrival state and notes agreement — both zero-alloc on the
+// live path.
+func (p *Proxy) matchRules(ds *deviceState, rec *flows.Record) bool {
+	art := ds.art.Load()
+	if art == nil {
+		return ds.rules.Match(*rec)
+	}
+	if h := p.swapHook; h != nil {
+		h(ds.cfg.Name, art)
+	}
+	hit := art.compiled.Match(rec, art.arrival)
+	if rl := ds.rl; rl != nil {
+		switch rl.phase {
+		case swap.PhaseRelearn:
+			rl.table.Learn(*rec)
+		case swap.PhaseShadow:
+			rl.matrix.Note(hit, rl.compiled.Match(rec, rl.arrival))
+		}
+	}
+	return hit
+}
+
+// driftSample reads the cumulative pipeline counters the drift detector
+// judges. The counters are engine-invariant and shard-count-invariant (the
+// metrics oracles enforce it), so the lifecycle they drive is too.
+func (p *Proxy) driftSample() swap.Sample {
+	m := p.metrics
+	return swap.Sample{
+		Matches:   m.ruleMatches.Value(),
+		Hits:      m.ruleHits.Value(),
+		Manual:    m.eventsManual.Value(),
+		NonManual: m.eventsNonManual.Value(),
+		Lockouts:  m.lockedDevices.Value(),
+	}
+}
+
+// swapTick advances the relearning lifecycle one housekeeping tick: sample
+// the drift detector, walk every device (sorted, so the order — and
+// therefore every serialized side effect — is deterministic), and reclaim
+// quiesced retired artifacts. Called from SweepPending, which the durable
+// WAL logs as an op, so crash replay re-runs the lifecycle tick-for-tick.
+func (p *Proxy) swapTick(now time.Time) {
+	if p.cfg.Relearn.Enabled {
+		s := p.driftSample()
+		sig := p.drift.Tick(s)
+		settled := false
+		for _, ds := range p.deviceStates() {
+			sh := p.shardFor(ds.cfg.Name)
+			sh.mu.Lock()
+			if p.deviceSwapTickLocked(ds, now, sig) {
+				settled = true
+			}
+			sh.mu.Unlock()
+		}
+		if settled {
+			// A promotion or rollback changed the enforcement regime on
+			// purpose; re-arm the detector so the old baseline does not
+			// immediately re-trigger.
+			p.drift.Reset(p.driftSample())
+		}
+	}
+	p.reclaimArtifacts()
+}
+
+// deviceSwapTickLocked advances one device's lifecycle. The caller holds the
+// owning shard's mutex. Returns true when the tick settled a candidate
+// (promotion or rollback).
+func (p *Proxy) deviceSwapTickLocked(ds *deviceState, now time.Time, sig swap.Signal) bool {
+	o := &p.cfg.Relearn
+	rl := ds.rl
+	if rl == nil {
+		if sig == swap.SignalNone || now.Before(ds.cooldownUntil) || ds.art.Load() == nil {
+			// Nothing to do: no drift, cooling down, or the device has no
+			// compiled artifact yet (pre-freeze, or the legacy reference arm).
+			return false
+		}
+		ds.rl = &relearnState{
+			phase:   swap.PhaseRelearn,
+			started: now,
+			table:   flows.NewRuleTable(p.cfg.Mode),
+		}
+		p.swapM.relearns.Inc()
+		return false
+	}
+	switch rl.phase {
+	case swap.PhaseRelearn:
+		if now.Sub(rl.started) >= o.RelearnFor {
+			p.compileCandidateLocked(ds, rl, now)
+		}
+	case swap.PhaseShadow:
+		p.flushShadowLocked(rl)
+		if now.Sub(rl.started) < o.ShadowFor {
+			return false
+		}
+		if rl.matrix.MatchesOrBeats(o.ShadowMin) {
+			p.promoteLocked(ds, rl)
+		} else {
+			ds.rl = nil
+			ds.cooldownUntil = now.Add(o.Cooldown)
+			p.swapM.rollbacks.Inc()
+		}
+		return true
+	}
+	return false
+}
+
+// compileCandidateLocked freezes the candidate table, compiles it, carries
+// the live arrival positions over for the buckets both generations know, and
+// enters shadow evaluation under the next generation number. The caller
+// holds the owning shard's mutex.
+func (p *Proxy) compileCandidateLocked(ds *deviceState, rl *relearnState, now time.Time) {
+	live := ds.art.Load()
+	rl.table.Freeze()
+	compiled := rl.table.Compiled()
+	arrival := compiled.NewArrivalState()
+	flows.TransferArrival(compiled, arrival, live.compiled, live.arrival)
+	ds.genCounter++
+	rl.meta = swap.Meta{
+		Generation: ds.genCounter,
+		Parent:     live.meta.Generation,
+		ConfigSum:  p.cfgSum,
+		RulesSum:   compiled.Checksum(),
+		ModelSum:   live.meta.ModelSum,
+	}
+	rl.compiled = compiled
+	rl.arrival = arrival
+	rl.matrix = swap.ShadowMatrix{}
+	rl.flushed = swap.ShadowMatrix{}
+	rl.started = now
+	rl.phase = swap.PhaseShadow
+	p.swapM.generations.Inc()
+}
+
+// flushShadowLocked mirrors the shadow matrix's growth since the last tick
+// into the monotonic swap counters.
+func (p *Proxy) flushShadowLocked(rl *relearnState) {
+	d := rl.matrix.Sub(rl.flushed)
+	p.swapM.shadowPackets.Add(d.Packets)
+	p.swapM.shadowMismatches.Add(d.Mismatches())
+	rl.flushed = rl.matrix
+}
+
+// promoteLocked installs the shadow candidate as the live artifact: one
+// atomic pointer store readers pick up at their next packet, with the old
+// generation retired into the graveyard until every shard's epoch proves no
+// reader can still hold it. The live mutable table becomes the candidate's —
+// the restore path's fail-closed check recompiles ds.rules and compares it
+// against the serialized arena, so the two must stay the same lineage. The
+// caller holds the owning shard's mutex.
+func (p *Proxy) promoteLocked(ds *deviceState, rl *relearnState) {
+	old := ds.art.Load()
+	ds.art.Store(&ruleArtifact{meta: rl.meta, compiled: rl.compiled, arrival: rl.arrival})
+	ds.rules = rl.table
+	ds.rl = nil
+	p.retireArtifact(old)
+	p.swapM.promotions.Inc()
+}
+
+// retireArtifact parks a superseded generation in the graveyard. Its release
+// hook — run only once every shard's epoch has advanced past the retirement
+// snapshot — is where the arena would be handed back to an allocator; here
+// it feeds the reclaim counter and the test hook that proves no reader ever
+// touches a reclaimed artifact.
+func (p *Proxy) retireArtifact(old *ruleArtifact) {
+	p.graveyard.Retire(p.epochs, func() {
+		if h := p.releaseHook; h != nil {
+			h(old.meta)
+		}
+		p.swapM.reclaimed.Inc()
+	})
+}
+
+// reclaimArtifacts releases every retired artifact whose readers provably
+// left: it quiesce-advances each shard (holding the shard mutex, however
+// briefly, proves no reader is inside its critical section, so advancing the
+// epoch afterwards strands every earlier retirement snapshot in the past)
+// and then sweeps the graveyard. Because the sweep runs at every
+// housekeeping tick, a generation retired between ticks is reclaimed at the
+// first tick that follows — a deterministic schedule the crash-recovery
+// oracle replays exactly.
+func (p *Proxy) reclaimArtifacts() {
+	if p.graveyard.Pending() > 0 {
+		for si := range p.shards {
+			sh := p.shards[si]
+			sh.mu.Lock()
+			sh.mu.Unlock() //nolint:staticcheck // empty section IS the barrier
+			p.epochs.Advance(si)
+		}
+		p.graveyard.Reclaim(p.epochs)
+	}
+	p.swapM.graveyardDepth.Set(int64(p.graveyard.Pending()))
+}
+
+// PromoteIdentical recompiles the device's frozen rule table into a fresh
+// artifact of the next generation, transfers the live arrival state, and hot
+// swaps it in — a semantic no-op whose decisions, audit log, stats, and main
+// metrics are byte-identical to never swapping (the four-way differential
+// enforces it). It is the manual half of the lifecycle: the path a fleet
+// control plane distributing re-signed artifacts would drive, and the lever
+// the property and differential suites use to exercise the RCU swap without
+// waiting for drift.
+func (p *Proxy) PromoteIdentical(device string) (swap.Meta, error) {
+	p.configSum()
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds, ok := sh.devices[device]
+	if !ok {
+		return swap.Meta{}, fmt.Errorf("core: device %q not registered", device)
+	}
+	old := ds.art.Load()
+	if old == nil {
+		return swap.Meta{}, fmt.Errorf("core: device %q has no compiled artifact to swap", device)
+	}
+	compiled := ds.rules.Compile()
+	arrival := compiled.NewArrivalState()
+	flows.TransferArrival(compiled, arrival, old.compiled, old.arrival)
+	ds.genCounter++
+	meta := swap.Meta{
+		Generation: ds.genCounter,
+		Parent:     old.meta.Generation,
+		ConfigSum:  p.cfgSum,
+		RulesSum:   compiled.Checksum(),
+		ModelSum:   old.meta.ModelSum,
+	}
+	ds.art.Store(&ruleArtifact{meta: meta, compiled: compiled, arrival: arrival})
+	p.retireArtifact(old)
+	p.swapM.generations.Inc()
+	p.swapM.promotions.Inc()
+	return meta, nil
+}
+
+// ArtifactMeta reports the live artifact's identity (zero Meta and false
+// before the device's freeze point or on the legacy reference arm).
+func (p *Proxy) ArtifactMeta(device string) (swap.Meta, bool) {
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds, ok := sh.devices[device]
+	if !ok {
+		return swap.Meta{}, false
+	}
+	art := ds.art.Load()
+	if art == nil {
+		return swap.Meta{}, false
+	}
+	return art.meta, true
+}
+
+// SwapPhase reports where the device sits in the relearning lifecycle.
+func (p *Proxy) SwapPhase(device string) swap.Phase {
+	sh := p.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ds, ok := sh.devices[device]; ok && ds.rl != nil {
+		return ds.rl.phase
+	}
+	return swap.PhaseIdle
+}
+
+// modelSum digests the device's compiled classifier model for artifact
+// identity (0 when the device classifies through an uncompiled path).
+func (ds *deviceState) modelSum() uint32 {
+	if cec, ok := ds.classifier.(*compiledEventClassifier); ok {
+		if sum, err := ml.CompiledChecksum(cec.model); err == nil {
+			return sum
+		}
+	}
+	return 0
+}

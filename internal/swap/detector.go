@@ -1,0 +1,173 @@
+package swap
+
+import (
+	"fmt"
+
+	"fiat/internal/wire"
+)
+
+// Sample is one reading of the cumulative pipeline counters the detector
+// watches — the same quantities the proxy's obs registry exports as
+// fiat_core_rule_match_total, fiat_core_rule_hits_total,
+// fiat_core_events_{manual,non_manual}_total, and fiat_core_locked_devices.
+type Sample struct {
+	// Matches / Hits are cumulative stage-1 rule lookups and rule hits.
+	Matches, Hits int64
+	// Manual / NonManual are cumulative classified event decisions.
+	Manual, NonManual int64
+	// Lockouts is the locked-device gauge (it may fall after an Unlock;
+	// only positive window deltas signal).
+	Lockouts int64
+}
+
+func (s Sample) sub(o Sample) Sample {
+	return Sample{
+		Matches:   s.Matches - o.Matches,
+		Hits:      s.Hits - o.Hits,
+		Manual:    s.Manual - o.Manual,
+		NonManual: s.NonManual - o.NonManual,
+		Lockouts:  s.Lockouts - o.Lockouts,
+	}
+}
+
+// Signal names which drift condition fired.
+type Signal uint8
+
+const (
+	SignalNone Signal = iota
+	// SignalMissRatio: the windowed rule-miss ratio exceeded the threshold —
+	// the device's traffic no longer looks like its learned rules.
+	SignalMissRatio
+	// SignalMargin: the classifier's manual-output fraction drifted from its
+	// baseline — the event mix the model sees has shifted.
+	SignalMargin
+	// SignalLockout: a burst of lockouts inside one window — drift expressed
+	// as users being punished.
+	SignalLockout
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SignalNone:
+		return "none"
+	case SignalMissRatio:
+		return "miss-ratio"
+	case SignalMargin:
+		return "margin-drift"
+	case SignalLockout:
+		return "lockout-burst"
+	default:
+		return "unknown"
+	}
+}
+
+// Detector judges drift over tumbling windows of the cumulative counters.
+// It is purely arithmetic over the samples it is handed at each housekeeping
+// tick, so two runs feeding it the same tick-aligned counter stream reach
+// identical verdicts — the property that keeps the whole relearn lifecycle
+// replayable from the durable WAL. It is not safe for concurrent use; the
+// proxy ticks it from one goroutine.
+type Detector struct {
+	opts Options
+
+	armed bool
+	base  Sample // window-start cumulative reading
+
+	// baseFrac is the manual-event fraction of the first completed window —
+	// the classification-mix baseline later windows drift against.
+	baseFrac    float64
+	hasBaseFrac bool
+}
+
+// NewDetector builds a detector with defaults filled.
+func NewDetector(opts Options) *Detector {
+	opts.Defaults()
+	return &Detector{opts: opts}
+}
+
+// Tick ingests the cumulative counter reading at one housekeeping tick and
+// reports whether a completed window shows drift. The first tick arms the
+// detector (its reading opens the first window); a window completes when it
+// has seen MinSample stage-1 matches, and completing it tumbles the window
+// start forward whether or not it signaled.
+func (d *Detector) Tick(s Sample) Signal {
+	if !d.armed {
+		d.armed = true
+		d.base = s
+		return SignalNone
+	}
+	w := s.sub(d.base)
+	// Lockouts are judged every tick, not per completed window: a burst is
+	// an emergency, and waiting for MinSample matches while a device is
+	// locked out would be backwards.
+	if w.Lockouts >= d.opts.LockoutBurst {
+		d.base = s
+		return SignalLockout
+	}
+	if w.Matches < d.opts.MinSample {
+		return SignalNone
+	}
+	d.base = s
+	if miss := 1 - float64(w.Hits)/float64(w.Matches); miss > d.opts.MissRatio {
+		return SignalMissRatio
+	}
+	if events := w.Manual + w.NonManual; events > 0 {
+		frac := float64(w.Manual) / float64(events)
+		if !d.hasBaseFrac {
+			d.baseFrac = frac
+			d.hasBaseFrac = true
+		} else if diff := frac - d.baseFrac; diff > d.opts.MarginDrift || -diff > d.opts.MarginDrift {
+			return SignalMargin
+		}
+	}
+	return SignalNone
+}
+
+// Reset re-arms the detector at the given cumulative reading and clears the
+// classification-mix baseline — called after a promotion or rollback, when
+// the enforcement regime (and therefore the expected mix) changed on
+// purpose.
+func (d *Detector) Reset(s Sample) {
+	d.armed = true
+	d.base = s
+	d.baseFrac = 0
+	d.hasBaseFrac = false
+}
+
+// AppendState serializes the detector's window position so a durable restart
+// resumes drift judgment mid-window.
+func (d *Detector) AppendState(b []byte) []byte {
+	b = wire.AppendBool(b, d.armed)
+	b = wire.AppendI64(b, d.base.Matches)
+	b = wire.AppendI64(b, d.base.Hits)
+	b = wire.AppendI64(b, d.base.Manual)
+	b = wire.AppendI64(b, d.base.NonManual)
+	b = wire.AppendI64(b, d.base.Lockouts)
+	b = wire.AppendBool(b, d.hasBaseFrac)
+	b = wire.AppendF64(b, d.baseFrac)
+	return b
+}
+
+// RestoreState overwrites the window position from a serialized image and
+// returns the remaining bytes.
+func (d *Detector) RestoreState(data []byte) ([]byte, error) {
+	rd := wire.NewReader(data)
+	armed := rd.Bool()
+	base := Sample{
+		Matches:   rd.I64(),
+		Hits:      rd.I64(),
+		Manual:    rd.I64(),
+		NonManual: rd.I64(),
+		Lockouts:  rd.I64(),
+	}
+	hasBaseFrac := rd.Bool()
+	baseFrac := rd.F64()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("swap: restore detector: %w", err)
+	}
+	d.armed = armed
+	d.base = base
+	d.hasBaseFrac = hasBaseFrac
+	d.baseFrac = baseFrac
+	return rd.Rest(), nil
+}

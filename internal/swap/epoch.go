@@ -1,0 +1,109 @@
+package swap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Epochs is one monotonically-advancing counter per shard. Each shard worker
+// advances its own counter after it finishes a critical section (a Process
+// call, a batch drain); the housekeeping goroutine additionally
+// quiesce-advances every counter while briefly holding each shard's mutex.
+// A retired artifact may be reclaimed once every counter has advanced past
+// the snapshot taken at retirement — proof that every worker that could have
+// loaded the old artifact pointer has since crossed a boundary.
+type Epochs struct {
+	c []atomic.Uint64
+}
+
+// NewEpochs builds counters for n shards.
+func NewEpochs(n int) *Epochs {
+	return &Epochs{c: make([]atomic.Uint64, n)}
+}
+
+// Len is the shard count.
+func (e *Epochs) Len() int { return len(e.c) }
+
+// Advance bumps shard i's counter.
+func (e *Epochs) Advance(i int) { e.c[i].Add(1) }
+
+// Load reads shard i's counter.
+func (e *Epochs) Load(i int) uint64 { return e.c[i].Load() }
+
+// Snapshot copies every counter into dst (allocating when dst is short) and
+// returns it.
+func (e *Epochs) Snapshot(dst []uint64) []uint64 {
+	if cap(dst) < len(e.c) {
+		dst = make([]uint64, len(e.c))
+	}
+	dst = dst[:len(e.c)]
+	for i := range e.c {
+		dst[i] = e.c[i].Load()
+	}
+	return dst
+}
+
+// retiredArtifact is one superseded artifact awaiting quiescence.
+type retiredArtifact struct {
+	snap    []uint64
+	release func()
+}
+
+// Graveyard holds retired artifacts until their epoch snapshots are strictly
+// in the past on every shard, then runs their release hooks. It has its own
+// tiny mutex because retirement happens under a shard lock while reclamation
+// runs from the housekeeping tick.
+type Graveyard struct {
+	mu      sync.Mutex
+	entries []retiredArtifact
+}
+
+// Retire snapshots the current epochs and parks release until quiescence.
+func (g *Graveyard) Retire(e *Epochs, release func()) {
+	snap := e.Snapshot(nil)
+	g.mu.Lock()
+	g.entries = append(g.entries, retiredArtifact{snap: snap, release: release})
+	g.mu.Unlock()
+}
+
+// Pending is how many retired artifacts still await quiescence.
+func (g *Graveyard) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}
+
+// Reclaim releases every entry whose snapshot every shard has advanced past,
+// returning how many were released.
+func (g *Graveyard) Reclaim(e *Epochs) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.entries[:0]
+	freed := 0
+	for _, ent := range g.entries {
+		if quiesced(e, ent.snap) {
+			if ent.release != nil {
+				ent.release()
+			}
+			freed++
+			continue
+		}
+		kept = append(kept, ent)
+	}
+	// Zero the freed tail so released hooks aren't pinned by the backing
+	// array.
+	for i := len(kept); i < len(g.entries); i++ {
+		g.entries[i] = retiredArtifact{}
+	}
+	g.entries = kept
+	return freed
+}
+
+func quiesced(e *Epochs, snap []uint64) bool {
+	for i := range snap {
+		if e.Load(i) == snap[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package swap
+
+import "testing"
+
+func TestEpochsSnapshotAdvance(t *testing.T) {
+	e := NewEpochs(3)
+	if e.Len() != 3 {
+		t.Fatalf("len = %d", e.Len())
+	}
+	e.Advance(1)
+	e.Advance(1)
+	e.Advance(2)
+	snap := e.Snapshot(nil)
+	if snap[0] != 0 || snap[1] != 2 || snap[2] != 1 {
+		t.Fatalf("snap = %v", snap)
+	}
+	// Reuse a caller buffer without allocating.
+	buf := make([]uint64, 3)
+	if got := e.Snapshot(buf); &got[0] != &buf[0] {
+		t.Fatal("snapshot did not reuse caller buffer")
+	}
+}
+
+func TestGraveyardReclaimRequiresAllShards(t *testing.T) {
+	e := NewEpochs(2)
+	var g Graveyard
+	released := 0
+	g.Retire(e, func() { released++ })
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d", g.Pending())
+	}
+
+	// No shard advanced: nothing reclaims.
+	if n := g.Reclaim(e); n != 0 || released != 0 {
+		t.Fatalf("reclaimed with no advances: n=%d released=%d", n, released)
+	}
+	// One of two shards advanced: still nothing.
+	e.Advance(0)
+	if n := g.Reclaim(e); n != 0 || released != 0 {
+		t.Fatalf("reclaimed with one laggard: n=%d released=%d", n, released)
+	}
+	// Both advanced: released exactly once.
+	e.Advance(1)
+	if n := g.Reclaim(e); n != 1 || released != 1 {
+		t.Fatalf("n=%d released=%d", n, released)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending = %d after reclaim", g.Pending())
+	}
+	// Idempotent: reclaiming again frees nothing.
+	if n := g.Reclaim(e); n != 0 || released != 1 {
+		t.Fatalf("double release: n=%d released=%d", n, released)
+	}
+}
+
+func TestGraveyardOrderIndependent(t *testing.T) {
+	// Two retirements at different epochs: the earlier quiesces first, the
+	// later stays parked until its own snapshot is passed.
+	e := NewEpochs(1)
+	var g Graveyard
+	var order []int
+	g.Retire(e, func() { order = append(order, 1) }) // snapshot [0]
+	e.Advance(0)
+	g.Retire(e, func() { order = append(order, 2) }) // snapshot [1]
+	// The first retiree's snapshot is already in the past; the second's is
+	// current, so only the first may be reclaimed.
+	if n := g.Reclaim(e); n != 1 || len(order) != 1 || order[0] != 1 {
+		t.Fatalf("first pass: n=%d order=%v", n, order)
+	}
+	e.Advance(0)
+	if n := g.Reclaim(e); n != 1 {
+		t.Fatalf("second pass: n=%d", n)
+	}
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestGraveyardNilRelease(t *testing.T) {
+	e := NewEpochs(1)
+	var g Graveyard
+	g.Retire(e, nil)
+	e.Advance(0)
+	if n := g.Reclaim(e); n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+}

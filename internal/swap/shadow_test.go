@@ -1,0 +1,66 @@
+package swap
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShadowMatrixNote(t *testing.T) {
+	var m ShadowMatrix
+	m.Note(true, true)   // agree hit
+	m.Note(false, false) // agree miss
+	m.Note(true, false)  // live only
+	m.Note(false, true)  // cand only
+	want := ShadowMatrix{Packets: 4, LiveHits: 2, CandHits: 2, LiveOnly: 1, CandOnly: 1}
+	if m != want {
+		t.Fatalf("got %+v want %+v", m, want)
+	}
+	if m.Mismatches() != 2 {
+		t.Fatalf("mismatches = %d", m.Mismatches())
+	}
+}
+
+func TestShadowMatrixMatchesOrBeats(t *testing.T) {
+	m := ShadowMatrix{Packets: 10, LiveHits: 6, CandHits: 6}
+	if !m.MatchesOrBeats(10) {
+		t.Fatal("equal candidate should promote")
+	}
+	if m.MatchesOrBeats(11) {
+		t.Fatal("promoted below ShadowMin")
+	}
+	m.CandHits = 5
+	if m.MatchesOrBeats(10) {
+		t.Fatal("worse candidate promoted")
+	}
+	m.CandHits = 7
+	if !m.MatchesOrBeats(10) {
+		t.Fatal("better candidate rejected")
+	}
+}
+
+func TestShadowMatrixSub(t *testing.T) {
+	a := ShadowMatrix{Packets: 10, LiveHits: 8, CandHits: 9, LiveOnly: 1, CandOnly: 2}
+	b := ShadowMatrix{Packets: 4, LiveHits: 3, CandHits: 4, LiveOnly: 0, CandOnly: 1}
+	want := ShadowMatrix{Packets: 6, LiveHits: 5, CandHits: 5, LiveOnly: 1, CandOnly: 1}
+	if got := a.Sub(b); got != want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestShadowMatrixRoundTrip(t *testing.T) {
+	m := ShadowMatrix{Packets: 100, LiveHits: 80, CandHits: 85, LiveOnly: 5, CandOnly: 10}
+	enc := m.Append(nil)
+	got, rest, err := DecodeShadowMatrix(append(enc, 0x01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+	if !bytes.Equal(rest, []byte{0x01}) {
+		t.Fatalf("rest = %x", rest)
+	}
+	if _, _, err := DecodeShadowMatrix(enc[:7]); err == nil {
+		t.Fatal("truncated decode succeeded")
+	}
+}
