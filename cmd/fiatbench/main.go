@@ -8,6 +8,12 @@
 //	fiatbench -clfbench [-clfbench-out BENCH_5.json] [-events N] [-shards N] [-seed N]
 //	fiatbench -recoverybench [-recoverybench-out BENCH_7.json] [-seed N]
 //	fiatbench -soak [-soak-out BENCH_6.json] [-soak-ticks N] [-devices N] [-shards N] [-seed N]
+//	fiatbench -coldstart [-coldstart-out BENCH_10.json] [-coldstart-devices 64,256,1024] [-seed N]
+//
+// Any invocation also accepts -cpuprofile FILE and -memprofile FILE, which
+// write pprof CPU and heap profiles covering the run (view them with
+// `go tool pprof`). The CPU profile spans everything after flag parsing; the
+// heap profile is captured at exit after a final GC.
 //
 // -rulebench skips the experiments and instead runs the rule-match
 // microbenchmark: the legacy mutex-serialized RuleTable.Match path against
@@ -26,6 +32,14 @@
 // the WAL suffix length recovery replays, and the chaos crash matrix — every
 // seeded kill point reconciled byte-for-byte against an uninterrupted
 // reference run — writing BENCH_7.json.
+//
+// -coldstart primes a fleet of identically-learning devices under durable
+// management, then measures recovery of the resulting v3 snapshot through
+// both restore arms — per-device copied decode+recompile versus zero-copy
+// artifact views over the mapped snapshot — reporting restart time, retained
+// heap, snapshot dedup savings, and the allocation-free warm acquisition
+// gate, writing BENCH_10.json. Exits non-zero when a hard gate fails
+// (acquisition allocates, arms diverge, or dedup is vacuous).
 //
 // -soak runs the sustained-load soak of the end-to-end batched engines: a
 // randomized three-way differential (sequential vs goroutine-fan-out sharded
@@ -46,6 +60,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,6 +71,55 @@ import (
 	"fiat/internal/netsim"
 	"fiat/internal/report"
 )
+
+// startProfiles arms the optional pprof outputs and returns the function
+// that flushes them; it must run before any exit so the CPU profile is
+// complete.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fiatbench: memprofile:", err)
+				return
+			}
+			runtime.GC() // profile retained heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fiatbench: memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
+// parseCounts parses a comma-separated list of positive ints.
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad device count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
@@ -72,23 +138,37 @@ func main() {
 	soak := flag.Bool("soak", false, "run the sustained-load async-pipeline soak instead of the experiments")
 	soakOut := flag.String("soak-out", "BENCH_6.json", "where -soak writes its JSON result")
 	soakTicks := flag.Int("soak-ticks", 20000, "measured steady-state batches per engine for -soak")
+	coldStart := flag.Bool("coldstart", false, "run the copied-vs-zero-copy cold-restart benchmark instead of the experiments")
+	coldStartOut := flag.String("coldstart-out", "BENCH_10.json", "where -coldstart writes its JSON result")
+	coldStartDevices := flag.String("coldstart-devices", "64,256,1024", "comma-separated fleet sizes for -coldstart")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	if *ruleBench {
-		runRuleBench(*benchDevices, *benchShards, *seed, *ruleBenchOut)
-		return
+		exit(runRuleBench(*benchDevices, *benchShards, *seed, *ruleBenchOut))
 	}
 	if *clfBench {
-		runClfBench(*benchEvents, *benchShards, *seed, *clfBenchOut)
-		return
+		exit(runClfBench(*benchEvents, *benchShards, *seed, *clfBenchOut))
 	}
 	if *recoveryBench {
-		runRecoveryBench(*seed, *recoveryBenchOut)
-		return
+		exit(runRecoveryBench(*seed, *recoveryBenchOut))
 	}
 	if *soak {
-		runSoakBench(*benchDevices, *benchShards, *soakTicks, *seed, *soakOut)
-		return
+		exit(runSoakBench(*benchDevices, *benchShards, *soakTicks, *seed, *soakOut))
+	}
+	if *coldStart {
+		exit(runColdStartBench(*coldStartDevices, *seed, *coldStartOut))
 	}
 
 	var sc experiments.Scale
@@ -99,7 +179,7 @@ func main() {
 		sc = experiments.Full(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "fiatbench: unknown scale %q (want quick or full)\n", *scaleName)
-		os.Exit(2)
+		exit(2)
 	}
 
 	byID := map[string]func(experiments.Scale) experiments.Result{
@@ -148,7 +228,7 @@ func main() {
 			fn, ok := byID[arg]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "fiatbench: unknown experiment %q\n", arg)
-				os.Exit(2)
+				exit(2)
 			}
 			emit(fn(sc))
 		}
@@ -163,7 +243,7 @@ func main() {
 		}, results)
 		if err := os.WriteFile(*htmlOut, []byte(page), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "fiatbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("fiatbench: HTML report -> %s\n", *htmlOut)
 	}
@@ -172,13 +252,18 @@ func main() {
 	}
 	fmt.Printf("fiatbench: %d experiment(s), scale=%s, seed=%d, %.1fs\n",
 		len(results), *scaleName, *seed, time.Since(start).Seconds())
+	stopProfiles()
 }
 
 // runRuleBench measures the frozen-rule match path before and after
 // compilation and writes the BENCH_4.json comparison.
-func runRuleBench(devices, shards int, seed int64, out string) {
+func runRuleBench(devices, shards int, seed int64, out string) int {
 	fmt.Printf("fiatbench: rule-match microbenchmark, %d devices x %d shards, seed=%d\n", devices, shards, seed)
 	res := experiments.RuleMatchBench(devices, shards, seed)
+	res.Meta = experiments.NewBenchMeta(map[string]string{
+		"devices": strconv.Itoa(devices), "shards": strconv.Itoa(shards),
+		"seed": strconv.FormatInt(seed, 10),
+	})
 	fmt.Printf("  legacy   %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
 		res.Legacy.NsPerOp, res.Legacy.OpsPerSec, res.Legacy.AllocsPerOp)
 	fmt.Printf("  compiled %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
@@ -186,21 +271,59 @@ func runRuleBench(devices, shards int, seed int64, out string) {
 	fmt.Printf("  speedup  %.2fx\n", res.Speedup)
 	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "fiatbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("fiatbench: rule-match benchmark -> %s\n", out)
+	return 0
+}
+
+// runColdStartBench primes identical fleets at each size and measures both
+// recovery arms, enforcing the hard gates at the CLI.
+func runColdStartBench(deviceList string, seed int64, out string) int {
+	counts, err := parseCounts(deviceList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		return 2
+	}
+	fmt.Printf("fiatbench: cold-start benchmark, fleets %v, seed=%d\n", counts, seed)
+	res, err := experiments.ColdStartBench(seed, counts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		return 1
+	}
+	res.Meta = experiments.NewBenchMeta(map[string]string{
+		"coldstart-devices": deviceList, "seed": strconv.FormatInt(seed, 10),
+	})
+	fmt.Printf("  warm acquisition  %g allocs/device\n", res.AcquireAllocs)
+	for _, p := range res.Points {
+		fmt.Printf("  %5d devices  copied %8.2f ms (%8d KiB heap)  zero-copy %8.2f ms (%8d KiB heap)  %5.2fx  snapshot %d KiB (deduped %d KiB)  arenas=%d refs=%d identical=%v\n",
+			p.Devices, p.Copied.RestartMs, p.Copied.HeapDeltaBytes/1024,
+			p.ZeroCopy.RestartMs, p.ZeroCopy.HeapDeltaBytes/1024, p.Speedup,
+			p.SnapshotBytes/1024, p.DedupSavedBytes/1024, p.UniqueArenas, p.ArenaRefs, p.StateIdentical)
+	}
+	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench:", err)
+		return 1
+	}
+	if err := res.Gates(); err != nil {
+		fmt.Fprintln(os.Stderr, "fiatbench: cold-start gate FAILED:", err)
+		return 1
+	}
+	fmt.Printf("fiatbench: cold-start benchmark -> %s\n", out)
+	return 0
 }
 
 // runRecoveryBench measures the durable-state layer and writes the
 // BENCH_7.json comparison: append overhead, cold-restart scaling, and the
 // crash-reconciliation matrix.
-func runRecoveryBench(seed int64, out string) {
+func runRecoveryBench(seed int64, out string) int {
 	fmt.Printf("fiatbench: durable-state recovery benchmark, seed=%d\n", seed)
 	res, err := experiments.RecoveryBench(seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fiatbench:", err)
-		os.Exit(1)
+		return 1
 	}
+	res.Meta = experiments.NewBenchMeta(map[string]string{"seed": strconv.FormatInt(seed, 10)})
 	fmt.Printf("  append (fsync on tick)   %8.1f ns/op  %5.1f allocs/op\n",
 		res.AppendBuffered.NsPerOp, res.AppendBuffered.AllocsPerOp)
 	fmt.Printf("  append (fsync always)    %8.1f ns/op  %5.1f allocs/op\n",
@@ -216,20 +339,21 @@ func runRecoveryBench(seed int64, out string) {
 	}
 	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "fiatbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if !res.Identical() {
 		fmt.Fprintln(os.Stderr, "fiatbench: crash matrix reconciliation FAILED")
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("fiatbench: recovery benchmark -> %s\n", out)
+	return 0
 }
 
 // runSoakBench runs the end-to-end sustained-load soak and writes the
 // BENCH_6.json comparison. It enforces the two hard gates at the CLI: the
 // three-way differential must be identical, and the async engine must
 // sustain zero allocations per steady-state batch.
-func runSoakBench(devices, shards, ticks int, seed int64, out string) {
+func runSoakBench(devices, shards, ticks int, seed int64, out string) int {
 	mlDevices := devices / 16
 	if mlDevices < 1 {
 		mlDevices = 1
@@ -242,8 +366,12 @@ func runSoakBench(devices, shards, ticks int, seed int64, out string) {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fiatbench:", err)
-		os.Exit(1)
+		return 1
 	}
+	res.Meta = experiments.NewBenchMeta(map[string]string{
+		"devices": strconv.Itoa(devices), "shards": strconv.Itoa(shards),
+		"soak-ticks": strconv.Itoa(ticks), "seed": strconv.FormatInt(seed, 10),
+	})
 	fmt.Printf("  differential: %d seeds x %d steps, %d packets/seed, identical=%v\n",
 		len(res.Differential.Seeds), res.Differential.Steps, res.Differential.Packets, res.Differential.Identical)
 	for _, arm := range []experiments.SoakArm{res.Sharded, res.Async} {
@@ -256,26 +384,31 @@ func runSoakBench(devices, shards, ticks int, seed int64, out string) {
 	fmt.Printf("  speedup  %.2fx\n", res.Speedup)
 	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "fiatbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if !res.Differential.Identical {
 		fmt.Fprintln(os.Stderr, "fiatbench: soak differential FAILED")
-		os.Exit(1)
+		return 1
 	}
 	if res.Async.SteadyStateAllocs != 0 {
 		fmt.Fprintf(os.Stderr, "fiatbench: async steady state allocates (%g allocs/batch, want 0)\n",
 			res.Async.SteadyStateAllocs)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("fiatbench: soak benchmark -> %s\n", out)
+	return 0
 }
 
 // runClfBench measures the event-classification path of the trained
 // deployment model before and after compilation and writes the BENCH_5.json
 // comparison.
-func runClfBench(eventCount, shards int, seed int64, out string) {
+func runClfBench(eventCount, shards int, seed int64, out string) int {
 	fmt.Printf("fiatbench: event-classification microbenchmark, %d events x %d shards, seed=%d\n", eventCount, shards, seed)
 	res := experiments.ClassifyBench(eventCount, shards, seed)
+	res.Meta = experiments.NewBenchMeta(map[string]string{
+		"events": strconv.Itoa(eventCount), "shards": strconv.Itoa(shards),
+		"seed": strconv.FormatInt(seed, 10),
+	})
 	fmt.Printf("  legacy   %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
 		res.Legacy.NsPerOp, res.Legacy.OpsPerSec, res.Legacy.AllocsPerOp)
 	fmt.Printf("  compiled %8.1f ns/op  %12.0f ops/sec  %5.1f allocs/op\n",
@@ -283,9 +416,10 @@ func runClfBench(eventCount, shards int, seed int64, out string) {
 	fmt.Printf("  speedup  %.2fx\n", res.Speedup)
 	if err := os.WriteFile(out, res.JSON(), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "fiatbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("fiatbench: classification benchmark -> %s\n", out)
+	return 0
 }
 
 // printMetricsSnapshot replays one seeded chaos scenario — burst loss and a

@@ -1,0 +1,183 @@
+// Package artifact implements the relocatable compiled-artifact encoding:
+// one contiguous, alignment-padded byte buffer holding a compiled rule
+// arena (flows.CompiledRules) or a compiled classifier template
+// (ml.CompiledModel), framed by an offset-based header with a version and a
+// CRC32C. The layout is designed so a typed view can be constructed over
+// the buffer in place — numeric arenas are 8-byte aligned relative to the
+// blob start and are aliased with zero parsing and zero per-device
+// allocation; only the one-time-per-unique-arena key list is parsed. When
+// the buffer lands misaligned (or the host is big-endian) the view falls
+// back to a copying decode: alignment is a performance property here, never
+// a correctness one.
+//
+// Blobs are relocatable: every internal offset is relative to the payload
+// start, so the same bytes are valid on disk, inside a snapshot image, in
+// an mmap'd file, or on the heap. The content-addressed Store keys blobs by
+// the arena's canonical checksum (flows.CompiledRules.Checksum /
+// ml.CompiledChecksum), letting any number of devices share one buffer.
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"fiat/internal/flows"
+)
+
+// Blob envelope layout (all integers little-endian):
+//
+//	 0:8   magic "FIATART1"
+//	 8:10  u16 format version
+//	10     u8  kind (KindRules | KindModel)
+//	11     u8  zero padding
+//	12:16  u32 CRC32C of the payload
+//	16:24  u64 payload length
+//	24:    payload (starts 8-aligned relative to the blob)
+const (
+	Magic     = "FIATART1"
+	Version   = uint16(1)
+	KindRules = uint8(1)
+	KindModel = uint8(2)
+	HeaderLen = 24
+)
+
+// Rules payload layout: a fixed 88-byte section table followed by the
+// arenas. Offsets are relative to the payload start; every numeric section
+// is padded to 8-byte alignment (the blob itself starts 8-aligned, so
+// payload-relative alignment is absolute alignment whenever the container
+// placed the blob on an 8-byte boundary).
+//
+//	 0:2   u16 rules payload version
+//	 2     u8  key mode
+//	 3:8   zero padding
+//	 8:16  i64 quantum (ns)
+//	16:24  u64 nkeys
+//	24:32  u64 nflat
+//	32:40  u64 keysOff
+//	40:48  u64 keysLen
+//	48:56  u64 offsetsOff  ([]u32, nkeys+1)
+//	56:64  u64 flatOff     ([]i64, nflat)
+//	64:72  u64 initLastOff ([]i64, nkeys)
+//	72:80  u64 initHasOff  ([]byte 0/1, nkeys)
+//	80:88  u64 payload length (mirror of the envelope, bounds sanity)
+const (
+	rulesPayloadVersion = uint16(1)
+	rulesHdrLen         = 88
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// align8 returns n rounded up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// Wrap frames a payload in the blob envelope.
+func Wrap(kind uint8, payload []byte) []byte {
+	b := make([]byte, 0, HeaderLen+len(payload))
+	b = append(b, Magic...)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	b = append(b, kind, 0)
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+// Payload validates the envelope (magic, version, length, CRC32C) and
+// returns the kind and the payload aliasing blob. Fails closed on any
+// inconsistency.
+func Payload(blob []byte) (kind uint8, payload []byte, err error) {
+	if len(blob) < HeaderLen {
+		return 0, nil, fmt.Errorf("artifact: blob truncated at %d bytes", len(blob))
+	}
+	if string(blob[:8]) != Magic {
+		return 0, nil, fmt.Errorf("artifact: bad magic %q", blob[:8])
+	}
+	if v := binary.LittleEndian.Uint16(blob[8:10]); v != Version {
+		return 0, nil, fmt.Errorf("artifact: format version %d, want %d", v, Version)
+	}
+	kind = blob[10]
+	if kind != KindRules && kind != KindModel {
+		return 0, nil, fmt.Errorf("artifact: bad kind %d", kind)
+	}
+	n := binary.LittleEndian.Uint64(blob[16:24])
+	if n != uint64(len(blob)-HeaderLen) {
+		return 0, nil, fmt.Errorf("artifact: payload length %d does not match blob size %d", n, len(blob)-HeaderLen)
+	}
+	payload = blob[HeaderLen:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(blob[12:16]); got != want {
+		return 0, nil, fmt.Errorf("artifact: payload CRC 0x%08x, want 0x%08x", got, want)
+	}
+	return kind, payload, nil
+}
+
+// EncodeRules serializes a compiled rule arena into a relocatable blob.
+// The encoding is deterministic: equal arenas (equal Checksum) produce
+// equal blobs.
+func EncodeRules(c *flows.CompiledRules) []byte {
+	mode, quantum, keys, offsets, flat, initLast, initHas := c.Arena()
+	var keyBytes []byte
+	for i := range keys {
+		keyBytes = flows.AppendKey(keyBytes, &keys[i])
+	}
+	keysOff := rulesHdrLen
+	offsetsOff := align8(keysOff + len(keyBytes))
+	flatOff := align8(offsetsOff + 4*len(offsets))
+	initLastOff := flatOff + 8*len(flat)
+	initHasOff := initLastOff + 8*len(initLast)
+	total := initHasOff + len(initHas)
+
+	p := make([]byte, total)
+	binary.LittleEndian.PutUint16(p[0:2], rulesPayloadVersion)
+	p[2] = uint8(mode)
+	binary.LittleEndian.PutUint64(p[8:16], uint64(quantum))
+	binary.LittleEndian.PutUint64(p[16:24], uint64(len(keys)))
+	binary.LittleEndian.PutUint64(p[24:32], uint64(len(flat)))
+	binary.LittleEndian.PutUint64(p[32:40], uint64(keysOff))
+	binary.LittleEndian.PutUint64(p[40:48], uint64(len(keyBytes)))
+	binary.LittleEndian.PutUint64(p[48:56], uint64(offsetsOff))
+	binary.LittleEndian.PutUint64(p[56:64], uint64(flatOff))
+	binary.LittleEndian.PutUint64(p[64:72], uint64(initLastOff))
+	binary.LittleEndian.PutUint64(p[72:80], uint64(initHasOff))
+	binary.LittleEndian.PutUint64(p[80:88], uint64(total))
+	copy(p[keysOff:], keyBytes)
+	at := offsetsOff
+	for _, o := range offsets {
+		binary.LittleEndian.PutUint32(p[at:at+4], o)
+		at += 4
+	}
+	at = flatOff
+	for _, v := range flat {
+		binary.LittleEndian.PutUint64(p[at:at+8], uint64(v))
+		at += 8
+	}
+	at = initLastOff
+	for _, v := range initLast {
+		binary.LittleEndian.PutUint64(p[at:at+8], uint64(v))
+		at += 8
+	}
+	at = initHasOff
+	for _, h := range initHas {
+		if h {
+			p[at] = 1
+		}
+		at++
+	}
+	return Wrap(KindRules, p)
+}
+
+// EncodeModel frames a canonical compiled-model encoding (ml.EncodeCompiled
+// output) as a model blob.
+func EncodeModel(enc []byte) []byte { return Wrap(KindModel, enc) }
+
+// ModelPayload validates a model blob and returns the inner canonical
+// model encoding, aliasing blob.
+func ModelPayload(blob []byte) ([]byte, error) {
+	kind, payload, err := Payload(blob)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindModel {
+		return nil, fmt.Errorf("artifact: kind %d, want model", kind)
+	}
+	return payload, nil
+}

@@ -1,0 +1,313 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"fiat/internal/flows"
+)
+
+// buildCompiled learns a small but structurally varied rule table — IPv4 and
+// IPv6 remotes, tcp and udp, both directions, domains in portless mode —
+// freezes it, and returns the compiled arena.
+func buildCompiled(t testing.TB, mode flows.KeyMode) *flows.CompiledRules {
+	t.Helper()
+	rt := flows.NewRuleTable(mode)
+	base := time.Unix(1700000000, 0).UTC()
+	recs := []flows.Record{
+		{Size: 128, Proto: "tcp", Dir: flows.DirOutbound, RemoteIP: netip.MustParseAddr("52.1.1.1"),
+			LocalPort: 40000, RemotePort: 443, RemoteDomain: "cloud.example"},
+		{Size: 64, Proto: "udp", Dir: flows.DirInbound, RemoteIP: netip.MustParseAddr("2001:db8::1"),
+			LocalPort: 5353, RemotePort: 5353},
+		{Size: 256, Proto: "tcp", Dir: flows.DirOutbound, RemoteIP: netip.MustParseAddr("52.1.1.2"),
+			LocalPort: 40001, RemotePort: 8883, RemoteDomain: "mqtt.example"},
+	}
+	// Four arrivals per key at a fixed interval: two identical IATs make the
+	// interval a learned period.
+	for round := 0; round < 4; round++ {
+		for i, r := range recs {
+			r.Time = base.Add(time.Duration(round)*10*time.Second + time.Duration(i)*time.Second)
+			rt.Learn(r)
+		}
+	}
+	rt.Freeze()
+	c := rt.Compile()
+	if c == nil {
+		t.Fatal("rule table did not compile")
+	}
+	return c
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("hello relocatable world")
+	blob := Wrap(KindModel, payload)
+	kind, got, err := Payload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindModel || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip gave kind %d payload %q", kind, got)
+	}
+	if mp, err := ModelPayload(blob); err != nil || !bytes.Equal(mp, payload) {
+		t.Fatalf("ModelPayload: %v", err)
+	}
+	// Empty payloads are legal envelopes.
+	if _, got, err = Payload(Wrap(KindRules, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: %v (%d bytes)", err, len(got))
+	}
+}
+
+func TestPayloadRejects(t *testing.T) {
+	valid := Wrap(KindModel, []byte("payload"))
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"truncated header", valid[:HeaderLen-1]},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"bad version", mutate(func(b []byte) []byte { binary.LittleEndian.PutUint16(b[8:10], 99); return b })},
+		{"bad kind", mutate(func(b []byte) []byte { b[10] = 7; return b })},
+		{"short body", valid[:len(valid)-1]},
+		{"length overstates", mutate(func(b []byte) []byte { binary.LittleEndian.PutUint64(b[16:24], 1<<40); return b })},
+		{"payload corrupted", mutate(func(b []byte) []byte { b[HeaderLen] ^= 0x01; return b })},
+		{"crc corrupted", mutate(func(b []byte) []byte { b[12] ^= 0x01; return b })},
+	}
+	for _, tc := range cases {
+		if _, _, err := Payload(tc.blob); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Kind cross-checks fail closed.
+	rules := EncodeRules(buildCompiled(t, flows.ModeClassic))
+	if _, err := ModelPayload(rules); err == nil {
+		t.Error("ModelPayload accepted a rules blob")
+	}
+	if _, err := RulesView(valid); err == nil {
+		t.Error("RulesView accepted a model blob")
+	}
+}
+
+// TestRulesRoundTrip: encode → view/copy-decode → re-encode must be
+// byte-identical and checksum-stable in both key modes and on both arms.
+func TestRulesRoundTrip(t *testing.T) {
+	for _, mode := range []flows.KeyMode{flows.ModeClassic, flows.ModePortLess} {
+		c := buildCompiled(t, mode)
+		blob := EncodeRules(c)
+		if !bytes.Equal(blob, EncodeRules(c)) {
+			t.Fatalf("mode %d: encoding is not deterministic", mode)
+		}
+		if kind, err := Validate(blob); err != nil || kind != KindRules {
+			t.Fatalf("mode %d: Validate: kind %d err %v", mode, kind, err)
+		}
+		view, err := RulesView(blob)
+		if err != nil {
+			t.Fatalf("mode %d: view: %v", mode, err)
+		}
+		cp, err := DecodeRulesCopy(blob)
+		if err != nil {
+			t.Fatalf("mode %d: copy: %v", mode, err)
+		}
+		want := c.Checksum()
+		if got := view.Checksum(); got != want {
+			t.Fatalf("mode %d: view checksum 0x%08x, want 0x%08x", mode, got, want)
+		}
+		if got := cp.Checksum(); got != want {
+			t.Fatalf("mode %d: copy checksum 0x%08x, want 0x%08x", mode, got, want)
+		}
+		if !bytes.Equal(EncodeRules(view), blob) {
+			t.Fatalf("mode %d: view re-encode differs", mode)
+		}
+		if !bytes.Equal(EncodeRules(cp), blob) {
+			t.Fatalf("mode %d: copy re-encode differs", mode)
+		}
+	}
+}
+
+// TestRulesViewMisaligned: a blob whose payload does not sit on an 8-byte
+// boundary must still decode — via the copy fallback — to the same table.
+func TestRulesViewMisaligned(t *testing.T) {
+	c := buildCompiled(t, flows.ModeClassic)
+	blob := EncodeRules(c)
+	for shift := 1; shift < 8; shift++ {
+		buf := make([]byte, len(blob)+shift)
+		copy(buf[shift:], blob)
+		view, err := RulesView(buf[shift:])
+		if err != nil {
+			t.Fatalf("shift %d: %v", shift, err)
+		}
+		if got, want := view.Checksum(), c.Checksum(); got != want {
+			t.Fatalf("shift %d: checksum 0x%08x, want 0x%08x", shift, got, want)
+		}
+	}
+}
+
+// corruptPayload applies f to a copy of the rules payload and re-wraps it, so
+// the envelope CRC stays valid and the corruption reaches the header parser.
+func corruptPayload(t *testing.T, blob []byte, f func(p []byte) []byte) []byte {
+	t.Helper()
+	_, payload, err := Payload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := append([]byte(nil), payload...)
+	return Wrap(KindRules, f(p))
+}
+
+func TestRulesHdrRejects(t *testing.T) {
+	blob := EncodeRules(buildCompiled(t, flows.ModeClassic))
+	cases := []struct {
+		name string
+		f    func(p []byte) []byte
+	}{
+		{"truncated payload", func(p []byte) []byte { return p[:rulesHdrLen-1] }},
+		{"payload version", func(p []byte) []byte { binary.LittleEndian.PutUint16(p[0:2], 9); return p }},
+		{"length mirror", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[80:88], 1); return p }},
+		{"implausible nkeys", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[16:24], 1<<50); return p }},
+		{"implausible nflat", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[24:32], 1<<50); return p }},
+		{"keys out of bounds", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[32:40], 1<<40); return p }},
+		{"offsets out of bounds", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[48:56], uint64(len(p))); return p }},
+		{"flat out of bounds", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[56:64], 1<<40); return p }},
+		{"initLast out of bounds", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[64:72], 1<<40); return p }},
+		{"initHas out of bounds", func(p []byte) []byte { binary.LittleEndian.PutUint64(p[72:80], 1<<40); return p }},
+		{"offsets not from zero", func(p []byte) []byte {
+			off := binary.LittleEndian.Uint64(p[48:56])
+			binary.LittleEndian.PutUint32(p[off:off+4], 1)
+			return p
+		}},
+		{"bool byte poisoned", func(p []byte) []byte {
+			off := binary.LittleEndian.Uint64(p[72:80])
+			p[off] = 2
+			return p
+		}},
+		{"key list trailing bytes", func(p []byte) []byte {
+			// Shrink the declared key-list length so trailing bytes remain.
+			n := binary.LittleEndian.Uint64(p[40:48])
+			binary.LittleEndian.PutUint64(p[40:48], n-1)
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		bad := corruptPayload(t, blob, tc.f)
+		if _, err := RulesView(bad); err == nil {
+			t.Errorf("%s: view accepted", tc.name)
+		}
+		if _, err := DecodeRulesCopy(bad); err == nil {
+			t.Errorf("%s: copy accepted", tc.name)
+		}
+	}
+	// Validate catches header corruption without building a view.
+	bad := corruptPayload(t, blob, cases[2].f)
+	if _, err := Validate(bad); err == nil {
+		t.Error("Validate accepted corrupt length mirror")
+	}
+}
+
+func TestAliasHelpers(t *testing.T) {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if v, ok := AliasI64s(buf, 0); !ok || v != nil {
+		t.Error("AliasI64s n=0 should be trivially ok")
+	}
+	if _, ok := AliasI64s(buf, 9); ok {
+		t.Error("AliasI64s accepted short buffer")
+	}
+	if _, ok := AliasI64s(buf[1:], 4); ok {
+		t.Error("AliasI64s accepted misaligned base")
+	}
+	if v, ok := AliasI64s(buf, 2); ok { // aligned on every sane allocator
+		if v[0] != int64(binary.LittleEndian.Uint64(buf[0:8])) {
+			t.Error("AliasI64s decoded wrong value")
+		}
+	}
+	if _, ok := AliasU32s(buf[1:], 2); ok {
+		t.Error("AliasU32s accepted misaligned base")
+	}
+	if _, ok := AliasU32s(buf, 17); ok {
+		t.Error("AliasU32s accepted short buffer")
+	}
+	if v, err := AliasBools([]byte{0, 1, 1, 0}, 4); err != nil || len(v) != 4 || !v[1] || v[3] {
+		t.Errorf("AliasBools: %v %v", v, err)
+	}
+	if v, err := AliasBools(nil, 0); err != nil || v != nil {
+		t.Errorf("AliasBools empty: %v %v", v, err)
+	}
+	if _, err := AliasBools([]byte{0, 2}, 2); err == nil {
+		t.Error("AliasBools accepted byte 2")
+	}
+	if _, err := AliasBools([]byte{0}, 2); err == nil {
+		t.Error("AliasBools accepted truncation")
+	}
+}
+
+func TestCopyHelpers(t *testing.T) {
+	if _, err := copyI64s(make([]byte, 7), 1); err == nil {
+		t.Error("copyI64s accepted truncation")
+	}
+	if v, err := copyI64s(nil, 0); err != nil || v != nil {
+		t.Errorf("copyI64s empty: %v %v", v, err)
+	}
+	if _, err := copyU32s(make([]byte, 3), 1); err == nil {
+		t.Error("copyU32s accepted truncation")
+	}
+	if v, err := copyU32s(nil, 0); err != nil || v != nil {
+		t.Errorf("copyU32s empty: %v %v", v, err)
+	}
+	if _, err := copyBools([]byte{1, 2}, 2); err == nil {
+		t.Error("copyBools accepted byte 2")
+	}
+	if _, err := copyBools([]byte{1}, 2); err == nil {
+		t.Error("copyBools accepted truncation")
+	}
+	if v, err := copyBools([]byte{1, 0}, 2); err != nil || !v[0] || v[1] {
+		t.Errorf("copyBools: %v %v", v, err)
+	}
+}
+
+func TestMapFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := []byte("mapped artifact bytes")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, mapped, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("mapped %q, want %q", got, want)
+	}
+	if runtime.GOOS == "linux" && !mapped {
+		t.Error("expected an mmap on linux")
+	}
+	if mapped {
+		// MAP_PRIVATE: writes must stay out of the file.
+		got[0] = 'X'
+		onDisk, _ := os.ReadFile(path)
+		if !bytes.Equal(onDisk, want) {
+			t.Error("write through mapping reached the file")
+		}
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, mapped, err := MapFile(empty); err != nil || mapped || got != nil {
+		t.Errorf("empty file: %v %v %v", got, mapped, err)
+	}
+	if _, _, err := MapFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file: no error")
+	}
+}

@@ -1,0 +1,78 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fiat/internal/flows"
+)
+
+// fuzzSeeds returns valid blobs of every kind plus corrupted variants, so the
+// fuzzers start from deep inside the format instead of rediscovering the
+// magic number.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	classic := EncodeRules(buildCompiled(f, flows.ModeClassic))
+	portless := EncodeRules(buildCompiled(f, flows.ModePortLess))
+	model := EncodeModel([]byte("not a real model payload"))
+	flipped := append([]byte(nil), classic...)
+	flipped[len(flipped)/2] ^= 0xff
+	short := classic[:len(classic)-3]
+	badVer := append([]byte(nil), classic...)
+	binary.LittleEndian.PutUint16(badVer[8:10], 2)
+	return [][]byte{classic, portless, model, flipped, short, badVer, nil, []byte("FIATART1")}
+}
+
+// FuzzPayload: the envelope parser must never panic, and anything it accepts
+// Validate must accept too.
+func FuzzPayload(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		kind, payload, err := Payload(blob)
+		if err != nil {
+			return
+		}
+		if kind != KindRules && kind != KindModel {
+			t.Fatalf("accepted kind %d", kind)
+		}
+		if len(payload) != len(blob)-HeaderLen {
+			t.Fatalf("payload %d bytes from a %d-byte blob", len(payload), len(blob))
+		}
+		if kind == KindModel {
+			if _, err := ModelPayload(blob); err != nil {
+				t.Fatalf("Payload accepted but ModelPayload rejected: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzRulesView: the zero-copy and copying decoders are differential twins —
+// they must accept exactly the same inputs, and on acceptance produce
+// equal-checksum tables that re-encode to identical canonical blobs.
+func FuzzRulesView(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		view, verr := RulesView(blob)
+		cp, cerr := DecodeRulesCopy(blob)
+		if (verr == nil) != (cerr == nil) {
+			t.Fatalf("arms disagree: view err %v, copy err %v", verr, cerr)
+		}
+		if verr != nil {
+			return
+		}
+		if _, err := Validate(blob); err != nil {
+			t.Fatalf("view accepted but Validate rejected: %v", err)
+		}
+		if a, b := view.Checksum(), cp.Checksum(); a != b {
+			t.Fatalf("checksums disagree: view 0x%08x, copy 0x%08x", a, b)
+		}
+		if !bytes.Equal(EncodeRules(view), EncodeRules(cp)) {
+			t.Fatal("re-encodings disagree between arms")
+		}
+	})
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package artifact
+
+import "os"
+
+// MapFile loads path for zero-copy consumption. Platforms without the mmap
+// fast path read the file once into the heap; views then alias that buffer
+// — still a single read and a single copy of each unique arena.
+func MapFile(path string) (data []byte, mapped bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}

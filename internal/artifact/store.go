@@ -1,0 +1,226 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"fiat/internal/flows"
+	"fiat/internal/ml"
+)
+
+// Store is the content-addressed artifact store: compiled views keyed by
+// the arena's canonical checksum (the same uint32 that flows through
+// swap.Meta.RulesSum / ModelSum), so every device sharing a template
+// references one buffer and one set of probe tables.
+//
+// Rule entries are refcounted: the restore path installs a view once per
+// unique arena and acquires one reference per device artifact; hot-swap
+// retirement releases the reference through the swap Graveyard once no
+// shard can still observe the old artifact pointer, and the entry is
+// dropped when the last reference goes. Model templates are shared without
+// refcounts — a template is immutable, per-device state lives in the
+// clone's scratch, and the handful of unique templates per fleet is not
+// worth a release path.
+//
+// AcquireRules on a warm entry is allocation-free: it is on the
+// per-device restore path.
+type Store struct {
+	mu     sync.Mutex
+	rules  map[uint32]*rulesEntry
+	models map[uint32]*modelEntry
+	// rtValidated caches rule-table encodings that passed full structural
+	// validation, keyed by CRC32C of the bytes. Hits are confirmed by byte
+	// comparison, so validation only ever transfers between identical
+	// encodings — a checksum collision degrades to a cache miss, never to
+	// trusting unvalidated bytes.
+	rtValidated map[uint32][]byte
+
+	rulesInstalled, rulesDropped, modelsInstalled uint64
+}
+
+type rulesEntry struct {
+	view  *flows.CompiledRules
+	bytes int
+	refs  int
+}
+
+type modelEntry struct {
+	model ml.CompiledModel
+	bytes int
+}
+
+// NewStore returns an empty artifact store.
+func NewStore() *Store {
+	return &Store{
+		rules:       make(map[uint32]*rulesEntry),
+		models:      make(map[uint32]*modelEntry),
+		rtValidated: make(map[uint32][]byte),
+	}
+}
+
+// RuleBytesValidated reports whether raw is byte-identical to a rule-table
+// encoding previously recorded with NoteRuleBytesValidated: its structural
+// validation can be skipped because identical bytes decode identically.
+func (s *Store) RuleBytesValidated(raw []byte) bool {
+	sum := crc32.Checksum(raw, castagnoli)
+	s.mu.Lock()
+	cached, ok := s.rtValidated[sum]
+	s.mu.Unlock()
+	return ok && bytes.Equal(cached, raw)
+}
+
+// NoteRuleBytesValidated records a rule-table encoding that passed full
+// validation. The bytes are aliased, not copied — callers hand in snapshot
+// memory that stays immutable and mapped for the process lifetime.
+func (s *Store) NoteRuleBytesValidated(raw []byte) {
+	sum := crc32.Checksum(raw, castagnoli)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.rtValidated[sum]; !ok {
+		s.rtValidated[sum] = raw
+	}
+}
+
+// InstallRules ensures a view for the arena identified by sum exists,
+// constructing it from blob on first sight. The blob's envelope CRC and the
+// view's structural invariants are validated, and the view's canonical
+// checksum must equal sum — a blob filed under the wrong content address
+// fails closed. Installing does not take a reference.
+func (s *Store) InstallRules(sum uint32, blob []byte) (*flows.CompiledRules, error) {
+	s.mu.Lock()
+	if e, ok := s.rules[sum]; ok {
+		v := e.view
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+	// Construct outside the lock: view building is the expensive part and
+	// distinct checksums must not serialize on each other.
+	view, err := RulesView(blob)
+	if err != nil {
+		return nil, err
+	}
+	if got := view.Checksum(); got != sum {
+		return nil, fmt.Errorf("artifact: arena checksum 0x%08x filed under 0x%08x", got, sum)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.rules[sum]; ok { // lost the race; keep the first view
+		return e.view, nil
+	}
+	s.rules[sum] = &rulesEntry{view: view, bytes: len(blob)}
+	s.rulesInstalled++
+	return view, nil
+}
+
+// AcquireRules takes a reference on the arena identified by sum and returns
+// its shared view, or nil when the store has no such arena. Zero
+// allocations on the hit path.
+func (s *Store) AcquireRules(sum uint32) *flows.CompiledRules {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.rules[sum]
+	if !ok {
+		return nil
+	}
+	e.refs++
+	return e.view
+}
+
+// ReleaseRules returns a reference taken by AcquireRules; the entry is
+// dropped when the last reference goes. Releasing an unknown checksum is a
+// no-op — the artifact may have been installed into a store that has since
+// been discarded with its proxy.
+func (s *Store) ReleaseRules(sum uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.rules[sum]
+	if !ok {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(s.rules, sum)
+		s.rulesDropped++
+	}
+}
+
+// InstallModel ensures a decoded template for the model identified by sum
+// exists, decoding blob on first sight. sum must be the canonical model
+// checksum (ml.CompiledChecksum), which is the CRC32C of the payload.
+func (s *Store) InstallModel(sum uint32, blob []byte) (ml.CompiledModel, error) {
+	s.mu.Lock()
+	if e, ok := s.models[sum]; ok {
+		m := e.model
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+	enc, err := ModelPayload(blob)
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(enc, castagnoli); got != sum {
+		return nil, fmt.Errorf("artifact: model checksum 0x%08x filed under 0x%08x", got, sum)
+	}
+	model, rest, err := ml.DecodeCompiled(enc)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: decode model: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("artifact: %d trailing bytes after model", len(rest))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.models[sum]; ok {
+		return e.model, nil
+	}
+	s.models[sum] = &modelEntry{model: model, bytes: len(blob)}
+	s.modelsInstalled++
+	return model, nil
+}
+
+// AcquireModel returns the shared template for sum, if installed. Callers
+// needing mutable scratch must Clone it.
+func (s *Store) AcquireModel(sum uint32) (ml.CompiledModel, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.models[sum]
+	if !ok {
+		return nil, false
+	}
+	return e.model, true
+}
+
+// StoreStats is a point-in-time summary of the store for dedup reporting.
+type StoreStats struct {
+	UniqueRules    int    // live rule arenas
+	UniqueModels   int    // live model templates
+	RuleRefs       int    // outstanding references across all rule arenas
+	RuleBytes      int64  // bytes of live rule blobs (one copy per unique arena)
+	ModelBytes     int64  // bytes of live model blobs
+	RulesInstalled uint64 // unique arenas ever installed
+	RulesDropped   uint64 // arenas dropped after their last release
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		UniqueRules:    len(s.rules),
+		UniqueModels:   len(s.models),
+		RulesInstalled: s.rulesInstalled,
+		RulesDropped:   s.rulesDropped,
+	}
+	for _, e := range s.rules {
+		st.RuleRefs += e.refs
+		st.RuleBytes += int64(e.bytes)
+	}
+	for _, e := range s.models {
+		st.ModelBytes += int64(e.bytes)
+	}
+	return st
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"fiat/internal/artifact"
 	"fiat/internal/events"
 	"fiat/internal/flows"
 	"fiat/internal/intercept"
@@ -169,6 +170,16 @@ type Config struct {
 	// always on; pass a shared registry to merge proxy metrics with
 	// transport and fault-fabric metrics in one snapshot.
 	Obs *obs.Registry
+	// Artifacts selects the zero-copy restore arm: RestoreState installs
+	// each unique compiled arena and classifier template from the
+	// snapshot's deduplicated artifact section into this content-addressed
+	// store once, and every device adopts a shared refcounted view instead
+	// of decoding its own copy — cold restart skips recompilation entirely.
+	// Nil keeps the legacy copied-load arm (per-device decode plus the
+	// recompile-and-compare identity check), which the differential tests
+	// hold byte-identical to this arm. Like Shards and Async, the choice of
+	// arm is engine-invariant and excluded from ConfigChecksum.
+	Artifacts *artifact.Store
 }
 
 func (c *Config) defaults() {

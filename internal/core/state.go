@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"fiat/internal/artifact"
 	"fiat/internal/events"
 	"fiat/internal/features"
 	"fiat/internal/flows"
@@ -19,8 +20,13 @@ import (
 // layout change; recovery rejects mismatched versions outright rather than
 // guessing at field offsets. v2 added the online-relearning lifecycle:
 // artifact identity per device, candidate tables mid-relearn/shadow, the
-// drift detector's window, and the swap metrics registry.
-const ProxyStateVersion uint16 = 2
+// drift detector's window, and the swap metrics registry. v3 moved every
+// compiled arena and classifier template into a deduplicated,
+// alignment-padded artifact section written once per unique checksum;
+// devices reference artifacts by checksum, carry their mutable rule table
+// length-prefixed (so restore can defer parsing it), and store arrival
+// state as an 8-aligned raw block the zero-copy arm can alias in place.
+const ProxyStateVersion uint16 = 3
 
 var stateCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -136,7 +142,15 @@ func (p *Proxy) deviceStates() []*deviceState {
 // Call it only on a quiesced proxy (no Process/HandleAttestation/Sweep in
 // flight); the per-store locks taken here make the reads safe but do not
 // make the multi-section image atomic under concurrent mutation.
+//
+// Alignment padding inside the image is computed relative to the position
+// at which this call starts appending, so the bytes are independent of the
+// caller's prefix; the padded sections are actually memory-aligned whenever
+// the final buffer places that start on an 8-byte boundary (the durable
+// snapshot container guarantees this, and Go heap allocations of the image
+// alone do too).
 func (p *Proxy) AppendState(b []byte) []byte {
+	base := len(b)
 	b = wire.AppendU16(b, ProxyStateVersion)
 	b = wire.AppendU32(b, p.ConfigChecksum())
 	b = wire.AppendI64(b, p.started.UnixNano())
@@ -167,11 +181,46 @@ func (p *Proxy) AppendState(b []byte) []byte {
 	}
 
 	devs := p.deviceStates()
-	b = wire.AppendU32(b, uint32(len(devs)))
-	for _, ds := range devs {
+	// Pass 1: collect every artifact identity so the deduplicated artifact
+	// section can be written before the device sections that reference it.
+	// The proxy is quiesced, so the pointers read here are the ones pass 2
+	// serializes.
+	arts := make([]devArtifacts, len(devs))
+	arenaBlobs := make(map[uint32][]byte)
+	modelBlobs := make(map[uint32][]byte)
+	for i, ds := range devs {
 		sh := p.shardFor(ds.cfg.Name)
 		sh.mu.Lock()
-		b = appendDeviceState(b, ds)
+		if art := ds.art.Load(); art != nil {
+			sum := art.compiled.Checksum()
+			arts[i].rulesSum = sum
+			arts[i].hasRules = true
+			if _, ok := arenaBlobs[sum]; !ok {
+				arenaBlobs[sum] = artifact.EncodeRules(art.compiled)
+			}
+		}
+		if cec, ok := ds.classifier.(*compiledEventClassifier); ok {
+			// An unencodable compiled model cannot exist (every family the
+			// compiler emits has a codec); falling back to the config
+			// classifier keeps encode total rather than panicking.
+			if enc, err := ml.EncodeCompiled(cec.model); err == nil {
+				sum := crc32.Checksum(enc, stateCastagnoli)
+				arts[i].modelSum = sum
+				arts[i].hasModel = true
+				if _, ok := modelBlobs[sum]; !ok {
+					modelBlobs[sum] = artifact.EncodeModel(enc)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	b = appendArtifactSection(b, base, arenaBlobs, modelBlobs)
+
+	b = wire.AppendU32(b, uint32(len(devs)))
+	for i, ds := range devs {
+		sh := p.shardFor(ds.cfg.Name)
+		sh.mu.Lock()
+		b = appendDeviceState(b, base, ds, &arts[i])
 		sh.mu.Unlock()
 	}
 
@@ -216,31 +265,185 @@ func (p *Proxy) restoreSwapState(rd *wire.Reader) error {
 // EncodeState returns the canonical serialized proxy state.
 func (p *Proxy) EncodeState() []byte { return p.AppendState(nil) }
 
-func appendDeviceState(b []byte, ds *deviceState) []byte {
+// devArtifacts carries one device's artifact references from the collection
+// pass into the serialization pass.
+type devArtifacts struct {
+	rulesSum uint32
+	modelSum uint32
+	hasRules bool
+	hasModel bool
+}
+
+// padTo8 appends zero bytes until len(b)-base is a multiple of 8.
+func padTo8(b []byte, base int) []byte {
+	for (len(b)-base)%8 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// skipPad8 advances the reader past the padding appendState wrote at this
+// position. pos is the reader's offset relative to the image start.
+func skipPad8(rd *wire.Reader, pos int) {
+	if n := pos % 8; n != 0 {
+		rd.Take(8 - n)
+	}
+}
+
+// appendArtifactSection writes the deduplicated artifact section: every
+// unique compiled rule arena and classifier template, as relocatable blobs,
+// exactly once. Blobs are ordered by checksum so the section is canonical,
+// and each rules blob is padded to an 8-byte boundary (relative to base) so
+// the zero-copy arm can alias its arenas in place. Model blobs are decoded,
+// not aliased, and need no padding.
+func appendArtifactSection(b []byte, base int, arenas, models map[uint32][]byte) []byte {
+	sortedSums := func(m map[uint32][]byte) []uint32 {
+		out := make([]uint32, 0, len(m))
+		for sum := range m {
+			out = append(out, sum)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	asums := sortedSums(arenas)
+	b = wire.AppendU32(b, uint32(len(asums)))
+	for _, sum := range asums {
+		blob := arenas[sum]
+		b = wire.AppendU32(b, sum)
+		b = wire.AppendU32(b, uint32(len(blob)))
+		b = padTo8(b, base)
+		b = append(b, blob...)
+	}
+	msums := sortedSums(models)
+	b = wire.AppendU32(b, uint32(len(msums)))
+	for _, sum := range msums {
+		blob := models[sum]
+		b = wire.AppendU32(b, sum)
+		b = wire.AppendU32(b, uint32(len(blob)))
+		b = append(b, blob...)
+	}
+	return b
+}
+
+// artifactSection is the parsed artifact section: blob bytes per checksum,
+// plus — on the zero-copy arm — the shared view/template installed in the
+// store.
+type artifactSection struct {
+	arenas map[uint32]sectionArena
+	models map[uint32]sectionModel
+}
+
+type sectionArena struct {
+	blob []byte
+	view *flows.CompiledRules // zero-copy arm only
+}
+
+type sectionModel struct {
+	blob  []byte
+	model ml.CompiledModel // zero-copy arm only
+}
+
+// restoreArtifactSection parses the artifact section. On the zero-copy arm
+// every unique blob is installed into Config.Artifacts here — view
+// construction, identity verification, and model decoding happen once per
+// unique checksum, never per device. On the copied arm only the blob bytes
+// are recorded; each device then decodes its own copy, preserving the
+// legacy per-device cost and ownership discipline as the differential
+// baseline.
+func (p *Proxy) restoreArtifactSection(rd *wire.Reader, data []byte) (*artifactSection, error) {
+	sec := &artifactSection{
+		arenas: make(map[uint32]sectionArena),
+		models: make(map[uint32]sectionModel),
+	}
+	narenas := int(rd.U32())
+	if rd.Err() != nil || narenas > rd.Len() {
+		return nil, fmt.Errorf("core: restore artifact section: %w", wire.ErrTruncated)
+	}
+	for i := 0; i < narenas; i++ {
+		sum := rd.U32()
+		blobLen := int(rd.U32())
+		if rd.Err() != nil || blobLen > rd.Len() {
+			return nil, fmt.Errorf("core: restore artifact section: %w", wire.ErrTruncated)
+		}
+		skipPad8(rd, len(data)-rd.Len())
+		blob := rd.Take(blobLen)
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("core: restore artifact section: %w", err)
+		}
+		if _, dup := sec.arenas[sum]; dup {
+			return nil, fmt.Errorf("core: artifact section repeats arena %08x", sum)
+		}
+		entry := sectionArena{blob: blob}
+		if p.cfg.Artifacts != nil {
+			view, err := p.cfg.Artifacts.InstallRules(sum, blob)
+			if err != nil {
+				return nil, fmt.Errorf("core: install arena %08x: %w", sum, err)
+			}
+			entry.view = view
+		}
+		sec.arenas[sum] = entry
+	}
+	nmodels := int(rd.U32())
+	if rd.Err() != nil || nmodels > rd.Len() {
+		return nil, fmt.Errorf("core: restore artifact section: %w", wire.ErrTruncated)
+	}
+	for i := 0; i < nmodels; i++ {
+		sum := rd.U32()
+		blobLen := int(rd.U32())
+		if rd.Err() != nil || blobLen > rd.Len() {
+			return nil, fmt.Errorf("core: restore artifact section: %w", wire.ErrTruncated)
+		}
+		blob := rd.Take(blobLen)
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("core: restore artifact section: %w", err)
+		}
+		if _, dup := sec.models[sum]; dup {
+			return nil, fmt.Errorf("core: artifact section repeats model %08x", sum)
+		}
+		entry := sectionModel{blob: blob}
+		if p.cfg.Artifacts != nil {
+			model, err := p.cfg.Artifacts.InstallModel(sum, blob)
+			if err != nil {
+				return nil, fmt.Errorf("core: install model %08x: %w", sum, err)
+			}
+			entry.model = model
+		}
+		sec.models[sum] = entry
+	}
+	return sec, nil
+}
+
+func appendDeviceState(b []byte, base int, ds *deviceState, arts *devArtifacts) []byte {
 	b = wire.AppendString(b, ds.cfg.Name)
-	b = ds.rules.AppendState(b)
+	// Length-prefixed since v3: the zero-copy arm keeps the raw bytes and
+	// materializes the table lazily, so the decoder must know the span
+	// without parsing it.
+	b = wire.AppendBytes(b, ds.rules.AppendState(nil))
 	if art := ds.art.Load(); art != nil {
 		b = wire.AppendBool(b, true)
-		arena := art.compiled.EncodeArena()
-		b = wire.AppendBytes(b, arena)
-		b = wire.AppendU32(b, crc32.Checksum(arena, stateCastagnoli))
-		b = flows.AppendArrival(b, art.arrival)
+		b = wire.AppendU32(b, arts.rulesSum)
+		// Arrival state as an alignable raw block: width, padding to an
+		// 8-byte boundary, then the last-arrival array and the has bitmap.
+		last, has := art.arrival.Raw()
+		b = wire.AppendU32(b, uint32(len(last)))
+		b = padTo8(b, base)
+		for _, v := range last {
+			b = wire.AppendI64(b, v)
+		}
+		for _, h := range has {
+			if h {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
 		b = art.meta.Append(b)
 	} else {
 		b = wire.AppendBool(b, false)
 	}
-	if cec, ok := ds.classifier.(*compiledEventClassifier); ok {
-		enc, err := ml.EncodeCompiled(cec.model)
-		if err != nil {
-			// An unencodable compiled model cannot exist (every family the
-			// compiler emits has a codec); falling back to the config
-			// classifier keeps encode total rather than panicking.
-			b = wire.AppendU8(b, 0)
-		} else {
-			b = wire.AppendU8(b, 1)
-			b = wire.AppendBytes(b, enc)
-			b = wire.AppendU32(b, crc32.Checksum(enc, stateCastagnoli))
-		}
+	if arts.hasModel {
+		b = wire.AppendU8(b, 1)
+		b = wire.AppendU32(b, arts.modelSum)
 	} else {
 		// The device classifies through the config-provided classifier
 		// (rule classifier, legacy ML path, none); restore re-derives it
@@ -437,6 +640,11 @@ func (p *Proxy) RestoreState(data []byte) error {
 	p.Stats = stats
 	p.mu.Unlock()
 
+	sec, err := p.restoreArtifactSection(rd, data)
+	if err != nil {
+		return err
+	}
+
 	devs := p.deviceStates()
 	ndev := int(rd.U32())
 	if err := rd.Err(); err != nil {
@@ -447,7 +655,7 @@ func (p *Proxy) RestoreState(data []byte) error {
 	}
 	seen := make(map[string]bool, ndev)
 	for i := 0; i < ndev; i++ {
-		name, err := p.restoreDevice(rd)
+		name, err := p.restoreDevice(rd, data, sec)
 		if err != nil {
 			return err
 		}
@@ -484,7 +692,16 @@ func (p *Proxy) RestoreState(data []byte) error {
 
 // restoreDevice decodes one device section and installs it into the live
 // deviceState of the same name. The reader is advanced past the section.
-func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
+//
+// Two arms share this decoder. The copied arm (Config.Artifacts == nil)
+// reproduces the v2 discipline per device: decode an owned arena copy from
+// the referenced blob, materialize the rule table, recompile it, and
+// compare digests. The zero-copy arm adopts the shared store view installed
+// by restoreArtifactSection (identity already verified once per unique
+// arena), wraps the rule-table bytes unparsed, and aliases the arrival
+// block in place — per-device work collapses to a store lookup plus slice
+// binding.
+func (p *Proxy) restoreDevice(rd *wire.Reader, data []byte, sec *artifactSection) (string, error) {
 	name := rd.String()
 	if err := rd.Err(); err != nil {
 		return "", fmt.Errorf("core: restore device: %w", err)
@@ -496,55 +713,91 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("core: snapshot device %q not registered in live proxy", name)
 	}
+	zeroCopy := p.cfg.Artifacts != nil
 
-	rt, rest, err := flows.DecodeRuleTable(rd.Rest())
-	if err != nil {
-		return "", fmt.Errorf("core: device %q rules: %w", name, err)
+	rtLen := int(rd.U32())
+	if rd.Err() != nil || rtLen > rd.Len() {
+		return "", fmt.Errorf("core: device %q rules: %w", name, wire.ErrTruncated)
 	}
-	rd.Reset(rest)
+	rtRaw := rd.Take(rtLen)
+	var rt *flows.RuleTable
+	var err error
+	if zeroCopy {
+		// Validation dedups by content: a fleet restored from one template
+		// carries byte-identical rule-table sections, and only the first
+		// pays the deep structural walk.
+		if p.cfg.Artifacts.RuleBytesValidated(rtRaw) {
+			rt, err = flows.NewRawRuleTableTrusted(rtRaw)
+		} else if rt, err = flows.NewRawRuleTable(rtRaw); err == nil {
+			p.cfg.Artifacts.NoteRuleBytesValidated(rtRaw)
+		}
+		if err != nil {
+			return "", fmt.Errorf("core: device %q rules: %w", name, err)
+		}
+	} else {
+		var rest []byte
+		rt, rest, err = flows.DecodeRuleTable(rtRaw)
+		if err != nil {
+			return "", fmt.Errorf("core: device %q rules: %w", name, err)
+		}
+		if len(rest) != 0 {
+			return "", fmt.Errorf("core: device %q rules have %d trailing bytes", name, len(rest))
+		}
+	}
 
 	var compiled *flows.CompiledRules
 	var arrival *flows.ArrivalState
 	var meta swap.Meta
+	var storeSum uint32
+	var fromStore bool
 	if rd.Bool() {
-		arena := rd.Bytes()
-		storedSum := rd.U32()
+		rulesSum := rd.U32()
 		if err := rd.Err(); err != nil {
 			return "", fmt.Errorf("core: device %q arena: %w", name, err)
 		}
-		if got := crc32.Checksum(arena, stateCastagnoli); got != storedSum {
-			return "", fmt.Errorf("core: device %q arena checksum %08x, stored %08x", name, got, storedSum)
-		}
-		var trail []byte
-		compiled, trail, err = flows.DecodeCompiledRules(arena)
-		if err != nil {
-			return "", fmt.Errorf("core: device %q arena: %w", name, err)
-		}
-		if len(trail) != 0 {
-			return "", fmt.Errorf("core: device %q arena has %d trailing bytes", name, len(trail))
+		entry, ok := sec.arenas[rulesSum]
+		if !ok {
+			return "", fmt.Errorf("core: device %q references arena %08x missing from artifact section", name, rulesSum)
 		}
 		if !rt.Frozen() {
 			return "", fmt.Errorf("core: device %q has a compiled arena but an unfrozen rule table", name)
 		}
-		// The arena must be the compilation of the restored rule table —
-		// not merely self-consistent. Recompile and compare digests.
-		if rsum, asum := rt.Compiled().Checksum(), compiled.Checksum(); rsum != asum {
-			return "", fmt.Errorf("core: device %q arena checksum %08x does not match recompiled rules %08x", name, asum, rsum)
+		if zeroCopy {
+			compiled = p.cfg.Artifacts.AcquireRules(rulesSum)
+			if compiled == nil {
+				return "", fmt.Errorf("core: device %q arena %08x not installed in artifact store", name, rulesSum)
+			}
+			storeSum, fromStore = rulesSum, true
+		} else {
+			// Copied arm: an owned decode per device, then the v2 identity
+			// discipline — the arena must be the compilation of the restored
+			// rule table, not merely self-consistent.
+			compiled, err = artifact.DecodeRulesCopy(entry.blob)
+			if err != nil {
+				return "", fmt.Errorf("core: device %q arena: %w", name, err)
+			}
+			if rsum, asum := rt.Compiled().Checksum(), compiled.Checksum(); rsum != asum {
+				return "", fmt.Errorf("core: device %q arena checksum %08x does not match recompiled rules %08x", name, asum, rsum)
+			}
+			if asum := compiled.Checksum(); asum != rulesSum {
+				return "", fmt.Errorf("core: device %q arena checksum %08x filed under %08x", name, asum, rulesSum)
+			}
 		}
-		arrival, rest, err = compiled.DecodeArrival(rd.Rest())
+		arrival, err = readArrivalBlock(rd, data, compiled.NumKeys(), zeroCopy)
 		if err != nil {
 			return "", fmt.Errorf("core: device %q arrival state: %w", name, err)
 		}
-		rd.Reset(rest)
+		var rest []byte
 		meta, rest, err = swap.DecodeMeta(rd.Rest())
 		if err != nil {
 			return "", fmt.Errorf("core: device %q artifact meta: %w", name, err)
 		}
 		rd.Reset(rest)
 		// The identity must name THIS arena; an artifact restored under the
-		// wrong generation's digest fails closed.
-		if meta.RulesSum != compiled.Checksum() {
-			return "", fmt.Errorf("core: device %q artifact meta rules digest %08x does not match arena %08x", name, meta.RulesSum, compiled.Checksum())
+		// wrong generation's digest fails closed. (On the zero-copy arm the
+		// store verified view.Checksum() == rulesSum at install.)
+		if meta.RulesSum != rulesSum {
+			return "", fmt.Errorf("core: device %q artifact meta rules digest %08x does not match arena %08x", name, meta.RulesSum, rulesSum)
 		}
 	}
 
@@ -553,20 +806,13 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 	case 0:
 		// Config-provided classifier; the live deviceState already wears it.
 	case 1:
-		enc := rd.Bytes()
-		storedSum := rd.U32()
+		modelSum := rd.U32()
 		if err := rd.Err(); err != nil {
 			return "", fmt.Errorf("core: device %q classifier: %w", name, err)
 		}
-		if got := crc32.Checksum(enc, stateCastagnoli); got != storedSum {
-			return "", fmt.Errorf("core: device %q classifier checksum %08x, stored %08x", name, got, storedSum)
-		}
-		model, trail, err := ml.DecodeCompiled(enc)
-		if err != nil {
-			return "", fmt.Errorf("core: device %q classifier: %w", name, err)
-		}
-		if len(trail) != 0 {
-			return "", fmt.Errorf("core: device %q classifier has %d trailing bytes", name, len(trail))
+		entry, ok := sec.models[modelSum]
+		if !ok {
+			return "", fmt.Errorf("core: device %q references model %08x missing from artifact section", name, modelSum)
 		}
 		// Reject model skew: the snapshot's model must be the one the live
 		// config would deploy for this device.
@@ -578,12 +824,38 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 		if err != nil {
 			return "", fmt.Errorf("core: device %q config classifier: %w", name, err)
 		}
-		snapSum, err := ml.CompiledChecksum(model)
-		if err != nil {
-			return "", fmt.Errorf("core: device %q classifier: %w", name, err)
+		if cfgSum != modelSum {
+			return "", fmt.Errorf("core: device %q classifier model %08x does not match config model %08x", name, modelSum, cfgSum)
 		}
-		if cfgSum != snapSum {
-			return "", fmt.Errorf("core: device %q classifier model %08x does not match config model %08x", name, snapSum, cfgSum)
+		var model ml.CompiledModel
+		if zeroCopy {
+			// Shared template decoded once at install; the clone gives this
+			// device private scratch over the shared frozen tables.
+			shared, ok := p.cfg.Artifacts.AcquireModel(modelSum)
+			if !ok {
+				return "", fmt.Errorf("core: device %q model %08x not installed in artifact store", name, modelSum)
+			}
+			model = shared.Clone()
+		} else {
+			enc, err := artifact.ModelPayload(entry.blob)
+			if err != nil {
+				return "", fmt.Errorf("core: device %q classifier: %w", name, err)
+			}
+			var trail []byte
+			model, trail, err = ml.DecodeCompiled(enc)
+			if err != nil {
+				return "", fmt.Errorf("core: device %q classifier: %w", name, err)
+			}
+			if len(trail) != 0 {
+				return "", fmt.Errorf("core: device %q classifier has %d trailing bytes", name, len(trail))
+			}
+			snapSum, err := ml.CompiledChecksum(model)
+			if err != nil {
+				return "", fmt.Errorf("core: device %q classifier: %w", name, err)
+			}
+			if snapSum != modelSum {
+				return "", fmt.Errorf("core: device %q classifier model %08x filed under %08x", name, snapSum, modelSum)
+			}
 		}
 		classifier = &compiledEventClassifier{
 			model:    model,
@@ -705,6 +977,9 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 	var art *ruleArtifact
 	if compiled != nil {
 		art = &ruleArtifact{meta: meta, compiled: compiled, arrival: arrival}
+		if fromStore {
+			art.store, art.storeSum = p.cfg.Artifacts, storeSum
+		}
 	}
 	ds.art.Store(art)
 	ds.rl = rl
@@ -718,6 +993,63 @@ func (p *Proxy) restoreDevice(rd *wire.Reader) (string, error) {
 	ds.locked = locked
 	ds.grouper.RestoreCurrent(cur)
 	return name, nil
+}
+
+// readArrivalBlock decodes the aligned raw arrival block appendDeviceState
+// wrote: width, padding, 8*n bytes of last-arrival values, n bytes of the
+// has bitmap. The width must match the compiled arena the arrival evolves
+// against. In zero-copy mode the returned state aliases data wherever
+// alignment allows (the mmap'd snapshot's copy-on-write pages absorb later
+// arrival updates); otherwise — and always in copied mode — the slices are
+// fresh.
+func readArrivalBlock(rd *wire.Reader, data []byte, nkeys int, zeroCopy bool) (*flows.ArrivalState, error) {
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return nil, rd.Err()
+	}
+	if n != nkeys {
+		return nil, fmt.Errorf("arrival state width %d does not match %d keys", n, nkeys)
+	}
+	skipPad8(rd, len(data)-rd.Len())
+	lastBytes := rd.Take(8 * n)
+	hasBytes := rd.Take(n)
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return &flows.ArrivalState{}, nil
+	}
+	var last []int64
+	var has []bool
+	if zeroCopy {
+		var ok bool
+		if last, ok = artifact.AliasI64s(lastBytes, n); !ok {
+			last = decodeI64Block(lastBytes, n)
+		}
+		var err error
+		if has, err = artifact.AliasBools(hasBytes, n); err != nil {
+			return nil, err
+		}
+	} else {
+		last = decodeI64Block(lastBytes, n)
+		has = make([]bool, n)
+		for i, v := range hasBytes {
+			if v > 1 {
+				return nil, fmt.Errorf("arrival has-bitmap byte %d is %d", i, v)
+			}
+			has[i] = v == 1
+		}
+	}
+	return flows.ArrivalFromRaw(last, has)
+}
+
+func decodeI64Block(buf []byte, n int) []int64 {
+	out := make([]int64, n)
+	sub := wire.NewReader(buf)
+	for i := range out {
+		out[i] = sub.I64()
+	}
+	return out
 }
 
 func (p *Proxy) restoreValidations(rd *wire.Reader) error {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"fiat/internal/artifact"
 	"fiat/internal/flows"
 )
 
@@ -24,7 +25,14 @@ func stateRigConfig(shards int) Config {
 // surface the checksum covers.
 func buildStateRig(t *testing.T, shards int, clf *MLClassifier) *testRig {
 	t.Helper()
-	r := newRig(t, stateRigConfig(shards))
+	return buildStateRigCfg(t, stateRigConfig(shards), clf)
+}
+
+// buildStateRigCfg is buildStateRig with full control over the proxy
+// configuration (engine selection, artifact store).
+func buildStateRigCfg(t *testing.T, cfg Config, clf *MLClassifier) *testRig {
+	t.Helper()
+	r := newRig(t, cfg)
 	if err := r.proxy.AddDevice(DeviceConfig{Name: "plug", Classifier: RuleClassifier{NotificationSize: 235}, GraceN: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -128,6 +136,69 @@ func TestProxyStateRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(src.proxy.EncodeState(), dst.proxy.EncodeState()) {
 		t.Fatal("post-trace state images differ")
+	}
+}
+
+// TestProxyStateRoundTripZeroCopy: restoring the same image through the
+// zero-copy artifact arm — on the sequential, sharded, and async engines —
+// must be indistinguishable from the copied arm on every oracle: the image
+// re-encodes byte-identically, and an identical post-snapshot trace yields
+// identical decisions, stats, and obs registries. This is the core-level
+// differential behind the crash-matrix one in internal/chaos.
+func TestProxyStateRoundTripZeroCopy(t *testing.T) {
+	clf := trainDiffClassifier(t, 3)
+	src := buildStateRig(t, 2, clf)
+	src.populateState(t)
+	enc := src.proxy.EncodeState()
+
+	// The copied-arm reference: restore and drive once.
+	ref := buildStateRig(t, 2, clf)
+	if err := ref.proxy.RestoreState(enc); err != nil {
+		t.Fatal(err)
+	}
+	ref.clock.AdvanceTo(src.clock.Now())
+	refDecisions := ref.driveAfter(t)
+	refState := ref.proxy.EncodeState()
+
+	for _, tc := range []struct {
+		name   string
+		shards int
+		async  bool
+	}{{"seq", 1, false}, {"sharded", 3, false}, {"async", 2, true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := stateRigConfig(tc.shards)
+			cfg.Async = tc.async
+			cfg.Artifacts = artifact.NewStore()
+			dst := buildStateRigCfg(t, cfg, clf)
+			if err := dst.proxy.RestoreState(enc); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst.proxy.EncodeState(), enc) {
+				t.Fatal("zero-copy restored proxy re-encodes differently")
+			}
+			if st := cfg.Artifacts.Stats(); st.UniqueRules == 0 || st.RuleRefs == 0 {
+				t.Fatalf("restore did not go through the store: %+v", st)
+			}
+			dst.clock.AdvanceTo(src.clock.Now())
+			got := dst.driveAfter(t)
+			if len(got) != len(refDecisions) {
+				t.Fatalf("decision counts differ: %d vs %d", len(got), len(refDecisions))
+			}
+			for i := range got {
+				if got[i] != refDecisions[i] {
+					t.Fatalf("decision %d differs: %+v vs %+v", i, got[i], refDecisions[i])
+				}
+			}
+			if a, b := ref.proxy.StatsSnapshot(), dst.proxy.StatsSnapshot(); a != b {
+				t.Fatalf("stats differ:\n ref %+v\n dst %+v", a, b)
+			}
+			if a, b := ref.proxy.Metrics().Snapshot(), dst.proxy.Metrics().Snapshot(); a != b {
+				t.Fatalf("obs snapshots differ:\n ref %s\n dst %s", a, b)
+			}
+			if !bytes.Equal(dst.proxy.EncodeState(), refState) {
+				t.Fatal("post-trace state images differ between arms")
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"fiat/internal/artifact"
 	"fiat/internal/flows"
 	"fiat/internal/ml"
 	"fiat/internal/obs"
@@ -20,6 +21,14 @@ type ruleArtifact struct {
 	meta     swap.Meta
 	compiled *flows.CompiledRules
 	arrival  *flows.ArrivalState
+
+	// Content-addressed store linkage. When compiled is a shared view
+	// checked out of Config.Artifacts (zero-copy restore), store/storeSum
+	// name the reference to return once the artifact retires through the
+	// graveyard and no shard can still observe the pointer. Artifacts
+	// compiled in-process (bootstrap freeze, promotion) carry no reference.
+	store    *artifact.Store
+	storeSum uint32
 }
 
 // relearnState is a device's in-flight relearning lifecycle: the candidate
@@ -266,6 +275,9 @@ func (p *Proxy) promoteLocked(ds *deviceState, rl *relearnState) {
 // touches a reclaimed artifact.
 func (p *Proxy) retireArtifact(old *ruleArtifact) {
 	p.graveyard.Retire(p.epochs, func() {
+		if old.store != nil {
+			old.store.ReleaseRules(old.storeSum)
+		}
 		if h := p.releaseHook; h != nil {
 			h(old.meta)
 		}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"fiat/internal/artifact"
 	"fiat/internal/wire"
 )
 
@@ -28,14 +29,21 @@ import (
 //	u32  configSum — the proxy's ConfigChecksum, duplicated for inspection
 //	u32  bodyCRC   — CRC32C of the body
 //	u64  bodyLen
+//	[6]  zero padding (v2) — the body starts at file offset 48, a multiple
+//	     of 8, so the proxy image's aligned artifact sections are aligned
+//	     in the mmap'd file too
 //	[...] body
 const (
 	snapMagic  = "FIATSNAP"
-	snapHdrLen = 8 + 2 + 8 + 8 + 4 + 4 + 8
+	snapHdrLen = 8 + 2 + 8 + 8 + 4 + 4 + 8 + 6
 )
 
-// SnapshotVersion versions the snapshot container format.
-const SnapshotVersion uint16 = 1
+// SnapshotVersion versions the snapshot container format. v2 padded the
+// header from 42 to 48 bytes so the body starts 8-byte aligned — the
+// zero-copy artifact load aliases compiled arenas straight out of the
+// mapped snapshot, and alignment in the file is what makes the aliases
+// cheap (misalignment falls back to copying, never to corruption).
+const SnapshotVersion uint16 = 2
 
 // SnapshotHeader is the decoded snapshot metadata.
 type SnapshotHeader struct {
@@ -86,6 +94,7 @@ func encodeSnapshot(seq uint64, at time.Time, configSum uint32, body []byte) []b
 	b = wire.AppendU32(b, configSum)
 	b = wire.AppendU32(b, crc32.Checksum(body, walCastagnoli))
 	b = wire.AppendU64(b, uint64(len(body)))
+	b = append(b, 0, 0, 0, 0, 0, 0) // pad the header to 48 so the body is 8-aligned
 	return append(b, body...)
 }
 
@@ -105,6 +114,7 @@ func DecodeSnapshotHeader(data []byte) (SnapshotHeader, []byte, error) {
 		BodyCRC:   rd.U32(),
 		BodyLen:   rd.U64(),
 	}
+	rd.Take(6) // header padding
 	if err := rd.Err(); err != nil {
 		return SnapshotHeader{}, nil, fmt.Errorf("%w: snapshot header: %v", ErrCorrupt, err)
 	}
@@ -187,6 +197,12 @@ func syncDir(dir string) error {
 // Returns a zero header and nil body when no snapshot exists. A corrupt
 // newest snapshot fails closed: the durable contract is that a final-named
 // snapshot is whole, so damage there means the store cannot be trusted.
+//
+// The file is memory-mapped where the platform supports it (one ReadFile
+// otherwise), and the returned body aliases that single load — the
+// zero-copy restore arm builds its artifact views directly over these
+// bytes. The mapping is never torn down (see artifact.MapFile), so views
+// stay valid even after the manager closes or the snapshot is pruned.
 func loadLatestSnapshot(dir string) (SnapshotHeader, []byte, error) {
 	seqs, err := listSnapshots(dir)
 	if err != nil {
@@ -196,7 +212,7 @@ func loadLatestSnapshot(dir string) (SnapshotHeader, []byte, error) {
 		return SnapshotHeader{}, nil, nil
 	}
 	newest := seqs[len(seqs)-1]
-	data, err := os.ReadFile(filepath.Join(dir, snapName(newest)))
+	data, _, err := artifact.MapFile(filepath.Join(dir, snapName(newest)))
 	if err != nil {
 		return SnapshotHeader{}, nil, err
 	}

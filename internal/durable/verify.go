@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"fiat/internal/core"
 )
 
 // SnapshotInfo is one snapshot's verification result.
@@ -16,7 +18,8 @@ type SnapshotInfo struct {
 	Time      time.Time
 	ConfigSum uint32
 	BodyLen   uint64
-	Err       error // nil when the image validates
+	Artifacts *core.StateArtifactInfo // artifact-section stats (nil when the body is unreadable)
+	Err       error                   // nil when the image validates
 }
 
 // SegmentInfo is one WAL segment's verification result.
@@ -53,6 +56,9 @@ func (r *VerifyReport) String() string {
 		}
 		fmt.Fprintf(&b, "  snapshot %s seq=%d time=%s configSum=%08x body=%dB ok\n",
 			s.File, s.Seq, s.Time.Format(time.RFC3339), s.ConfigSum, s.BodyLen)
+		if s.Artifacts != nil {
+			fmt.Fprintf(&b, "    artifacts: %s\n", s.Artifacts)
+		}
 	}
 	if len(r.Segments) == 0 {
 		b.WriteString("  no wal segments\n")
@@ -109,6 +115,16 @@ func Verify(dir string) *VerifyReport {
 			info.Time, info.ConfigSum, info.BodyLen = h.Time, h.ConfigSum, uint64(len(body))
 			if h.Seq != seq {
 				info.Err = fmt.Errorf("%w: header seq %d under name %s", ErrCorrupt, h.Seq, name)
+			} else if isProxyImage(body) {
+				// The artifact section is part of the image RestoreState must
+				// parse, so a broken one fails the snapshot here too. Bodies
+				// that are not proxy images (foreign or older payloads) are
+				// left to RestoreState's own version check.
+				if arts, aerr := core.InspectStateArtifacts(body); aerr != nil {
+					info.Err = fmt.Errorf("%w: artifact section: %v", ErrCorrupt, aerr)
+				} else {
+					info.Artifacts = &arts
+				}
 			}
 		}
 		// Only the newest snapshot gates recovery; older ones are about to
@@ -164,6 +180,12 @@ func Verify(dir string) *VerifyReport {
 	}
 	r.LastSeq = last
 	return r
+}
+
+// isProxyImage reports whether a snapshot body leads with the current proxy
+// state version — the precondition for inspecting its artifact section.
+func isProxyImage(body []byte) bool {
+	return len(body) >= 2 && binary.LittleEndian.Uint16(body) == core.ProxyStateVersion
 }
 
 // walFrameSeq peeks the sequence number of a framed record without decoding

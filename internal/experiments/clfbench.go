@@ -179,6 +179,7 @@ func (w *ClassifyBenchWorld) fanOut(n int, worker func(s int, idx []int, per int
 // RuleBenchArm shape so the two bench artifacts parse the same way.
 type ClassifyBenchResult struct {
 	Bench    string       `json:"bench"`
+	Meta     BenchMeta    `json:"meta"`
 	Events   int          `json:"events"`
 	Shards   int          `json:"shards"`
 	Seed     int64        `json:"seed"`

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"runtime"
+)
+
+// BenchMeta is the shared provenance block stamped into every BENCH_*.json
+// artifact: enough to tell whether two artifacts are comparable (same
+// toolchain, same parallelism, same bench parameters) without re-reading the
+// producing command line.
+type BenchMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Flags records the producing command's bench flag values, stringified.
+	Flags map[string]string `json:"flags,omitempty"`
+}
+
+// NewBenchMeta captures the current runtime environment plus the caller's
+// bench flag values. flags may be nil.
+func NewBenchMeta(flags map[string]string) BenchMeta {
+	return BenchMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Flags:      flags,
+	}
+}

@@ -85,8 +85,9 @@ type ColdRestart struct {
 
 // RecoveryBenchResult is the BENCH_7.json payload.
 type RecoveryBenchResult struct {
-	Bench string `json:"bench"`
-	Seed  int64  `json:"seed"`
+	Bench string    `json:"bench"`
+	Meta  BenchMeta `json:"meta"`
+	Seed  int64     `json:"seed"`
 	// AppendBuffered / AppendFsync measure one durably logged packet batch
 	// through the manager (WAL frame + checksum + apply), with the fsync
 	// deferred to the tick versus paid on every append.

@@ -178,6 +178,7 @@ type RuleBenchArm struct {
 // RuleBenchResult is the BENCH_4.json payload.
 type RuleBenchResult struct {
 	Bench    string       `json:"bench"`
+	Meta     BenchMeta    `json:"meta"`
 	Devices  int          `json:"devices"`
 	Shards   int          `json:"shards"`
 	Seed     int64        `json:"seed"`

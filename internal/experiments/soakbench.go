@@ -301,6 +301,7 @@ type SoakDifferential struct {
 // SoakResult is the BENCH_6.json payload.
 type SoakResult struct {
 	Bench        string           `json:"bench"`
+	Meta         BenchMeta        `json:"meta"`
 	Seed         int64            `json:"seed"`
 	Shards       int              `json:"shards"`
 	RuleDevices  int              `json:"rule_devices"`

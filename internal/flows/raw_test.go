@@ -1,0 +1,156 @@
+package flows
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// rawTestTable learns a couple of buckets and returns the (optionally
+// frozen) table plus its canonical encoding.
+func rawTestTable(t *testing.T, freeze bool) (*RuleTable, []byte) {
+	t.Helper()
+	rt := NewRuleTable(ModeClassic)
+	base := time.Unix(1700000000, 0).UTC()
+	for round := 0; round < 4; round++ {
+		for i, size := range []int{64, 128} {
+			rt.Learn(Record{
+				Time: base.Add(time.Duration(round)*10*time.Second + time.Duration(i)*time.Second),
+				Size: size, Proto: "udp", Dir: DirInbound,
+				RemoteIP: transferRemote, LocalPort: 5683, RemotePort: 5683,
+			})
+		}
+	}
+	if freeze {
+		rt.Freeze()
+	}
+	return rt, rt.AppendState(nil)
+}
+
+// TestNewRawRuleTableFastPath: a raw-loaded table re-emits its bytes
+// verbatim until something forces materialization, and read-only queries
+// that do materialize must not change the canonical encoding.
+func TestNewRawRuleTableFastPath(t *testing.T) {
+	src, enc := rawTestTable(t, true)
+	rt, err := NewRawRuleTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.buckets != nil {
+		t.Fatal("construction materialized the bucket maps")
+	}
+	if !bytes.Equal(rt.AppendState(nil), enc) {
+		t.Fatal("raw fast path re-encoded differently")
+	}
+	if rt.buckets != nil {
+		t.Fatal("AppendState materialized the bucket maps")
+	}
+	if !rt.Frozen() {
+		t.Fatal("frozen flag lost")
+	}
+	if got, want := rt.Rules(), src.Rules(); got != want {
+		t.Fatalf("materialized table has %d rules, want %d", got, want)
+	}
+	if rt.buckets == nil {
+		t.Fatal("Rules() did not materialize")
+	}
+	if !bytes.Equal(rt.AppendState(nil), enc) {
+		t.Fatal("materialize-and-re-encode differs from the raw bytes")
+	}
+}
+
+// TestNewRawRuleTableCompiled: Compiled on a frozen raw table materializes
+// and compiles on demand, matching a freeze-time compile checksum-for-
+// checksum.
+func TestNewRawRuleTableCompiled(t *testing.T) {
+	src, enc := rawTestTable(t, true)
+	rt, err := NewRawRuleTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rt.Compiled()
+	if c == nil {
+		t.Fatal("frozen raw table has no compiled form")
+	}
+	if got, want := c.Checksum(), src.Compiled().Checksum(); got != want {
+		t.Fatalf("compiled checksum 0x%08x, want 0x%08x", got, want)
+	}
+}
+
+// TestNewRawRuleTableMutation: a mutation materializes, drops the raw fast
+// path, and from then on the table behaves exactly like a deep-decoded one.
+func TestNewRawRuleTableMutation(t *testing.T) {
+	_, enc := rawTestTable(t, true)
+	rt, err := NewRawRuleTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, rest, err := DecodeRuleTable(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("oracle decode: %v (%d trailing)", err, len(rest))
+	}
+	r := Record{
+		Time: time.Unix(1700000100, 0).UTC(), Size: 64, Proto: "udp", Dir: DirInbound,
+		RemoteIP: transferRemote, LocalPort: 5683, RemotePort: 5683,
+	}
+	if got, want := rt.Match(r), oracle.Match(r); got != want {
+		t.Fatalf("match disagrees with oracle: %v vs %v", got, want)
+	}
+	if rt.raw != nil {
+		t.Fatal("mutation kept the raw fast path")
+	}
+	if !bytes.Equal(rt.AppendState(nil), oracle.AppendState(nil)) {
+		t.Fatal("post-mutation encoding diverges from the deep-decoded oracle")
+	}
+}
+
+func TestNewRawRuleTableRejects(t *testing.T) {
+	_, enc := rawTestTable(t, true)
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), enc...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad version", mutate(func(b []byte) { binary.LittleEndian.PutUint16(b[0:2], 99) })},
+		{"bad mode", mutate(func(b []byte) { b[2] = 9 })},
+		{"zero quantum", mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[3:11], 0) })},
+		{"truncated", enc[:len(enc)-2]},
+		{"trailing bytes", append(append([]byte(nil), enc...), 0)},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewRawRuleTable(tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestNewRawRuleTableTrusted: the trusted constructor skips the deep walk
+// but still reads the real header fields and still rejects a version it
+// cannot speak.
+func TestNewRawRuleTableTrusted(t *testing.T) {
+	src, enc := rawTestTable(t, true)
+	rt, err := NewRawRuleTableTrusted(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.mode != ModeClassic || rt.quantum != src.quantum || !rt.frozen {
+		t.Fatalf("trusted header parse: mode %d quantum %v frozen %v", rt.mode, rt.quantum, rt.frozen)
+	}
+	if !bytes.Equal(rt.AppendState(nil), enc) {
+		t.Fatal("trusted raw table re-encoded differently")
+	}
+	bad := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint16(bad[0:2], 99)
+	if _, err := NewRawRuleTableTrusted(bad); err == nil {
+		t.Error("trusted constructor accepted a foreign version")
+	}
+	if _, err := NewRawRuleTableTrusted(enc[:4]); err == nil {
+		t.Error("trusted constructor accepted a truncated header")
+	}
+}

@@ -38,6 +38,12 @@ type RuleTable struct {
 	frozen   bool
 	buckets  map[Key]*ruleBucket
 	compiled *CompiledRules
+
+	// raw holds the validated serialized state of a lazily-materialized
+	// table (NewRawRuleTable): buckets == nil means "not yet parsed".
+	// Mutations materialize and then drop raw; until then AppendState
+	// re-emits it verbatim, which validation guarantees is canonical.
+	raw []byte
 }
 
 type ruleBucket struct {
@@ -62,6 +68,8 @@ func (rt *RuleTable) Learn(r Record) {
 	if rt.frozen {
 		return
 	}
+	rt.ensureLocked()
+	rt.raw = nil
 	key := KeyOf(rt.mode, r)
 	b := rt.buckets[key]
 	if b == nil {
@@ -88,6 +96,8 @@ func (rt *RuleTable) Freeze() {
 	if rt.frozen {
 		return
 	}
+	rt.ensureLocked()
+	rt.raw = nil
 	rt.frozen = true
 	rt.compiled = rt.compileLocked()
 }
@@ -96,6 +106,9 @@ func (rt *RuleTable) Freeze() {
 func (rt *RuleTable) Compiled() *CompiledRules {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.compiled == nil && rt.frozen && rt.raw != nil {
+		rt.ensureLocked()
+	}
 	return rt.compiled
 }
 
@@ -105,6 +118,7 @@ func (rt *RuleTable) Compiled() *CompiledRules {
 func (rt *RuleTable) Compile() *CompiledRules {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.ensureLocked()
 	return rt.compileLocked()
 }
 
@@ -130,6 +144,8 @@ func (rt *RuleTable) Match(r Record) bool {
 	if !rt.frozen {
 		return false
 	}
+	rt.ensureLocked()
+	rt.raw = nil
 	key := KeyOf(rt.mode, r)
 	b, ok := rt.buckets[key]
 	if !ok {
@@ -150,6 +166,7 @@ func (rt *RuleTable) Match(r Record) bool {
 func (rt *RuleTable) Rules() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.ensureLocked()
 	n := 0
 	for _, b := range rt.buckets {
 		if len(b.periods) > 0 {
@@ -163,6 +180,7 @@ func (rt *RuleTable) Rules() int {
 func (rt *RuleTable) Keys() []Key {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.ensureLocked()
 	var out []Key
 	for k, b := range rt.buckets {
 		if len(b.periods) > 0 {
@@ -177,6 +195,7 @@ func (rt *RuleTable) Keys() []Key {
 func (rt *RuleTable) Periods(k Key) []int64 {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.ensureLocked()
 	b, ok := rt.buckets[k]
 	if !ok || len(b.periods) == 0 {
 		return nil

@@ -292,6 +292,11 @@ func (c *CompiledRules) DecodeArrival(data []byte) (*ArrivalState, []byte, error
 func (rt *RuleTable) AppendState(b []byte) []byte {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.raw != nil {
+		// Lazily-materialized table with no mutations since restore: the
+		// validated raw bytes are exactly the canonical re-encoding.
+		return append(b, rt.raw...)
+	}
 	b = wire.AppendU16(b, RuleTableVersion)
 	b = wire.AppendU8(b, uint8(rt.mode))
 	b = wire.AppendI64(b, int64(rt.quantum))
